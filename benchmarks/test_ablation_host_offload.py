@@ -1,0 +1,61 @@
+"""Ablation: host-offload placement crossover (paper §VI).
+
+"It is crucial to assess the overhead associated with data movement
+between the host and DPU" — this bench sweeps message sizes and reports
+where compressing on the host loses to shipping data to the DPU's
+C-Engine (round-trip and inline variants).
+"""
+
+from repro.datasets import get_dataset
+from repro.dpu import make_device
+from repro.host import HOST_XEON, PCIE_GEN4_X16, HostNode, HostOffloadEngine, OffloadPath
+from repro.sim import Environment
+
+# The closed-form crossover sits near ~19 KB (fixed PCIe+job overheads
+# over the per-byte host-vs-engine gain); sweep well past both sides.
+SIZES = [4e3, 64e3, 1e6, 16e6, 48.85e6]
+
+
+def _sweep():
+    env = Environment()
+    engine = HostOffloadEngine(
+        HostNode(env, HOST_XEON), make_device(env, "bf2"), PCIE_GEN4_X16
+    )
+    env.run(until=env.process(engine.init()))
+    payload = get_dataset("silesia/mozilla").generate(48 * 1024)
+
+    rows = []
+    for nominal in SIZES:
+        times = {}
+        for path in OffloadPath:
+            proc = env.process(
+                engine.compress(payload, "C-Engine_DEFLATE", path, nominal)
+            )
+            result = env.run(until=proc)
+            times[path] = result.sim_seconds
+        rows.append((nominal, times))
+    return rows
+
+
+def test_host_offload_crossover(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    by_size = dict(rows)
+
+    # Inline (one PCIe crossing) always beats round-trip (two).
+    for times in by_size.values():
+        assert times[OffloadPath.DPU_INLINE] < times[OffloadPath.DPU_ROUNDTRIP]
+
+    # Small messages: host CPU wins; large: the C-Engine wins even
+    # after paying PCIe both ways.
+    small = by_size[SIZES[0]]
+    large = by_size[SIZES[-1]]
+    assert small[OffloadPath.HOST_ONLY] < small[OffloadPath.DPU_ROUNDTRIP]
+    assert large[OffloadPath.DPU_ROUNDTRIP] < large[OffloadPath.HOST_ONLY]
+
+    # The measured crossover brackets the closed-form prediction.
+    env = Environment()
+    engine = HostOffloadEngine(
+        HostNode(env, HOST_XEON), make_device(env, "bf2"), PCIE_GEN4_X16
+    )
+    predicted = engine.predicted_crossover_bytes("C-Engine_DEFLATE")
+    assert SIZES[0] < predicted < SIZES[-1]

@@ -1,0 +1,57 @@
+"""Ablation: LZ77 matcher tuning — real ratio vs real wall-clock.
+
+Unlike the figure benches, both axes here are genuine measurements of
+the Python codecs: chain depth and lazy evaluation trade compression
+ratio against matcher time, the classic zlib-level trade-off our
+DeflateConfig exposes.
+"""
+
+import time
+
+import pytest
+
+from repro.algorithms.deflate import DeflateConfig, deflate_compress, deflate_decompress
+from repro.algorithms.lz77 import MatcherConfig
+from repro.datasets import get_dataset
+
+PAYLOAD = 96 * 1024
+
+CONFIGS = {
+    "fast (chain=4, greedy)": MatcherConfig(max_chain=4, lazy=False),
+    "default (chain=48, lazy)": MatcherConfig(),
+    "thorough (chain=256, lazy)": MatcherConfig(max_chain=256, good_match=258),
+}
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return get_dataset("silesia/samba").generate(PAYLOAD)
+
+
+@pytest.mark.parametrize("name", list(CONFIGS))
+def test_matcher_config(benchmark, payload, name):
+    cfg = DeflateConfig(matcher=CONFIGS[name])
+    stream = benchmark(deflate_compress, payload, cfg)
+    assert deflate_decompress(stream) == payload
+
+
+def test_ratio_monotone_in_effort(benchmark, payload):
+    ratios = {}
+    times = {}
+
+    def sweep():
+        for name, matcher in CONFIGS.items():
+            cfg = DeflateConfig(matcher=matcher)
+            t0 = time.perf_counter()
+            stream = deflate_compress(payload, cfg)
+            times[name] = time.perf_counter() - t0
+            ratios[name] = len(payload) / len(stream)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    fast, default, thorough = (
+        ratios["fast (chain=4, greedy)"],
+        ratios["default (chain=48, lazy)"],
+        ratios["thorough (chain=256, lazy)"],
+    )
+    assert fast <= default <= thorough * 1.001  # effort buys ratio
+    assert thorough / fast < 1.5  # diminishing returns on this corpus

@@ -1,0 +1,68 @@
+"""Wall-clock microbenchmarks of the from-scratch codecs.
+
+These measure the *Python implementation's* real speed (pytest-benchmark
+statistics), which is orthogonal to the simulated DPU times: useful for
+tracking regressions in the pure-algorithm layer.
+"""
+
+import pytest
+
+from repro.algorithms.deflate import deflate_compress, deflate_decompress
+from repro.algorithms.lz4 import lz4_compress, lz4_decompress
+from repro.algorithms.sz3 import SZ3Config, sz3_compress, sz3_decompress
+from repro.algorithms.zlib_format import zlib_compress
+from repro.algorithms.zstdlite import zstdlite_compress
+from repro.datasets import get_dataset
+
+PAYLOAD_BYTES = 64 * 1024
+
+
+@pytest.fixture(scope="module")
+def text():
+    return get_dataset("silesia/samba").generate(PAYLOAD_BYTES)
+
+
+@pytest.fixture(scope="module")
+def floats():
+    return get_dataset("exaalt-dataset1").generate(PAYLOAD_BYTES)
+
+
+class TestLosslessCompress:
+    def test_deflate_compress(self, benchmark, text):
+        stream = benchmark(deflate_compress, text)
+        assert len(stream) < len(text)
+
+    def test_zlib_compress(self, benchmark, text):
+        stream = benchmark(zlib_compress, text)
+        assert len(stream) < len(text)
+
+    def test_lz4_compress(self, benchmark, text):
+        stream = benchmark(lz4_compress, text)
+        assert len(stream) < len(text)
+
+    def test_zstdlite_compress(self, benchmark, text):
+        stream = benchmark(zstdlite_compress, text)
+        assert len(stream) < len(text)
+
+
+class TestLosslessDecompress:
+    def test_deflate_decompress(self, benchmark, text):
+        stream = deflate_compress(text)
+        out = benchmark(deflate_decompress, stream)
+        assert out == text
+
+    def test_lz4_decompress(self, benchmark, text):
+        stream = lz4_compress(text)
+        out = benchmark(lz4_decompress, stream)
+        assert out == text
+
+
+class TestLossy:
+    def test_sz3_compress(self, benchmark, floats):
+        stream = benchmark(sz3_compress, floats, SZ3Config(error_bound=1e-4))
+        assert len(stream) < floats.nbytes
+
+    def test_sz3_decompress(self, benchmark, floats):
+        stream = sz3_compress(floats, SZ3Config(error_bound=1e-4))
+        out = benchmark(sz3_decompress, stream)
+        assert out.shape == floats.shape

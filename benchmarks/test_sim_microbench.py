@@ -1,0 +1,66 @@
+"""Wall-clock microbenchmarks of the simulation substrate.
+
+Tracks the DES kernel's event throughput and the cost of a full
+simulated MPI exchange — the fixed overhead every experiment pays.
+"""
+
+from repro.mpi import CommConfig, CommMode, run_mpi
+from repro.sim import Environment, Resource
+
+
+def _event_churn(n_events: int) -> float:
+    env = Environment()
+
+    def ticker(env):
+        for _ in range(n_events):
+            yield env.timeout(1.0)
+
+    env.process(ticker(env))
+    env.run()
+    return env.now
+
+
+def test_des_event_throughput(benchmark):
+    now = benchmark(_event_churn, 5000)
+    assert now == 5000.0
+
+
+def _resource_churn(n_jobs: int) -> int:
+    env = Environment()
+    res = Resource(env, capacity=2)
+    done = []
+
+    def job(env, res):
+        req = res.request()
+        yield req
+        yield env.timeout(1.0)
+        res.release(req)
+        done.append(1)
+
+    for _ in range(n_jobs):
+        env.process(job(env, res))
+    env.run()
+    return len(done)
+
+
+def test_resource_throughput(benchmark):
+    assert benchmark(_resource_churn, 2000) == 2000
+
+
+def _pingpong_once() -> float:
+    payload = b"z" * 100000
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(1, payload)
+            yield from ctx.recv(source=1)
+            return ctx.wtime()
+        data = yield from ctx.recv(source=0)
+        yield from ctx.send(0, data)
+
+    cfg = CommConfig(mode=CommMode.PEDAL, design="C-Engine_DEFLATE")
+    return run_mpi(program, 2, "bf2", cfg).returns[0]
+
+
+def test_simulated_mpi_exchange(benchmark):
+    assert benchmark(_pingpong_once) > 0

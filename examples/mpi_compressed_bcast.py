@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Compressed MPI broadcast on a simulated 4-node BlueField cluster.
+
+The paper's Fig. 11 scenario: broadcast a large dataset from rank 0 to
+four DPU nodes, with PEDAL compressing inside MPI_Send and
+decompressing inside MPI_Recv at every binomial-tree hop — against the
+naive baseline that re-initialises DOCA per message.
+
+Run:  python examples/mpi_compressed_bcast.py
+"""
+
+from repro.datasets import get_dataset
+from repro.mpi import CommConfig, CommMode, run_mpi
+
+N_NODES = 4
+NOMINAL_BYTES = 20.6e6  # the paper's "medium" message
+ACTUAL_BYTES = 96 * 1024
+
+
+def make_program(payload, verify):
+    def program(ctx):
+        data = payload if ctx.rank == 0 else None
+        t0 = ctx.wtime()
+        out = yield from ctx.bcast(data, root=0, sim_bytes=NOMINAL_BYTES)
+        elapsed = ctx.wtime() - t0
+        assert verify(out), f"rank {ctx.rank}: broadcast payload corrupted"
+        return elapsed
+
+    return program
+
+
+def main() -> None:
+    text = get_dataset("silesia/samba").generate(ACTUAL_BYTES)
+    program = make_program(text, lambda out: out == text)
+
+    print(f"MPI_Bcast of a {NOMINAL_BYTES / 1e6:.1f} MB (nominal) message "
+          f"across {N_NODES} nodes\n")
+    print(f"{'cluster':8s} {'mode':22s} {'bcast time':>12s} {'vs baseline':>12s}")
+
+    baseline = None
+    runs = [
+        ("bf2", CommMode.NAIVE, "C-Engine_DEFLATE", "baseline (naive)"),
+        ("bf2", CommMode.RAW, None, "raw (no compression)"),
+        ("bf2", CommMode.PEDAL, "SoC_DEFLATE", "PEDAL SoC_DEFLATE"),
+        ("bf2", CommMode.PEDAL, "C-Engine_DEFLATE", "PEDAL C-Engine_DEFLATE"),
+        ("bf3", CommMode.PEDAL, "SoC_DEFLATE", "PEDAL SoC_DEFLATE"),
+        ("bf3", CommMode.PEDAL, "C-Engine_DEFLATE", "PEDAL C-Engine_DEFLATE"),
+    ]
+    for device, mode, design, label in runs:
+        cfg = CommConfig(mode=mode, design=design)
+        result = run_mpi(program, N_NODES, device, cfg)
+        elapsed = max(result.returns)
+        if baseline is None:
+            baseline = elapsed
+        print(f"{device:8s} {label:22s} {elapsed * 1e3:9.2f} ms "
+              f"{baseline / elapsed:11.1f}x")
+
+    print("\nNote how PEDAL's C-Engine design on BF2 dominates, while the "
+          "same design on BF3\nfalls back to SoC compression (Table III) "
+          "and loses its edge — the paper's §V-E story.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Thin shim so `python setup.py develop` works in offline environments
+where the `wheel` package (needed for PEP 517 editable installs) is absent.
+All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""From-scratch compression algorithms.
+
+These are the four algorithms PEDAL unifies (paper Table I):
+
+========  =======================================  ========
+Algorithm  Purpose                                  Kind
+========  =======================================  ========
+DEFLATE   general data compression (RFC 1951)      lossless
+zlib      general data compression (RFC 1950)      lossless
+LZ4       general data compression (block+frame)   lossless
+SZ3       scientific data compression               lossy
+========  =======================================  ========
+
+plus their substrates (LZ77 matching, canonical Huffman coding) and a
+small zstd-lite entropy backend used as SZ3's default lossless stage.
+
+All codecs here are *pure algorithm* implementations operating on bytes
+in, bytes out — they know nothing about DPUs.  Hardware placement (SoC
+vs C-Engine) is modelled in :mod:`repro.dpu` / :mod:`repro.doca` and
+orchestrated by :mod:`repro.core`.
+"""
+
+from repro.algorithms import deflate, lz4, sz3
+from repro.algorithms.zlib_format import zlib_compress, zlib_decompress
+
+__all__ = ["deflate", "lz4", "sz3", "zlib_compress", "zlib_decompress"]

@@ -1,0 +1,19 @@
+"""DEFLATE (RFC 1951) — from-scratch compressor and decompressor.
+
+The compressor supports all three block types (stored, fixed-Huffman,
+dynamic-Huffman) and picks the cheapest per block; the decompressor
+handles arbitrary multi-block streams, which makes it interoperable with
+streams produced by zlib/gzip tooling (verified in the test suite
+against the Python stdlib).
+
+Public API
+----------
+:func:`deflate_compress`  — bytes → raw DEFLATE stream.
+:func:`deflate_decompress` — raw DEFLATE stream → bytes.
+:class:`DeflateConfig` — matcher/block tuning.
+"""
+
+from repro.algorithms.deflate.compress import DeflateConfig, deflate_compress
+from repro.algorithms.deflate.decompress import deflate_decompress
+
+__all__ = ["DeflateConfig", "deflate_compress", "deflate_decompress"]

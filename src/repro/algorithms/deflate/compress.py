@@ -1,0 +1,324 @@
+"""DEFLATE compressor (RFC 1951).
+
+Pipeline: LZ77 tokenisation (:mod:`repro.algorithms.lz77`) → vectorised
+symbol mapping → per-block choice among stored / fixed-Huffman /
+dynamic-Huffman based on exact emitted sizes → bulk bit packing.
+
+Token streams are encoded as one DEFLATE block per ``block_tokens``
+tokens (a single block for typical inputs); each block's Huffman trees
+are built from that block's own statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms import huffman
+from repro.algorithms.deflate import tables as T
+from repro.algorithms.lz77 import MatcherConfig, TokenStream, tokenize
+from repro.util.bitio import BitWriter
+
+__all__ = ["DeflateConfig", "deflate_compress"]
+
+_MAX_BITS = 15  # litlen/dist code length limit
+_MAX_CL_BITS = 7  # code-length alphabet limit
+
+
+@dataclass(frozen=True)
+class DeflateConfig:
+    """Compressor tuning.
+
+    ``strategy`` selects block coding: ``"auto"`` picks the cheapest of
+    stored/fixed/dynamic per block; ``"fixed"``/``"dynamic"``/``"stored"``
+    force one type (still falling back to stored when a Huffman block
+    would exceed the stored size is only done under ``"auto"``).
+    """
+
+    matcher: MatcherConfig = field(default_factory=MatcherConfig)
+    strategy: str = "auto"
+    block_tokens: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("auto", "fixed", "dynamic", "stored"):
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.matcher.window_size > T.WINDOW_SIZE:
+            raise ValueError("DEFLATE window cannot exceed 32768")
+        if self.matcher.max_match > T.MAX_MATCH:
+            raise ValueError("DEFLATE match length cannot exceed 258")
+
+
+# ---------------------------------------------------------------------------
+# Symbol mapping
+# ---------------------------------------------------------------------------
+
+def _map_symbols(lengths: np.ndarray, values: np.ndarray) -> dict[str, np.ndarray]:
+    """Map an LZ77 token block to DEFLATE symbol/extra-bit arrays."""
+    is_match = lengths > 0
+    litlen_sym = np.where(is_match, 0, values).astype(np.int32)
+    len_extra_bits = np.zeros(lengths.size, dtype=np.int64)
+    len_extra_val = np.zeros(lengths.size, dtype=np.uint32)
+    dist_sym = np.zeros(lengths.size, dtype=np.int32)
+    dist_extra_bits = np.zeros(lengths.size, dtype=np.int64)
+    dist_extra_val = np.zeros(lengths.size, dtype=np.uint32)
+
+    if is_match.any():
+        m_len = lengths[is_match]
+        m_dist = values[is_match]
+        lsym = T.LENGTH_SYM_FOR_LEN[m_len]
+        litlen_sym[is_match] = 257 + lsym
+        len_extra_bits[is_match] = T.LENGTH_EXTRA[lsym]
+        len_extra_val[is_match] = (m_len - T.LENGTH_BASE[lsym]).astype(np.uint32)
+        dsym = T.dist_symbol(m_dist)
+        dist_sym[is_match] = dsym
+        dist_extra_bits[is_match] = T.DIST_EXTRA[dsym]
+        dist_extra_val[is_match] = (m_dist - T.DIST_BASE[dsym]).astype(np.uint32)
+
+    return {
+        "is_match": is_match,
+        "litlen_sym": litlen_sym,
+        "len_extra_bits": len_extra_bits,
+        "len_extra_val": len_extra_val,
+        "dist_sym": dist_sym,
+        "dist_extra_bits": dist_extra_bits,
+        "dist_extra_val": dist_extra_val,
+    }
+
+
+def _block_cost_bits(
+    syms: dict[str, np.ndarray],
+    litlen_lengths: np.ndarray,
+    dist_lengths: np.ndarray,
+) -> int:
+    """Exact payload size in bits of a block under the given trees."""
+    cost = int(litlen_lengths[syms["litlen_sym"]].sum())
+    cost += int(syms["len_extra_bits"].sum())
+    is_match = syms["is_match"]
+    if is_match.any():
+        cost += int(dist_lengths[syms["dist_sym"][is_match]].sum())
+        cost += int(syms["dist_extra_bits"][is_match].sum())
+    cost += int(litlen_lengths[T.END_OF_BLOCK])
+    return cost
+
+
+# ---------------------------------------------------------------------------
+# Dynamic tree header (code-length-code encoding, RFC 1951 §3.2.7)
+# ---------------------------------------------------------------------------
+
+def _rle_code_lengths(all_lengths: np.ndarray) -> tuple[list[int], list[tuple[int, int]]]:
+    """RLE-compress the concatenated litlen+dist length sequence.
+
+    Returns ``(cl_symbols, extras)`` where ``extras[i]`` is the
+    ``(value, nbits)`` extra field for ``cl_symbols[i]`` (``nbits`` 0 when
+    the symbol carries no extra bits).
+    """
+    seq = [int(x) for x in all_lengths]
+    out_syms: list[int] = []
+    out_extras: list[tuple[int, int]] = []
+    i = 0
+    n = len(seq)
+    while i < n:
+        value = seq[i]
+        run = 1
+        while i + run < n and seq[i + run] == value:
+            run += 1
+        i += run
+        if value == 0:
+            while run >= 11:
+                take = min(run, 138)
+                out_syms.append(18)
+                out_extras.append((take - 11, 7))
+                run -= take
+            while run >= 3:
+                take = min(run, 10)
+                out_syms.append(17)
+                out_extras.append((take - 3, 3))
+                run -= take
+            out_syms.extend([0] * run)
+            out_extras.extend([(0, 0)] * run)
+        else:
+            out_syms.append(value)
+            out_extras.append((0, 0))
+            run -= 1
+            while run >= 3:
+                take = min(run, 6)
+                out_syms.append(16)
+                out_extras.append((take - 3, 2))
+                run -= take
+            out_syms.extend([value] * run)
+            out_extras.extend([(0, 0)] * run)
+    return out_syms, out_extras
+
+
+def _dynamic_header(
+    litlen_lengths: np.ndarray, dist_lengths: np.ndarray
+) -> tuple[list[tuple[int, int]], int]:
+    """Build the dynamic block header as ``(value, nbits)`` fields.
+
+    Returns the field list and the total header size in bits.
+    """
+    # HLIT: number of litlen codes - 257 (at least the EOB code is used).
+    hlit = max(int(np.flatnonzero(litlen_lengths > 0).max(initial=256)) + 1, 257)
+    used_dist = np.flatnonzero(dist_lengths > 0)
+    hdist = max(int(used_dist.max(initial=0)) + 1, 1)
+
+    all_lengths = np.concatenate([litlen_lengths[:hlit], dist_lengths[:hdist]])
+    cl_syms, cl_extras = _rle_code_lengths(all_lengths)
+
+    cl_freq = np.bincount(np.asarray(cl_syms, dtype=np.int64), minlength=19)
+    cl_lengths = huffman.code_lengths(cl_freq, _MAX_CL_BITS)
+    cl_codes = huffman.lsb_codes(cl_lengths)
+
+    ordered = cl_lengths[T.CLCODE_ORDER]
+    hclen = 19
+    while hclen > 4 and ordered[hclen - 1] == 0:
+        hclen -= 1
+
+    fields: list[tuple[int, int]] = [
+        (hlit - 257, 5),
+        (hdist - 1, 5),
+        (hclen - 4, 4),
+    ]
+    for k in range(hclen):
+        fields.append((int(ordered[k]), 3))
+    for sym, (extra_val, extra_bits) in zip(cl_syms, cl_extras):
+        fields.append((int(cl_codes[sym]), int(cl_lengths[sym])))
+        if extra_bits:
+            fields.append((extra_val, extra_bits))
+    total_bits = sum(nbits for _, nbits in fields)
+    return fields, total_bits
+
+
+# ---------------------------------------------------------------------------
+# Block emission
+# ---------------------------------------------------------------------------
+
+def _emit_huffman_block(
+    writer: BitWriter,
+    syms: dict[str, np.ndarray],
+    litlen_lengths: np.ndarray,
+    dist_lengths: np.ndarray,
+) -> None:
+    """Emit the token payload + EOB under the given trees (bulk-packed)."""
+    litlen_codes = huffman.lsb_codes(litlen_lengths)
+    dist_codes = huffman.lsb_codes(dist_lengths)
+
+    n = syms["litlen_sym"].size
+    codes = np.zeros((n, 4), dtype=np.uint32)
+    bits = np.zeros((n, 4), dtype=np.int64)
+    lsym = syms["litlen_sym"]
+    codes[:, 0] = litlen_codes[lsym]
+    bits[:, 0] = litlen_lengths[lsym]
+    is_match = syms["is_match"]
+    if is_match.any():
+        codes[is_match, 1] = syms["len_extra_val"][is_match]
+        bits[is_match, 1] = syms["len_extra_bits"][is_match]
+        dsym = syms["dist_sym"][is_match]
+        codes[is_match, 2] = dist_codes[dsym]
+        bits[is_match, 2] = dist_lengths[dsym]
+        codes[is_match, 3] = syms["dist_extra_val"][is_match]
+        bits[is_match, 3] = syms["dist_extra_bits"][is_match]
+    writer.write_code_array(codes.reshape(-1), bits.reshape(-1))
+    writer.write_bits(int(litlen_codes[T.END_OF_BLOCK]), int(litlen_lengths[T.END_OF_BLOCK]))
+
+
+def _emit_stored_block(writer: BitWriter, raw: bytes, final: bool) -> None:
+    """Emit stored (BTYPE=00) blocks; splits chunks over 65535 bytes."""
+    pos = 0
+    n = len(raw)
+    while True:
+        chunk = raw[pos : pos + 65535]
+        pos += len(chunk)
+        last = final and pos >= n
+        writer.write_bits(1 if last else 0, 1)
+        writer.write_bits(0, 2)
+        writer.align_to_byte()
+        ln = len(chunk)
+        writer.write_bits(ln, 16)
+        writer.write_bits(ln ^ 0xFFFF, 16)
+        writer.write_bytes(chunk)
+        if pos >= n:
+            break
+
+
+def deflate_compress(data: bytes, config: DeflateConfig | None = None) -> bytes:
+    """Compress ``data`` into a raw DEFLATE stream."""
+    cfg = config or DeflateConfig()
+
+    if len(data) == 0:
+        # A single final fixed block containing only EOB.
+        writer = BitWriter()
+        writer.write_bits(1, 1)
+        writer.write_bits(1, 2)
+        writer.write_bits(0, 7)  # EOB in the fixed tree is seven 0-bits
+        return writer.getvalue()
+
+    if cfg.strategy == "stored":
+        writer = BitWriter()
+        _emit_stored_block(writer, data, final=True)
+        return writer.getvalue()
+
+    tokens = tokenize(data, cfg.matcher)
+    writer = BitWriter()
+    tok_lengths, tok_values = tokens.arrays()
+
+    n_tokens = len(tokens)
+    block_starts = list(range(0, n_tokens, cfg.block_tokens)) or [0]
+    # Byte offset of each token, to slice the raw input for stored blocks.
+    byte_pos = np.zeros(n_tokens + 1, dtype=np.int64)
+    np.cumsum(np.where(tok_lengths > 0, tok_lengths, 1), out=byte_pos[1:])
+
+    for bi, start in enumerate(block_starts):
+        stop = min(start + cfg.block_tokens, n_tokens)
+        final = stop >= n_tokens
+        syms = _map_symbols(tok_lengths[start:stop], tok_values[start:stop])
+        raw = data[int(byte_pos[start]) : int(byte_pos[stop])]
+
+        litlen_freq = np.bincount(syms["litlen_sym"], minlength=286)
+        litlen_freq[T.END_OF_BLOCK] += 1
+        dist_freq = np.bincount(
+            syms["dist_sym"][syms["is_match"]], minlength=30
+        )
+
+        dyn_litlen = huffman.code_lengths(litlen_freq, _MAX_BITS)
+        dyn_dist = huffman.code_lengths(dist_freq, _MAX_BITS)
+        if not dist_freq.any():
+            # RFC: at least one distance code must be describable.
+            dyn_dist = dyn_dist.copy()
+            dyn_dist[0] = 1
+
+        header_fields, dyn_header_bits = _dynamic_header(dyn_litlen, dyn_dist)
+        dyn_bits = 3 + dyn_header_bits + _block_cost_bits(syms, dyn_litlen, dyn_dist)
+        fixed_bits = 3 + _block_cost_bits(
+            syms, T.FIXED_LITLEN_LENGTHS, T.FIXED_DIST_LENGTHS
+        )
+        stored_bits = (len(raw) + 5 * (1 + len(raw) // 65535)) * 8 + 8
+
+        choice = cfg.strategy
+        if choice == "auto":
+            best = min(dyn_bits, fixed_bits, stored_bits)
+            if best == stored_bits:
+                choice = "stored_block"
+            elif best == fixed_bits:
+                choice = "fixed"
+            else:
+                choice = "dynamic"
+
+        if choice == "stored_block":
+            _emit_stored_block(writer, raw, final)
+            continue
+
+        writer.write_bits(1 if final else 0, 1)
+        if choice == "fixed":
+            writer.write_bits(1, 2)
+            _emit_huffman_block(
+                writer, syms, T.FIXED_LITLEN_LENGTHS, T.FIXED_DIST_LENGTHS
+            )
+        else:
+            writer.write_bits(2, 2)
+            for value, nbits in header_fields:
+                writer.write_bits(value, nbits)
+            _emit_huffman_block(writer, syms, dyn_litlen, dyn_dist)
+
+    return writer.getvalue()

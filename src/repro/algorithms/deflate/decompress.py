@@ -1,0 +1,177 @@
+"""DEFLATE decompressor (inflate, RFC 1951).
+
+Handles arbitrary multi-block streams with stored, fixed-Huffman, and
+dynamic-Huffman blocks, including overlapping back-references.  Designed
+to inflate streams from *any* conforming compressor (tested against the
+Python stdlib's zlib as an independent producer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import huffman
+from repro.algorithms.deflate import tables as T
+from repro.errors import CorruptStreamError, OutputOverflowError
+from repro.util.bitio import BitReader
+
+__all__ = ["deflate_decompress"]
+
+_FIXED_LITLEN_DECODER: huffman.HuffmanDecoder | None = None
+_FIXED_DIST_DECODER: huffman.HuffmanDecoder | None = None
+
+
+def _fixed_decoders() -> tuple[huffman.HuffmanDecoder, huffman.HuffmanDecoder]:
+    global _FIXED_LITLEN_DECODER, _FIXED_DIST_DECODER
+    if _FIXED_LITLEN_DECODER is None:
+        _FIXED_LITLEN_DECODER = huffman.HuffmanDecoder(T.FIXED_LITLEN_LENGTHS)
+        _FIXED_DIST_DECODER = huffman.HuffmanDecoder(T.FIXED_DIST_LENGTHS)
+    assert _FIXED_DIST_DECODER is not None
+    return _FIXED_LITLEN_DECODER, _FIXED_DIST_DECODER
+
+
+def _read_dynamic_trees(
+    reader: BitReader,
+) -> tuple[huffman.HuffmanDecoder, huffman.HuffmanDecoder]:
+    """Parse the dynamic block header (RFC 1951 §3.2.7)."""
+    hlit = reader.read_bits(5) + 257
+    hdist = reader.read_bits(5) + 1
+    hclen = reader.read_bits(4) + 4
+
+    cl_lengths = np.zeros(19, dtype=np.int32)
+    for k in range(hclen):
+        cl_lengths[int(T.CLCODE_ORDER[k])] = reader.read_bits(3)
+    cl_decoder = huffman.HuffmanDecoder(cl_lengths)
+
+    total = hlit + hdist
+    lengths = np.zeros(total, dtype=np.int32)
+    i = 0
+    while i < total:
+        sym = cl_decoder.decode(reader)
+        if sym < 16:
+            lengths[i] = sym
+            i += 1
+        elif sym == 16:
+            if i == 0:
+                raise CorruptStreamError("repeat code with no previous length")
+            run = 3 + reader.read_bits(2)
+            if i + run > total:
+                raise CorruptStreamError("code-length repeat overruns alphabet")
+            lengths[i : i + run] = lengths[i - 1]
+            i += run
+        elif sym == 17:
+            run = 3 + reader.read_bits(3)
+            if i + run > total:
+                raise CorruptStreamError("code-length zero-run overruns alphabet")
+            i += run
+        else:  # sym == 18
+            run = 11 + reader.read_bits(7)
+            if i + run > total:
+                raise CorruptStreamError("code-length zero-run overruns alphabet")
+            i += run
+
+    litlen_lengths = lengths[:hlit]
+    dist_lengths = lengths[hlit:]
+    if litlen_lengths[T.END_OF_BLOCK] == 0:
+        raise CorruptStreamError("dynamic block has no end-of-block code")
+    litlen_decoder = huffman.HuffmanDecoder(litlen_lengths)
+    if dist_lengths.max(initial=0) == 0:
+        dist_decoder = None
+    else:
+        dist_decoder = huffman.HuffmanDecoder(dist_lengths)
+    return litlen_decoder, dist_decoder  # type: ignore[return-value]
+
+
+def _inflate_block(
+    reader: BitReader,
+    out: bytearray,
+    litlen_decoder: huffman.HuffmanDecoder,
+    dist_decoder: huffman.HuffmanDecoder | None,
+    max_output: int | None,
+) -> None:
+    """Decode one Huffman-coded block into ``out``."""
+    # Local aliases: this is the hottest loop in the decompressor.
+    lit_table = litlen_decoder.table
+    lit_bits = litlen_decoder.max_bits
+    peek = reader.peek_bits
+    skip = reader.skip_bits
+    read = reader.read_bits
+    length_base = T.LENGTH_BASE
+    length_extra = T.LENGTH_EXTRA
+    dist_base = T.DIST_BASE
+    dist_extra = T.DIST_EXTRA
+
+    while True:
+        entry = int(lit_table[peek(lit_bits)])
+        if entry == 0:
+            raise CorruptStreamError("invalid literal/length code")
+        skip(entry >> 9)
+        sym = entry & 0x1FF
+        if sym < 256:
+            out.append(sym)
+        elif sym == T.END_OF_BLOCK:
+            return
+        else:
+            if sym > 285:
+                raise CorruptStreamError(f"invalid length symbol {sym}")
+            idx = sym - 257
+            length = int(length_base[idx]) + read(int(length_extra[idx]))
+            if dist_decoder is None:
+                raise CorruptStreamError("match in block with empty distance tree")
+            dsym = dist_decoder.decode(reader)
+            if dsym > 29:
+                raise CorruptStreamError(f"invalid distance symbol {dsym}")
+            dist = int(dist_base[dsym]) + read(int(dist_extra[dsym]))
+            start = len(out) - dist
+            if start < 0:
+                raise CorruptStreamError("back-reference before start of output")
+            if dist >= length:
+                out += out[start : start + length]
+            else:
+                for k in range(length):  # overlapping copy
+                    out.append(out[start + k])
+        if max_output is not None and len(out) > max_output:
+            raise OutputOverflowError(
+                f"decompressed output exceeds limit of {max_output} bytes"
+            )
+
+
+def deflate_decompress(
+    data: bytes, max_output: int | None = None
+) -> bytes:
+    """Inflate a raw DEFLATE stream.
+
+    Parameters
+    ----------
+    data:
+        The compressed stream (no zlib/gzip wrapper).
+    max_output:
+        Optional safety bound on the decompressed size; exceeding it
+        raises :class:`~repro.errors.OutputOverflowError`.
+    """
+    reader = BitReader(data)
+    out = bytearray()
+    while True:
+        bfinal = reader.read_bits(1)
+        btype = reader.read_bits(2)
+        if btype == 0:
+            reader.align_to_byte()
+            length = int.from_bytes(reader.read_bytes(2), "little")
+            nlen = int.from_bytes(reader.read_bytes(2), "little")
+            if length ^ nlen != 0xFFFF:
+                raise CorruptStreamError("stored block LEN/NLEN mismatch")
+            out += reader.read_bytes(length)
+            if max_output is not None and len(out) > max_output:
+                raise OutputOverflowError(
+                    f"decompressed output exceeds limit of {max_output} bytes"
+                )
+        elif btype == 1:
+            litlen_decoder, dist_decoder = _fixed_decoders()
+            _inflate_block(reader, out, litlen_decoder, dist_decoder, max_output)
+        elif btype == 2:
+            litlen_decoder, dist_decoder = _read_dynamic_trees(reader)
+            _inflate_block(reader, out, litlen_decoder, dist_decoder, max_output)
+        else:
+            raise CorruptStreamError("reserved block type 3")
+        if bfinal:
+            return bytes(out)

@@ -1,0 +1,114 @@
+"""gzip member format (RFC 1952) over raw DEFLATE.
+
+Completes the DEFLATE container family (zlib for in-memory streams,
+gzip for files).  PEDAL itself ships zlib framing, but downstream users
+of the standalone library (paper §VI, "Sharing experience with PEDAL
+users") routinely need gzip-compatible output; this module provides it
+over the same from-scratch DEFLATE core, interoperable with the
+system's gzip tooling (verified against :mod:`gzip` in the tests).
+
+Layout::
+
+    magic 0x1F 0x8B | CM=8 | FLG | MTIME(4) | XFL | OS
+    [optional FEXTRA/FNAME/FCOMMENT/FHCRC fields]
+    DEFLATE payload
+    CRC32(4, LE) | ISIZE(4, LE)
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.algorithms.deflate import DeflateConfig, deflate_compress, deflate_decompress
+from repro.errors import ChecksumMismatchError, CorruptStreamError
+from repro.util.checksums import crc32
+
+__all__ = ["gzip_compress", "gzip_decompress"]
+
+_MAGIC = b"\x1f\x8b"
+_CM_DEFLATE = 8
+_OS_UNIX = 3
+
+_FTEXT = 1 << 0
+_FHCRC = 1 << 1
+_FEXTRA = 1 << 2
+_FNAME = 1 << 3
+_FCOMMENT = 1 << 4
+
+
+def gzip_compress(
+    data: bytes,
+    config: DeflateConfig | None = None,
+    filename: str | None = None,
+    mtime: int = 0,
+) -> bytes:
+    """Compress ``data`` into a single gzip member.
+
+    ``mtime`` defaults to 0 (no timestamp) so output is deterministic.
+    """
+    flg = _FNAME if filename else 0
+    out = bytearray()
+    out += _MAGIC
+    out.append(_CM_DEFLATE)
+    out.append(flg)
+    out += struct.pack("<I", mtime & 0xFFFFFFFF)
+    out.append(0)  # XFL
+    out.append(_OS_UNIX)
+    if filename:
+        out += filename.encode("latin-1") + b"\x00"
+    out += deflate_compress(data, config)
+    out += struct.pack("<I", crc32(data))
+    out += struct.pack("<I", len(data) & 0xFFFFFFFF)
+    return bytes(out)
+
+
+def _skip_zero_terminated(blob: bytes, pos: int) -> int:
+    end = blob.find(b"\x00", pos)
+    if end < 0:
+        raise CorruptStreamError("unterminated gzip string field")
+    return end + 1
+
+
+def gzip_decompress(blob: bytes, max_output: int | None = None) -> bytes:
+    """Decompress one gzip member, verifying CRC32 and ISIZE."""
+    if len(blob) < 18:
+        raise CorruptStreamError("gzip member shorter than header + trailer")
+    if blob[:2] != _MAGIC:
+        raise CorruptStreamError("bad gzip magic")
+    if blob[2] != _CM_DEFLATE:
+        raise CorruptStreamError(f"unsupported gzip method {blob[2]}")
+    flg = blob[3]
+    if flg & 0xE0:
+        raise CorruptStreamError("reserved gzip FLG bits set")
+    pos = 10
+    if flg & _FEXTRA:
+        if len(blob) < pos + 2:
+            raise CorruptStreamError("truncated FEXTRA")
+        (xlen,) = struct.unpack_from("<H", blob, pos)
+        pos += 2 + xlen
+    if flg & _FNAME:
+        pos = _skip_zero_terminated(blob, pos)
+    if flg & _FCOMMENT:
+        pos = _skip_zero_terminated(blob, pos)
+    if flg & _FHCRC:
+        if len(blob) < pos + 2:
+            raise CorruptStreamError("truncated FHCRC")
+        (stored_hcrc,) = struct.unpack_from("<H", blob, pos)
+        actual_hcrc = crc32(blob[:pos]) & 0xFFFF
+        if stored_hcrc != actual_hcrc:
+            raise ChecksumMismatchError("gzip header", stored_hcrc, actual_hcrc)
+        pos += 2
+    if len(blob) < pos + 8:
+        raise CorruptStreamError("gzip member missing trailer")
+
+    payload = blob[pos:-8]
+    data = deflate_decompress(payload, max_output=max_output)
+    stored_crc, isize = struct.unpack_from("<II", blob, len(blob) - 8)
+    actual_crc = crc32(data)
+    if stored_crc != actual_crc:
+        raise ChecksumMismatchError("gzip crc32", stored_crc, actual_crc)
+    if isize != len(data) & 0xFFFFFFFF:
+        raise CorruptStreamError(
+            f"gzip ISIZE mismatch: header {isize}, actual {len(data)}"
+        )
+    return data

@@ -1,0 +1,194 @@
+"""Canonical Huffman coding.
+
+Three pieces, shared by DEFLATE and the SZ3 encoder stage:
+
+* :func:`code_lengths` — optimal *length-limited* code lengths from symbol
+  frequencies via the package-merge algorithm (Larmore & Hirschberg 1990).
+  Package-merge is exactly optimal under a maximum-length constraint,
+  which DEFLATE needs (15-bit limit for literal/length and distance codes,
+  7-bit limit for the code-length alphabet).
+* :func:`canonical_codes` — RFC 1951 canonical code assignment from
+  lengths (shorter codes numerically first, ties broken by symbol order).
+* :class:`HuffmanDecoder` — flat-table decoder: one table lookup per
+  symbol against an LSB-first :class:`~repro.util.bitio.BitReader`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CorruptStreamError
+from repro.util.bitio import BitReader, reverse_bits
+
+__all__ = [
+    "code_lengths",
+    "canonical_codes",
+    "lsb_codes",
+    "HuffmanDecoder",
+]
+
+
+def code_lengths(freqs: np.ndarray, max_bits: int) -> np.ndarray:
+    """Optimal code lengths under a ``max_bits`` limit (package-merge).
+
+    Parameters
+    ----------
+    freqs:
+        Non-negative symbol frequencies; zero-frequency symbols get
+        length 0 (i.e. no code).
+    max_bits:
+        Maximum permitted code length.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int32`` array of per-symbol code lengths.
+
+    Raises
+    ------
+    ValueError
+        If the used alphabet cannot be coded within ``max_bits``
+        (i.e. more than ``2**max_bits`` used symbols).
+    """
+    freqs = np.asarray(freqs, dtype=np.int64)
+    n_symbols = freqs.size
+    used = np.flatnonzero(freqs > 0)
+    lengths = np.zeros(n_symbols, dtype=np.int32)
+
+    if used.size == 0:
+        return lengths
+    if used.size == 1:
+        # A single symbol still needs one bit on the wire.
+        lengths[used[0]] = 1
+        return lengths
+    if used.size > (1 << max_bits):
+        raise ValueError(
+            f"{used.size} symbols cannot be coded in {max_bits}-bit codes"
+        )
+
+    # Leaves sorted by frequency.  Each item is (freq, tuple_of_leaf_ids)
+    # where leaf ids index into `used`.
+    order = used[np.argsort(freqs[used], kind="stable")]
+    leaves = [(int(freqs[s]), (int(s),)) for s in order]
+
+    packages = list(leaves)
+    for _ in range(max_bits - 1):
+        # Pair up adjacent packages; drop a trailing odd one.
+        merged = [
+            (packages[i][0] + packages[i + 1][0], packages[i][1] + packages[i + 1][1])
+            for i in range(0, len(packages) - 1, 2)
+        ]
+        # Merge the new packages back with the original leaves, keeping
+        # the combined list sorted by frequency.
+        packages = sorted(leaves + merged, key=lambda item: item[0])
+
+    # The first 2n-2 items determine the code: each occurrence of a leaf
+    # adds one to its code length.
+    for _freq, members in packages[: 2 * used.size - 2]:
+        for sym in members:
+            lengths[sym] += 1
+    return lengths
+
+
+def canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical (MSB-first) codes from code lengths, per RFC 1951.
+
+    Symbols with length 0 receive code 0 (unused).
+    """
+    lengths = np.asarray(lengths, dtype=np.int32)
+    if lengths.size == 0:
+        return np.zeros(0, dtype=np.uint32)
+    max_bits = int(lengths.max(initial=0))
+    codes = np.zeros(lengths.size, dtype=np.uint32)
+    if max_bits == 0:
+        return codes
+
+    bl_count = np.bincount(lengths, minlength=max_bits + 1)
+    bl_count[0] = 0
+    next_code = np.zeros(max_bits + 1, dtype=np.int64)
+    code = 0
+    for bits in range(1, max_bits + 1):
+        code = (code + int(bl_count[bits - 1])) << 1
+        next_code[bits] = code
+        # Over-subscribed trees are caller bugs (encoder) or stream
+        # corruption (decoder builds via HuffmanDecoder which re-checks).
+        if code + int(bl_count[bits]) > (1 << bits):
+            raise CorruptStreamError(f"over-subscribed Huffman tree at length {bits}")
+
+    for sym in np.flatnonzero(lengths > 0):
+        bits = int(lengths[sym])
+        codes[sym] = next_code[bits]
+        next_code[bits] += 1
+    return codes
+
+
+def lsb_codes(lengths: np.ndarray) -> np.ndarray:
+    """Canonical codes pre-reversed into LSB-first wire order.
+
+    DEFLATE transmits Huffman codes most-significant-bit first inside an
+    LSB-first byte stream, which is equivalent to writing the
+    bit-reversed code LSB-first.  Reversal is vectorised one bit-plane at
+    a time.
+    """
+    lengths = np.asarray(lengths, dtype=np.int32)
+    codes = canonical_codes(lengths)
+    max_bits = int(lengths.max(initial=0))
+    out = np.zeros_like(codes)
+    work = codes.copy()
+    for _ in range(max_bits):
+        out = (out << np.uint32(1)) | (work & np.uint32(1))
+        work >>= np.uint32(1)
+    # Each code was reversed as if it were max_bits wide; shift away the
+    # surplus low zero bits for shorter codes.
+    shift = (max_bits - lengths).clip(min=0).astype(np.uint32)
+    out >>= shift
+    out[lengths == 0] = 0
+    return out
+
+
+class HuffmanDecoder:
+    """Flat-table canonical Huffman decoder for LSB-first streams.
+
+    The table has ``2**max_bits`` entries; entry ``i`` packs
+    ``(code_length << 9) | symbol`` for the unique code that is a prefix
+    of the bit pattern ``i`` (read LSB-first).  Symbols must therefore be
+    < 512 — ample for every alphabet DEFLATE and SZ3 use.
+    """
+
+    __slots__ = ("table", "max_bits", "n_symbols", "_complete")
+
+    def __init__(self, lengths: np.ndarray) -> None:
+        lengths = np.asarray(lengths, dtype=np.int32)
+        if lengths.size > 512:
+            raise ValueError("HuffmanDecoder supports alphabets up to 512 symbols")
+        self.n_symbols = lengths.size
+        max_bits = int(lengths.max(initial=0))
+        if max_bits == 0:
+            raise CorruptStreamError("empty Huffman tree")
+        self.max_bits = max_bits
+        codes = canonical_codes(lengths)
+
+        table = np.zeros(1 << max_bits, dtype=np.uint32)
+        kraft = 0
+        for sym in np.flatnonzero(lengths > 0):
+            nbits = int(lengths[sym])
+            kraft += 1 << (max_bits - nbits)
+            rev = reverse_bits(int(codes[sym]), nbits)
+            # All peeked values whose low `nbits` bits equal `rev` decode
+            # to this symbol: indices rev, rev + 2^nbits, rev + 2*2^nbits, ...
+            table[rev :: 1 << nbits] = (nbits << 9) | int(sym)
+        self.table = table
+        self._complete = kraft == (1 << max_bits)
+
+    @property
+    def is_complete(self) -> bool:
+        """True if the code exactly fills the code space (Kraft equality)."""
+        return self._complete
+
+    def decode(self, reader: BitReader) -> int:
+        """Decode one symbol from ``reader``."""
+        entry = int(self.table[reader.peek_bits(self.max_bits)])
+        if entry == 0:
+            raise CorruptStreamError("invalid Huffman code in stream")
+        reader.skip_bits(entry >> 9)
+        return entry & 0x1FF

@@ -1,0 +1,30 @@
+"""LZ4 — from-scratch block codec and frame format.
+
+The block codec (:mod:`repro.algorithms.lz4.block`) implements the LZ4
+block specification (token/literals/offset sequences, greedy single-probe
+hash matching with incompressible-data step acceleration).  The frame
+codec (:mod:`repro.algorithms.lz4.frame`) wraps blocks in the LZ4 frame
+container: magic number, frame descriptor with xxHash32 header check,
+per-frame content checksum.
+
+Public API
+----------
+:func:`lz4_compress` / :func:`lz4_decompress` — frame-level codec (the
+form PEDAL ships over the wire).
+:func:`lz4_block_compress` / :func:`lz4_block_decompress` — raw blocks.
+"""
+
+from repro.algorithms.lz4.block import (
+    Lz4Config,
+    lz4_block_compress,
+    lz4_block_decompress,
+)
+from repro.algorithms.lz4.frame import lz4_compress, lz4_decompress
+
+__all__ = [
+    "Lz4Config",
+    "lz4_block_compress",
+    "lz4_block_decompress",
+    "lz4_compress",
+    "lz4_decompress",
+]

@@ -1,0 +1,237 @@
+"""LZ77 string matching — the shared substrate of DEFLATE and LZ4.
+
+A hash-chain matcher in the spirit of zlib's ``deflate_slow``: a rolling
+3-byte hash indexes chains of previous positions; candidates are walked
+newest-first; an optional one-step *lazy* evaluation defers a match when
+the next position matches longer.
+
+Hash values for every position are precomputed with numpy in one shot
+(the per-position Python work is the bottleneck, so anything hoistable
+is hoisted).  Match extension compares 16-byte slices before falling
+back to per-byte comparison.
+
+The output is a token stream of literals and ``(length, distance)``
+copies, encoded as two parallel Python lists for cheap conversion to
+numpy arrays by the entropy coders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MatcherConfig", "TokenStream", "tokenize", "reconstruct"]
+
+_HASH_BITS = 15
+_HASH_SIZE = 1 << _HASH_BITS
+
+
+@dataclass(frozen=True)
+class MatcherConfig:
+    """Tuning knobs for the hash-chain matcher.
+
+    Defaults approximate zlib level 6.  ``window_size`` must not exceed
+    32768 for DEFLATE compatibility; LZ4 uses 65536.
+    """
+
+    window_size: int = 32768
+    min_match: int = 3
+    max_match: int = 258
+    max_chain: int = 48
+    lazy: bool = True
+    good_match: int = 32  # shorten the chain walk once a match this long is found
+
+    def __post_init__(self) -> None:
+        if self.min_match < 3:
+            raise ValueError("min_match must be >= 3 (3-byte hash)")
+        if self.max_match < self.min_match:
+            raise ValueError("max_match must be >= min_match")
+        if self.window_size < 1:
+            raise ValueError("window_size must be positive")
+
+
+class TokenStream:
+    """Parallel-array token stream.
+
+    ``lengths[i] == 0`` marks a literal whose byte value is ``values[i]``;
+    otherwise the token is a copy of ``lengths[i]`` bytes from
+    ``values[i]`` bytes back.
+    """
+
+    __slots__ = ("lengths", "values", "n_input")
+
+    def __init__(self, lengths: list[int], values: list[int], n_input: int) -> None:
+        self.lengths = lengths
+        self.values = values
+        self.n_input = n_input
+
+    def __len__(self) -> int:
+        return len(self.lengths)
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(lengths, values)`` as ``int32`` numpy arrays."""
+        return (
+            np.asarray(self.lengths, dtype=np.int32),
+            np.asarray(self.values, dtype=np.int32),
+        )
+
+    def n_literals(self) -> int:
+        return sum(1 for l in self.lengths if l == 0)
+
+    def n_matches(self) -> int:
+        return len(self.lengths) - self.n_literals()
+
+
+def _hash_all(data: bytes) -> np.ndarray:
+    """3-byte multiplicative hash for every position with i+2 < len."""
+    buf = np.frombuffer(data, dtype=np.uint8).astype(np.uint32)
+    if buf.size < 3:
+        return np.zeros(0, dtype=np.int64)
+    h = (buf[:-2] << np.uint32(16)) ^ (buf[1:-1] << np.uint32(8)) ^ buf[2:]
+    h = (h * np.uint32(2654435761)) >> np.uint32(32 - _HASH_BITS)
+    return h.astype(np.int64)
+
+
+def _match_length(data: bytes, cand: int, pos: int, limit: int) -> int:
+    """Longest l <= limit with data[cand:cand+l] == data[pos:pos+l]."""
+    l = 0
+    # 16-byte strides first.
+    while l + 16 <= limit and data[cand + l : cand + l + 16] == data[pos + l : pos + l + 16]:
+        l += 16
+    while l < limit and data[cand + l] == data[pos + l]:
+        l += 1
+    return l
+
+
+def tokenize(data: bytes, config: MatcherConfig | None = None) -> TokenStream:
+    """Factor ``data`` into an LZ77 token stream."""
+    cfg = config or MatcherConfig()
+    n = len(data)
+    lengths: list[int] = []
+    values: list[int] = []
+    if n == 0:
+        return TokenStream(lengths, values, 0)
+
+    hashes = _hash_all(data)
+    head = [-1] * _HASH_SIZE  # most recent position per hash bucket
+    prev = [0] * n  # previous position in this bucket's chain
+
+    min_match = cfg.min_match
+    max_match = cfg.max_match
+    window = cfg.window_size
+    max_chain = cfg.max_chain
+    good = cfg.good_match
+    lazy = cfg.lazy
+    n_hash = hashes.shape[0]
+    hashes_l = hashes.tolist()  # plain ints: ~3x faster element access
+
+    def longest_match(pos: int) -> tuple[int, int]:
+        """Best (length, distance) at ``pos``; (0, 0) if none."""
+        best_len = min_match - 1
+        best_dist = 0
+        limit = min(max_match, n - pos)
+        if limit < min_match:
+            return 0, 0
+        chain = max_chain
+        cand = head[hashes_l[pos]]
+        low = pos - window
+        first_pos = pos
+        while cand >= 0 and cand >= low and chain > 0:
+            # Quick reject: a longer match must extend past the current best.
+            if data[cand + best_len] == data[first_pos + best_len]:
+                l = _match_length(data, cand, pos, limit)
+                if l > best_len:
+                    best_len = l
+                    best_dist = pos - cand
+                    if l >= limit:
+                        break
+                    if l >= good:
+                        chain >>= 2
+            cand = prev[cand]
+            chain -= 1
+        if best_dist == 0:
+            return 0, 0
+        return best_len, best_dist
+
+    def insert(pos: int) -> None:
+        h = hashes_l[pos]
+        prev[pos] = head[h]
+        head[h] = pos
+
+    i = 0
+    pending: tuple[int, int] | None = None  # deferred (length, dist) at i-1
+    while i < n:
+        if i < n_hash:
+            cur_len, cur_dist = longest_match(i)
+            insert(i)
+        else:
+            cur_len, cur_dist = 0, 0
+
+        if pending is not None:
+            pend_len, pend_dist = pending
+            if cur_len > pend_len:
+                # The deferred position loses; emit its byte as a literal
+                # and defer the (strictly longer) current match instead.
+                lengths.append(0)
+                values.append(data[i - 1])
+                pending = (cur_len, cur_dist)
+                i += 1
+                continue
+            # Deferred match wins: emit it; it covers i-1 .. i-2+pend_len.
+            # Position i was already inserted above; catch up from i+1.
+            lengths.append(pend_len)
+            values.append(pend_dist)
+            end = i - 1 + pend_len
+            j = i + 1
+            stop = min(end, n_hash)
+            while j < stop:
+                insert(j)
+                j += 1
+            i = end
+            pending = None
+            continue
+
+        if cur_len >= min_match:
+            if lazy and cur_len < max_match and i + 1 < n:
+                pending = (cur_len, cur_dist)
+                i += 1
+                continue
+            lengths.append(cur_len)
+            values.append(cur_dist)
+            end = i + cur_len
+            stop = min(end, n_hash)
+            i += 1
+            while i < stop:
+                insert(i)
+                i += 1
+            i = end
+        else:
+            lengths.append(0)
+            values.append(data[i])
+            i += 1
+
+    if pending is not None:
+        # Stream ended while deferring: the pending match still applies.
+        lengths.append(pending[0])
+        values.append(pending[1])
+    return TokenStream(lengths, values, n)
+
+
+def reconstruct(tokens: TokenStream) -> bytes:
+    """Inverse of :func:`tokenize` — expand a token stream back to bytes.
+
+    Used by tests as the LZ77-level roundtrip oracle, and by the zstd-lite
+    backend's decoder.
+    """
+    out = bytearray()
+    for length, value in zip(tokens.lengths, tokens.values):
+        if length == 0:
+            out.append(value)
+        else:
+            start = len(out) - value
+            if start < 0:
+                raise ValueError("copy distance reaches before start of output")
+            for k in range(length):  # may overlap: copy byte-by-byte
+                out.append(out[start + k])
+    return bytes(out)

@@ -1,0 +1,40 @@
+"""SZ3-like modular error-bounded lossy compressor for scientific data.
+
+Mirrors the SZ3 pipeline the paper describes (Fig. 4)::
+
+    preprocessor -> predictor -> quantizer -> encoder -> lossless backend
+
+with each stage a separate module so stages can be swapped — exactly the
+property PEDAL exploits when it reroutes only the *lossless backend*
+stage to the DPU's C-Engine.
+
+Equivalence note
+----------------
+Classic SZ predicts each sample from already-*reconstructed* neighbours
+and then quantises the prediction residual.  For any predictor with
+integer coefficients (Lorenzo of any order, and the level-wise integer
+interpolation used here), that sequential formulation is *algebraically
+identical* to: quantise every sample onto the ``2·eb`` grid first, then
+predict in the integer code domain.  (Proof sketch: by induction every
+reconstructed value is a grid multiple, so the residual rounding
+telescopes; see ``docs`` in :mod:`repro.algorithms.sz3.quantizer`.)
+The integer-domain form has no loop-carried dependency and is fully
+vectorised with numpy, while producing bit-identical quantisation codes
+to the sequential algorithm.
+
+Public API
+----------
+:func:`sz3_compress` / :func:`sz3_decompress` — one-shot ndarray codec.
+:class:`SZ3Config` — error bound / predictor / backend selection.
+:class:`SZ3Compressor` — stage-by-stage object API (used by PEDAL's
+hybrid design to time and reroute individual stages).
+"""
+
+from repro.algorithms.sz3.compressor import (
+    SZ3Compressor,
+    sz3_compress,
+    sz3_decompress,
+)
+from repro.algorithms.sz3.config import SZ3Config
+
+__all__ = ["SZ3Compressor", "SZ3Config", "sz3_compress", "sz3_decompress"]

@@ -1,0 +1,49 @@
+"""SZ3 pipeline configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SZ3Config", "PREDICTORS", "BACKENDS", "ERROR_MODES"]
+
+PREDICTORS = ("lorenzo", "interp", "none")
+BACKENDS = ("deflate", "lz4", "zstdlite", "none")
+ERROR_MODES = ("abs", "rel")
+
+
+@dataclass(frozen=True)
+class SZ3Config:
+    """Configuration of the SZ3-like pipeline.
+
+    Parameters
+    ----------
+    error_bound:
+        The point-wise bound.  In ``"abs"`` mode it is the absolute
+        bound; in ``"rel"`` mode the effective absolute bound is
+        ``error_bound * (max - min)`` of the input (SZ's value-range
+        relative mode).  The paper's evaluation uses ``1e-4``.
+    predictor:
+        ``"lorenzo"`` — first-order Lorenzo in every dimension (axis-wise
+        first differences in the integer code domain);
+        ``"interp"`` — SZ3's level-wise spline interpolation predictor;
+        ``"none"`` — raw quantisation codes (useful for ablation).
+    backend:
+        Lossless stage applied to the encoder output: ``"deflate"``,
+        ``"lz4"``, ``"zstdlite"`` (fast LZ + Huffman, SZ3's default
+        zstd stand-in), or ``"none"``.
+    """
+
+    error_bound: float = 1e-4
+    error_mode: str = "abs"
+    predictor: str = "lorenzo"
+    backend: str = "zstdlite"
+
+    def __post_init__(self) -> None:
+        if self.error_bound <= 0:
+            raise ValueError("error_bound must be positive")
+        if self.error_mode not in ERROR_MODES:
+            raise ValueError(f"error_mode must be one of {ERROR_MODES}")
+        if self.predictor not in PREDICTORS:
+            raise ValueError(f"predictor must be one of {PREDICTORS}")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}")

@@ -1,0 +1,95 @@
+"""zlib stream format (RFC 1950) over raw DEFLATE.
+
+zlib = 2-byte header (CMF/FLG) + DEFLATE payload + 4-byte big-endian
+Adler-32 of the *uncompressed* data.  This split is exactly what PEDAL's
+hybrid zlib design exploits (paper Fig. 3): the header/trailer
+computation stays on the SoC while the DEFLATE payload is produced by
+the C-Engine.  The functions here therefore expose the header/trailer
+pieces separately in addition to the one-shot codec.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.deflate import DeflateConfig, deflate_compress, deflate_decompress
+from repro.errors import ChecksumMismatchError, CorruptStreamError
+from repro.util.checksums import adler32
+
+__all__ = [
+    "zlib_compress",
+    "zlib_decompress",
+    "build_zlib_header",
+    "build_zlib_trailer",
+    "parse_zlib_header",
+    "assemble_zlib_stream",
+]
+
+_CM_DEFLATE = 8
+_CINFO_32K = 7  # 32 KiB window
+
+
+def build_zlib_header(level_hint: int = 2) -> bytes:
+    """Construct the CMF/FLG pair.
+
+    ``level_hint`` is the 2-bit FLEVEL advisory field (0=fastest..3=max).
+    FCHECK is chosen so the 16-bit header is a multiple of 31 (RFC 1950).
+    """
+    if not 0 <= level_hint <= 3:
+        raise ValueError("level_hint must be in 0..3")
+    cmf = (_CINFO_32K << 4) | _CM_DEFLATE
+    flg = level_hint << 6  # FDICT=0
+    rem = (cmf * 256 + flg) % 31
+    if rem:
+        flg += 31 - rem
+    return bytes([cmf, flg])
+
+
+def build_zlib_trailer(data: bytes) -> bytes:
+    """Big-endian Adler-32 of the uncompressed data."""
+    return adler32(data).to_bytes(4, "big")
+
+
+def parse_zlib_header(stream: bytes) -> int:
+    """Validate the 2-byte header; return the advisory FLEVEL."""
+    if len(stream) < 2:
+        raise CorruptStreamError("zlib stream shorter than its header")
+    cmf, flg = stream[0], stream[1]
+    if cmf & 0x0F != _CM_DEFLATE:
+        raise CorruptStreamError(f"unsupported zlib compression method {cmf & 0x0F}")
+    if (cmf >> 4) > 7:
+        raise CorruptStreamError("invalid zlib window size (CINFO > 7)")
+    if (cmf * 256 + flg) % 31 != 0:
+        raise CorruptStreamError("zlib header FCHECK failure")
+    if flg & 0x20:
+        raise CorruptStreamError("preset dictionaries (FDICT) are not supported")
+    return flg >> 6
+
+
+def assemble_zlib_stream(deflate_payload: bytes, header: bytes, trailer: bytes) -> bytes:
+    """Concatenate independently produced header/payload/trailer.
+
+    This is the assembly step of the SoC+C-Engine hybrid path.
+    """
+    return header + deflate_payload + trailer
+
+
+def zlib_compress(data: bytes, config: DeflateConfig | None = None) -> bytes:
+    """One-shot zlib compression (header + DEFLATE + Adler-32)."""
+    return assemble_zlib_stream(
+        deflate_compress(data, config),
+        build_zlib_header(),
+        build_zlib_trailer(data),
+    )
+
+
+def zlib_decompress(stream: bytes, max_output: int | None = None) -> bytes:
+    """One-shot zlib decompression with Adler-32 verification."""
+    parse_zlib_header(stream)
+    if len(stream) < 6:
+        raise CorruptStreamError("zlib stream shorter than header + trailer")
+    payload = stream[2:-4]
+    data = deflate_decompress(payload, max_output=max_output)
+    stored = int.from_bytes(stream[-4:], "big")
+    actual = adler32(data)
+    if stored != actual:
+        raise ChecksumMismatchError("adler32", stored, actual)
+    return data

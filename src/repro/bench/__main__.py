@@ -1,0 +1,57 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.bench all
+    python -m repro.bench fig8 table5 --actual-bytes 262144
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.harness import run_experiment
+
+_ALL = ["table4", "table5", "fig7", "fig8", "fig9", "fig10", "fig11"]
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pedal-bench",
+        description="Regenerate the PEDAL paper's evaluation tables/figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment ids ({', '.join(_ALL)}) or 'all'",
+    )
+    parser.add_argument(
+        "--actual-bytes",
+        type=int,
+        default=None,
+        help="synthetic payload budget per dataset (default per experiment)",
+    )
+    args = parser.parse_args(argv)
+
+    names: list[str] = []
+    for name in args.experiments:
+        if name == "all":
+            names.extend(_ALL)
+        else:
+            names.append(name)
+
+    for name in names:
+        kwargs = {}
+        if args.actual_bytes is not None:
+            kwargs["actual_bytes"] = args.actual_bytes
+        started = time.time()
+        result = run_experiment(name, **kwargs)
+        print(result.render())
+        print(f"[{name} regenerated in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Experiment modules — importing this package registers them all."""
+
+from repro.bench.experiments import (  # noqa: F401
+    fig7_lossless_breakdown,
+    fig8_raw_times,
+    fig9_lossy_breakdown,
+    fig10_pt2pt,
+    fig11_bcast,
+    table4_datasets,
+    table5_ratios,
+)
+
+__all__ = [
+    "fig7_lossless_breakdown",
+    "fig8_raw_times",
+    "fig9_lossy_breakdown",
+    "fig10_pt2pt",
+    "fig11_bcast",
+    "table4_datasets",
+    "table5_ratios",
+]

@@ -1,0 +1,215 @@
+"""Fig. 10 — MPI point-to-point latency with on-the-fly compression.
+
+OSU-latency-style ping-pong between two ranks; one panel per dataset
+(the five lossless datasets for panels (a)-(e), the EXAALT datasets for
+panel (f)), with the six lossless designs (A-F) / two SZ3 designs run
+under PEDAL on BF2 and BF3, against the paper's baseline: the same
+algorithm on BF2 *without* PEDAL (per-message memory allocation + DOCA
+init).
+
+Headlines:
+* PEDAL C-Engine DEFLATE/zlib vs baseline on BF2 — paper: up to 88x;
+* BF3 SoC designs vs BF2 SoC designs — paper: up to 40% lower latency;
+* BF3 C-Engine DEFLATE/zlib — paper: can exceed even the baseline;
+* SZ3 — paper: 47.3% (BF2) / 48% (BF3) latency reduction vs baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.bench.harness import (
+    ExperimentResult,
+    generate_payload,
+    register_experiment,
+)
+from repro.datasets import lossless_datasets, lossy_datasets
+from repro.mpi import CommConfig, CommMode, run_mpi
+
+__all__ = ["run", "pt2pt_latency"]
+
+# Smaller actual budget: each ping-pong performs several real codec
+# runs; the memo cache removes repeats within and across runs.
+DEFAULT_ACTUAL_BYTES = 64 * 1024
+
+_LOSSLESS_DESIGNS = [
+    "SoC_DEFLATE",
+    "C-Engine_DEFLATE",
+    "SoC_LZ4",
+    "C-Engine_LZ4",
+    "SoC_zlib",
+    "C-Engine_zlib",
+]
+_LOSSY_DESIGNS = ["SoC_SZ3", "C-Engine_SZ3"]
+
+COLUMNS = [
+    "panel",
+    "dataset",
+    "msg_mb",
+    "device",
+    "design",
+    "latency_s",
+    "vs_baseline",
+]
+
+# Message-size sweep within each panel ("executed across various
+# message sizes"): rendezvous-path sizes up to the dataset's own size.
+_SWEEP_BYTES = [128 * 1024, 512 * 1024, 2 * 1024 * 1024, 8 * 1024 * 1024]
+
+
+def pt2pt_latency(
+    device_kind: str,
+    mode: CommMode,
+    design: "str | None",
+    payload: Any,
+    sim_bytes: float,
+) -> float:
+    """One-way latency of an OSU-style ping-pong (single exchange —
+    the simulation is deterministic, so iteration averaging is moot)."""
+
+    def program(ctx):
+        if ctx.rank == 0:
+            t0 = ctx.wtime()
+            yield from ctx.send(1, payload, sim_bytes=sim_bytes)
+            yield from ctx.recv(source=1)
+            t1 = ctx.wtime()
+            return (t1 - t0) / 2.0
+        data = yield from ctx.recv(source=0)
+        yield from ctx.send(0, data, sim_bytes=sim_bytes)
+        return None
+
+    cfg = CommConfig(mode=mode, design=design)
+    result = run_mpi(program, 2, device_kind, cfg)
+    return result.returns[0]
+
+
+@register_experiment("fig10")
+def run(actual_bytes: int = DEFAULT_ACTUAL_BYTES) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig10",
+        title="Fig. 10: MPI pt2pt latency with compression (OSU-style)",
+        columns=COLUMNS,
+    )
+
+    def add_panel(panel: str, dataset, designs: list[str]) -> None:
+        payload = generate_payload(dataset.key, actual_bytes)
+        sizes = [s for s in _SWEEP_BYTES if s < dataset.nominal_bytes]
+        sizes.append(dataset.nominal_bytes)
+        for nominal in sizes:
+            msg_mb = nominal / 1e6
+            baselines: dict[str, float] = {}
+            for design in designs:
+                algo = design.split("_", 1)[1]
+                if algo not in baselines:
+                    baselines[algo] = pt2pt_latency(
+                        "bf2", CommMode.NAIVE, f"C-Engine_{algo}", payload, nominal
+                    )
+                    result.rows.append(
+                        {
+                            "panel": panel,
+                            "dataset": dataset.key,
+                            "msg_mb": msg_mb,
+                            "device": "bf2",
+                            "design": f"Baseline_{algo}",
+                            "latency_s": baselines[algo],
+                            "vs_baseline": 1.0,
+                        }
+                    )
+            for device in ("bf2", "bf3"):
+                for design in designs:
+                    algo = design.split("_", 1)[1]
+                    latency = pt2pt_latency(
+                        device, CommMode.PEDAL, design, payload, nominal
+                    )
+                    result.rows.append(
+                        {
+                            "panel": panel,
+                            "dataset": dataset.key,
+                            "msg_mb": msg_mb,
+                            "device": device,
+                            "design": design,
+                            "latency_s": latency,
+                            "vs_baseline": baselines[algo] / latency,
+                        }
+                    )
+
+    for i, ds in enumerate(lossless_datasets()):
+        add_panel(chr(ord("a") + i), ds, _LOSSLESS_DESIGNS)
+    for ds in lossy_datasets():
+        add_panel("f", ds, _LOSSY_DESIGNS)
+
+    rows = result.rows
+
+    def sel(panel=None, device=None, design=None):
+        return [
+            r
+            for r in rows
+            if (panel is None or r["panel"] == panel)
+            and (device is None or r["device"] == device)
+            and (design is None or r["design"] == design)
+        ]
+
+    # Headline 1: best BF2 C-Engine DEFLATE/zlib speedup vs baseline.
+    best = max(
+        r["vs_baseline"]
+        for r in rows
+        if r["device"] == "bf2"
+        and r["design"] in ("C-Engine_DEFLATE", "C-Engine_zlib")
+    )
+    result.headlines["bf2_cengine_best_speedup_vs_baseline (paper ~88)"] = best
+
+    # Headline 2: BF3 SoC vs BF2 SoC latency reduction (lossless).
+    best_red = 0.0
+    for r3 in rows:
+        if r3["device"] != "bf3" or not r3["design"].startswith("SoC_"):
+            continue
+        if r3["panel"] == "f":
+            continue
+        match = next(
+            r2
+            for r2 in rows
+            if r2["device"] == "bf2"
+            and r2["design"] == r3["design"]
+            and r2["dataset"] == r3["dataset"]
+            and r2["msg_mb"] == r3["msg_mb"]
+        )
+        best_red = max(best_red, 1.0 - r3["latency_s"] / match["latency_s"])
+    result.headlines["bf3_soc_latency_reduction_vs_bf2 (paper ~0.40)"] = best_red
+
+    # Headline 3: BF3 C-Engine DEFLATE/zlib vs baseline (paper: can
+    # exceed the baseline — a ratio > 1 somewhere in the sweep).
+    worst = max(
+        r["latency_s"]
+        / next(
+            b["latency_s"]
+            for b in rows
+            if b["design"] == "Baseline_" + r["design"].split("_", 1)[1]
+            and b["dataset"] == r["dataset"]
+            and b["msg_mb"] == r["msg_mb"]
+        )
+        for r in rows
+        if r["device"] == "bf3" and r["design"] in ("C-Engine_DEFLATE", "C-Engine_zlib")
+    )
+    result.headlines["bf3_cengine_worst_latency_over_baseline (paper >1)"] = worst
+
+    # Headline 4: SZ3 latency reduction vs baseline per device, at the
+    # datasets' own sizes (the paper's panel-f operating points).
+    lossy_sizes = {ds.key: ds.nominal_bytes / 1e6 for ds in lossy_datasets()}
+    for device, paper in (("bf2", 0.473), ("bf3", 0.48)):
+        best_lossy = 0.0
+        for r in sel(panel="f", device=device):
+            if r["msg_mb"] != lossy_sizes[r["dataset"]]:
+                continue
+            base = next(
+                b["latency_s"]
+                for b in rows
+                if b["panel"] == "f"
+                and b["design"] == "Baseline_SZ3"
+                and b["dataset"] == r["dataset"]
+                and b["msg_mb"] == r["msg_mb"]
+            )
+            best_lossy = max(best_lossy, 1.0 - r["latency_s"] / base)
+        result.headlines[
+            f"{device}_sz3_latency_reduction_vs_baseline (paper ~{paper})"
+        ] = best_lossy
+    return result

@@ -1,0 +1,100 @@
+"""Fig. 8 — PEDAL's raw compression/decompression times, BF2 vs BF3.
+
+The PEDAL path (overheads hoisted into PEDAL_init) across the same
+design/dataset grid as Fig. 7.  Headlines re-checked here:
+
+* BF2 C-Engine vs SoC, DEFLATE on 5.1 MB: ~101.8x compression, ~11.2x
+  decompression;
+* BF2 C-Engine vs SoC, zlib on 48.85 MB: ~84.6x / ~20x;
+* BF3 vs BF2 C-Engine DEFLATE decompression: ~1.78x (5.1 MB) and
+  ~1.28x (48.85 MB).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import (
+    DEFAULT_ACTUAL_BYTES,
+    ExperimentResult,
+    register_experiment,
+    run_pedal_roundtrip,
+)
+from repro.datasets import lossless_datasets
+
+__all__ = ["run"]
+
+_DESIGNS = [
+    "SoC_DEFLATE",
+    "C-Engine_DEFLATE",
+    "SoC_LZ4",
+    "C-Engine_LZ4",
+    "SoC_zlib",
+    "C-Engine_zlib",
+]
+
+COLUMNS = ["device", "design", "dataset", "compress_s", "decompress_s", "ratio"]
+
+
+def _lookup(rows, device, design, dataset):
+    return next(
+        r
+        for r in rows
+        if r["device"] == device and r["design"] == design and r["dataset"] == dataset
+    )
+
+
+@register_experiment("fig8")
+def run(actual_bytes: int = DEFAULT_ACTUAL_BYTES) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig8",
+        title="Fig. 8: PEDAL compression/decompression times (BF2 vs BF3)",
+        columns=COLUMNS,
+    )
+    for device in ("bf2", "bf3"):
+        for design in _DESIGNS:
+            for ds in lossless_datasets():
+                rec = run_pedal_roundtrip(
+                    device, design, ds, actual_bytes=actual_bytes
+                )
+                result.rows.append(
+                    {
+                        "device": device,
+                        "design": design,
+                        "dataset": ds.key,
+                        "compress_s": rec.compress_seconds,
+                        "decompress_s": rec.decompress_seconds,
+                        "ratio": rec.ratio,
+                    }
+                )
+
+    rows = result.rows
+    soc_x = _lookup(rows, "bf2", "SoC_DEFLATE", "silesia/xml")
+    ce_x = _lookup(rows, "bf2", "C-Engine_DEFLATE", "silesia/xml")
+    result.headlines["bf2_deflate_xml_compress_speedup (paper 101.8)"] = (
+        soc_x["compress_s"] / ce_x["compress_s"]
+    )
+    result.headlines["bf2_deflate_xml_decompress_speedup (paper 11.2)"] = (
+        soc_x["decompress_s"] / ce_x["decompress_s"]
+    )
+    soc_z = _lookup(rows, "bf2", "SoC_zlib", "silesia/mozilla")
+    ce_z = _lookup(rows, "bf2", "C-Engine_zlib", "silesia/mozilla")
+    result.headlines["bf2_zlib_mozilla_compress_speedup (paper 84.6)"] = (
+        soc_z["compress_s"] / ce_z["compress_s"]
+    )
+    result.headlines["bf2_zlib_mozilla_decompress_speedup (paper 20)"] = (
+        soc_z["decompress_s"] / ce_z["decompress_s"]
+    )
+    bf2_small = _lookup(rows, "bf2", "C-Engine_DEFLATE", "silesia/xml")
+    bf3_small = _lookup(rows, "bf3", "C-Engine_DEFLATE", "silesia/xml")
+    result.headlines["bf3_vs_bf2_cengine_deflate_decomp_5MB (paper 1.78)"] = (
+        bf2_small["decompress_s"] / bf3_small["decompress_s"]
+    )
+    bf2_big = _lookup(rows, "bf2", "C-Engine_DEFLATE", "silesia/mozilla")
+    bf3_big = _lookup(rows, "bf3", "C-Engine_DEFLATE", "silesia/mozilla")
+    result.headlines["bf3_vs_bf2_cengine_deflate_decomp_49MB (paper 1.28)"] = (
+        bf2_big["decompress_s"] / bf3_big["decompress_s"]
+    )
+    result.notes.append(
+        "decompression is consistently faster than compression and times "
+        "scale with dataset size (the paper's first two Fig. 8 insights)"
+    )
+    return result

@@ -1,0 +1,101 @@
+"""Fig. 9 — time distribution for SZ3 lossy designs on BF2/BF3.
+
+Naive-flow accounting (same four fractions as Fig. 7) over
+{BF2, BF3} x {SoC_SZ3, C-Engine_SZ3} x the three EXAALT datasets, plus
+PEDAL-path totals for the paper's §V-C2 comparison:
+
+* BF2: SoC and C-Engine-assisted SZ3 land within a few percent
+  ("comparable cumulative execution times");
+* BF3: the SoC design beats the C-Engine design (paper: up to ~1.58x at
+  10 MB) because the engine path falls back to the slower SoC-DEFLATE
+  backend for compression.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import (
+    DEFAULT_ACTUAL_BYTES,
+    ExperimentResult,
+    register_experiment,
+    run_naive_roundtrip,
+    run_pedal_roundtrip,
+)
+from repro.core.api import PHASE_COMP, PHASE_DECOMP, PHASE_INIT, PHASE_PREP
+from repro.datasets import lossy_datasets
+
+__all__ = ["run"]
+
+COLUMNS = [
+    "device",
+    "design",
+    "dataset",
+    "doca_init_s",
+    "buffer_prep_s",
+    "compression_s",
+    "decompression_s",
+    "total_s",
+    "pedal_total_s",
+]
+
+
+@register_experiment("fig9")
+def run(actual_bytes: int = DEFAULT_ACTUAL_BYTES) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig9",
+        title="Fig. 9: time distribution, SZ3 lossy designs (BF2/BF3)",
+        columns=COLUMNS,
+    )
+    for device in ("bf2", "bf3"):
+        for design in ("SoC_SZ3", "C-Engine_SZ3"):
+            for ds in lossy_datasets():
+                naive = run_naive_roundtrip(
+                    device, design, ds, actual_bytes=actual_bytes
+                )
+                pedal = run_pedal_roundtrip(
+                    device, design, ds, actual_bytes=actual_bytes
+                )
+                merged = naive.compress_breakdown.merge(
+                    naive.decompress_breakdown
+                )
+                comp = merged.get(PHASE_COMP) + merged.get("lossless_stage") / 2
+                dec = merged.get(PHASE_DECOMP) + merged.get("lossless_stage") / 2
+                result.rows.append(
+                    {
+                        "device": device,
+                        "design": design,
+                        "dataset": ds.key,
+                        "doca_init_s": merged.get(PHASE_INIT),
+                        "buffer_prep_s": merged.get(PHASE_PREP),
+                        "compression_s": comp,
+                        "decompression_s": dec,
+                        "total_s": merged.total(),
+                        "pedal_total_s": pedal.compress_seconds
+                        + pedal.decompress_seconds,
+                    }
+                )
+
+    def pedal_total(device: str, design: str, dataset: str) -> float:
+        return next(
+            r["pedal_total_s"]
+            for r in result.rows
+            if r["device"] == device
+            and r["design"] == design
+            and r["dataset"] == dataset
+        )
+
+    # BF2: comparable SoC vs C-Engine totals (PEDAL accounting).
+    bf2_ratio = pedal_total("bf2", "C-Engine_SZ3", "exaalt-dataset1") / pedal_total(
+        "bf2", "SoC_SZ3", "exaalt-dataset1"
+    )
+    result.headlines["bf2_cengine_over_soc_total_10MB (paper ~1.0)"] = bf2_ratio
+
+    # BF3: SoC beats the C-Engine design at 10 MB (paper: up to 1.58x).
+    bf3_ratio = pedal_total("bf3", "C-Engine_SZ3", "exaalt-dataset1") / pedal_total(
+        "bf3", "SoC_SZ3", "exaalt-dataset1"
+    )
+    result.headlines["bf3_soc_speedup_over_cengine_10MB (paper ~1.58)"] = bf3_ratio
+    result.notes.append(
+        "compression_s/decompression_s split the offloaded lossless-stage "
+        "time evenly between directions for display purposes"
+    )
+    return result

@@ -1,0 +1,137 @@
+"""OSU-Micro-Benchmarks-style measurement functions.
+
+The paper instruments its MPI evaluation with the OSU suite (§V-D);
+this module provides the three benchmarks it relies on, shaped like
+their OSU namesakes but driven by the deterministic simulator (so a
+single exchange per size replaces OSU's warmup/averaging loops):
+
+* :func:`osu_latency` — ping-pong one-way latency vs message size;
+* :func:`osu_bw` — windowed streaming bandwidth vs message size;
+* :func:`osu_bcast` — broadcast completion time vs message size.
+
+Each returns ``(size_bytes, value)`` rows and can render an OSU-style
+text report via :func:`format_osu_report`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.mpi import CommConfig, run_mpi
+
+__all__ = [
+    "DEFAULT_SIZES",
+    "osu_latency",
+    "osu_bw",
+    "osu_bcast",
+    "format_osu_report",
+]
+
+DEFAULT_SIZES = [1 << k for k in range(10, 27, 2)]  # 1 KiB .. 64 MiB
+_WINDOW = 64  # osu_bw's default window size
+
+
+def _payload_for(size: int, payload_fn: "Callable[[int], bytes] | None") -> bytes:
+    if payload_fn is not None:
+        return payload_fn(size)
+    # OSU fills buffers with a constant byte; cap the actual bytes so
+    # pure-Python codecs stay fast (the simulated size is what matters).
+    return b"\x41" * min(size, 64 * 1024)
+
+
+def osu_latency(
+    device_kind: str = "bf2",
+    comm_config: CommConfig | None = None,
+    sizes: "list[int] | None" = None,
+    payload_fn: "Callable[[int], bytes] | None" = None,
+) -> list[tuple[int, float]]:
+    """One-way pt2pt latency (seconds) per message size."""
+    rows = []
+    for size in sizes or DEFAULT_SIZES:
+        payload = _payload_for(size, payload_fn)
+
+        def program(ctx, payload=payload, size=size):
+            if ctx.rank == 0:
+                t0 = ctx.wtime()
+                yield from ctx.send(1, payload, sim_bytes=size)
+                yield from ctx.recv(source=1)
+                return (ctx.wtime() - t0) / 2
+            data = yield from ctx.recv(source=0)
+            yield from ctx.send(0, data, sim_bytes=size)
+            return None
+
+        result = run_mpi(program, 2, device_kind, comm_config)
+        rows.append((size, result.returns[0]))
+    return rows
+
+
+def osu_bw(
+    device_kind: str = "bf2",
+    comm_config: CommConfig | None = None,
+    sizes: "list[int] | None" = None,
+    window: int = _WINDOW,
+    payload_fn: "Callable[[int], bytes] | None" = None,
+) -> list[tuple[int, float]]:
+    """Streaming bandwidth (bytes/second) per message size.
+
+    Sender posts ``window`` non-blocking sends, receiver drains them and
+    acknowledges the window — osu_bw's measurement loop.
+    """
+    rows = []
+    for size in sizes or DEFAULT_SIZES:
+        payload = _payload_for(size, payload_fn)
+
+        def program(ctx, payload=payload, size=size):
+            if ctx.rank == 0:
+                t0 = ctx.wtime()
+                requests = [
+                    ctx.isend(1, payload, tag=i, sim_bytes=size)
+                    for i in range(window)
+                ]
+                yield from ctx.waitall(requests)
+                yield from ctx.recv(source=1, tag=0x5A)  # window ack
+                elapsed = ctx.wtime() - t0
+                return window * size / elapsed
+            for i in range(window):
+                yield from ctx.recv(source=0, tag=i)
+            yield from ctx.send(0, b"ack", tag=0x5A)
+            return None
+
+        result = run_mpi(program, 2, device_kind, comm_config)
+        rows.append((size, result.returns[0]))
+    return rows
+
+
+def osu_bcast(
+    n_ranks: int = 4,
+    device_kind: str = "bf2",
+    comm_config: CommConfig | None = None,
+    sizes: "list[int] | None" = None,
+    algorithm: str = "binomial",
+    payload_fn: "Callable[[int], bytes] | None" = None,
+) -> list[tuple[int, float]]:
+    """Max-over-ranks broadcast time (seconds) per message size."""
+    rows = []
+    for size in sizes or DEFAULT_SIZES:
+        payload = _payload_for(size, payload_fn)
+
+        def program(ctx, payload=payload, size=size):
+            data = payload if ctx.rank == 0 else None
+            t0 = ctx.wtime()
+            yield from ctx.bcast(data, root=0, sim_bytes=size, algorithm=algorithm)
+            return ctx.wtime() - t0
+
+        result = run_mpi(program, n_ranks, device_kind, comm_config)
+        rows.append((size, max(result.returns)))
+    return rows
+
+
+def format_osu_report(
+    title: str, rows: list[tuple[int, float]], unit: str = "us"
+) -> str:
+    """Render rows in the OSU two-column text style."""
+    scale = {"us": 1e6, "ms": 1e3, "s": 1.0, "MB/s": 1e-6}[unit]
+    lines = [f"# {title}", f"# Size    {unit}"]
+    for size, value in rows:
+        lines.append(f"{size:<10d}{value * scale:>14.2f}")
+    return "\n".join(lines)

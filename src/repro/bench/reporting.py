@@ -1,0 +1,63 @@
+"""Plain-text rendering of experiment results (tables and series)."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_table", "format_seconds", "format_ratio"]
+
+
+def format_seconds(seconds: float) -> str:
+    """Human scale: µs/ms/s with three significant digits."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.3g} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3g} ms"
+    return f"{seconds:.3g} s"
+
+
+def format_ratio(value: float) -> str:
+    return f"{value:.3f}"
+
+
+def _stringify(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Iterable[dict],
+    columns: Sequence[str],
+    title: str | None = None,
+    formatters: dict | None = None,
+) -> str:
+    """Render dict rows as a fixed-width text table."""
+    formatters = formatters or {}
+    rendered: list[list[str]] = []
+    for row in rows:
+        line = []
+        for col in columns:
+            value = row.get(col, "")
+            fmt = formatters.get(col)
+            line.append(fmt(value) if fmt and value != "" else _stringify(value))
+        rendered.append(line)
+
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered)) if rendered else len(col)
+        for i, col in enumerate(columns)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    header = " | ".join(col.ljust(w) for col, w in zip(columns, widths))
+    body = [
+        " | ".join(cell.ljust(w) for cell, w in zip(line, widths))
+        for line in rendered
+    ]
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(header)
+    out.append(sep)
+    out.extend(body)
+    return "\n".join(out)

@@ -1,0 +1,208 @@
+"""The non-PEDAL baseline: naive per-operation DOCA usage.
+
+This is the comparison point of Fig. 7 and the "baseline" curves of
+Fig. 10/11: every compression or decompression pays the full DOCA
+initialisation and buffer-preparation cost *inside the operation*
+("memory allocation and the DOCA initialization procedure are invoked
+during every message transmission", §V-D).  SoC-placed designs skip
+DOCA but still allocate their working buffers per call.
+
+The same real codecs produce the same real bytes as PEDAL — only the
+simulated-time accounting differs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.api import (
+    PHASE_COMP,
+    PHASE_DECOMP,
+    PHASE_INIT,
+    PHASE_PREP,
+    PHASE_HEADER,
+    CompressResult,
+    DecompressResult,
+)
+from repro.core.codecs import CodecConfig, real_compress, real_decompress
+from repro.core.designs import CompressionDesign, Placement, design as lookup_design
+from repro.core.header import HEADER_SIZE, PedalHeader
+from repro.core.registry import ResolvedDesign, cengine_core_algo, resolve
+from repro.dpu.device import BlueFieldDPU
+from repro.dpu.specs import Algo, Direction
+from repro.sim import TimeBreakdown
+
+__all__ = ["NaiveCompressor"]
+
+
+class NaiveCompressor:
+    """Per-operation (PEDAL-less) compression on one device."""
+
+    def __init__(self, device: BlueFieldDPU, codecs: CodecConfig | None = None) -> None:
+        self.device = device
+        self.codecs = codecs or CodecConfig()
+
+    # -- simulated-time helpers ------------------------------------------
+
+    def _naive_overheads(
+        self,
+        resolved: ResolvedDesign,
+        direction: Direction,
+        sim_bytes: float,
+        breakdown: TimeBreakdown,
+    ) -> Generator:
+        """Per-op setup: DOCA init (if the engine is used) + buffers."""
+        device = self.device
+        uses_engine = resolved.engine_for(direction) == "cengine"
+        if uses_engine:
+            breakdown.add(PHASE_INIT, device.cal.doca_init_time)
+            yield device.env.timeout(device.cal.doca_init_time)
+            # Inventory + source/destination buffers, allocated and
+            # DMA-mapped from scratch for this one operation.
+            prep = device.memory.doca_buffer_prep_time(int(2 * sim_bytes))
+            breakdown.add(PHASE_PREP, prep)
+            yield device.env.timeout(prep)
+        else:
+            # SoC path: plain allocations for input staging + output.
+            prep = device.memory.alloc_time(int(2 * sim_bytes))
+            breakdown.add(PHASE_PREP, prep)
+            yield device.env.timeout(prep)
+
+    def _sim_codec(
+        self,
+        dsg: CompressionDesign,
+        resolved: ResolvedDesign,
+        direction: Direction,
+        sim_bytes: float,
+        sim_stage_bytes: float | None,
+        breakdown: TimeBreakdown,
+    ) -> Generator:
+        device = self.device
+        soc = device.soc
+        cal = device.cal
+        phase = PHASE_COMP if direction is Direction.COMPRESS else PHASE_DECOMP
+        engine = resolved.engine_for(direction)
+
+        if dsg.algo is Algo.SZ3:
+            total = cal.soc_time(Algo.SZ3, direction, sim_bytes)
+            if dsg.placement is Placement.SOC:
+                yield from soc.run(total)
+                breakdown.add(phase, total)
+                return
+            entropy = (1.0 - cal.sz3_lossless_fraction) * total
+            yield from soc.run(entropy)
+            breakdown.add(phase, entropy)
+            stage = (
+                sim_stage_bytes if sim_stage_bytes is not None else sim_bytes / 3.0
+            )
+            if engine == "cengine":
+                seconds = yield from device.cengine.submit(
+                    Algo.DEFLATE, direction, stage
+                )
+            else:
+                seconds = stage / cal.sz3_backend_deflate_throughput
+                yield from soc.run(seconds)
+            breakdown.add("lossless_stage", seconds)
+            return
+
+        if engine == "cengine":
+            core = cengine_core_algo(dsg.algo)
+            seconds = yield from device.cengine.submit(core, direction, sim_bytes)
+            breakdown.add(phase, seconds)
+            if dsg.algo is Algo.ZLIB:
+                check = soc.checksum_time(sim_bytes)
+                yield from soc.run(check)
+                breakdown.add(PHASE_HEADER, check)
+        elif dsg.placement is Placement.CENGINE:
+            # Requested C-Engine but unsupported: SoC fallback pipeline.
+            core = cengine_core_algo(dsg.algo)
+            seconds = soc.codec_time(core, direction, sim_bytes)
+            yield from soc.run(seconds)
+            breakdown.add(phase, seconds)
+            if dsg.algo is Algo.ZLIB:
+                check = soc.checksum_time(sim_bytes)
+                yield from soc.run(check)
+                breakdown.add(PHASE_HEADER, check)
+        else:
+            seconds = soc.codec_time(dsg.algo, direction, sim_bytes)
+            yield from soc.run(seconds)
+            breakdown.add(phase, seconds)
+
+    # -- public ops --------------------------------------------------------
+
+    def compress(
+        self,
+        data: Any,
+        design: "str | CompressionDesign",
+        sim_bytes: float | None = None,
+    ) -> Generator:
+        """One naive compression: init + prep + codec, all charged here."""
+        dsg = lookup_design(design)
+        resolved = resolve(self.device, dsg)
+        real = real_compress(dsg, data, self.codecs)
+        sim_in = float(real.original_bytes if sim_bytes is None else sim_bytes)
+        scale = sim_in / real.original_bytes if real.original_bytes else 1.0
+
+        breakdown = TimeBreakdown()
+        yield from self._naive_overheads(
+            resolved, Direction.COMPRESS, sim_in, breakdown
+        )
+        yield from self._sim_codec(
+            dsg,
+            resolved,
+            Direction.COMPRESS,
+            sim_in,
+            None
+            if real.cengine_stage_bytes is None
+            else real.cengine_stage_bytes * scale,
+            breakdown,
+        )
+        message = PedalHeader.for_algo(dsg.algo).encode() + real.payload
+        return CompressResult(
+            message=message,
+            design=dsg,
+            resolved=resolved,
+            original_bytes=real.original_bytes,
+            compressed_bytes=len(message),
+            sim_original_bytes=sim_in,
+            sim_compressed_bytes=len(message) * scale,
+            breakdown=breakdown,
+        )
+
+    def decompress(
+        self,
+        message: bytes,
+        placement: Placement = Placement.CENGINE,
+        sim_bytes: float | None = None,
+    ) -> Generator:
+        """One naive decompression (same per-op overheads)."""
+        header = PedalHeader.decode(message)
+        payload = message[HEADER_SIZE:]
+        breakdown = TimeBreakdown()
+        if not header.is_compressed:
+            return DecompressResult(
+                data=payload, algo=None, resolved=None, breakdown=breakdown
+            )
+        algo = header.algo
+        assert algo is not None
+        data, stage_bytes = real_decompress(algo, payload)
+        actual_out = data.nbytes if hasattr(data, "nbytes") else len(data)
+        sim_out = float(actual_out if sim_bytes is None else sim_bytes)
+        scale = sim_out / actual_out if actual_out else 1.0
+
+        dsg = CompressionDesign(algo, placement)
+        resolved = resolve(self.device, dsg)
+        yield from self._naive_overheads(
+            resolved, Direction.DECOMPRESS, sim_out, breakdown
+        )
+        yield from self._sim_codec(
+            dsg,
+            resolved,
+            Direction.DECOMPRESS,
+            sim_out,
+            None if stage_bytes is None else stage_bytes * scale,
+            breakdown,
+        )
+        return DecompressResult(
+            data=data, algo=algo, resolved=resolved, breakdown=breakdown
+        )

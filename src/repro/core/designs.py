@@ -1,0 +1,105 @@
+"""The eight PEDAL compression designs (paper Table III).
+
+A *design* is an (algorithm, placement) pair: every algorithm can run
+on the SoC, and every algorithm has a C-Engine-assisted variant —
+natively for DEFLATE, via the DEFLATE core for zlib and SZ3, and (on
+hardware that lacks support, per Table III) falling back to the SoC at
+run time.  Labels match the paper's figure legends
+(``SoC_DEFLATE`` … ``C-Engine_zlib`` plus the SZ3 pair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.dpu.specs import Algo
+from repro.errors import UnknownDesignError
+
+__all__ = [
+    "Placement",
+    "CompressionDesign",
+    "ALL_DESIGNS",
+    "LOSSLESS_DESIGNS",
+    "LOSSY_DESIGNS",
+    "design",
+    "ALGO_IDS",
+    "ALGO_FROM_ID",
+]
+
+
+class Placement(str, Enum):
+    """Requested execution engine for a design."""
+
+    SOC = "soc"
+    CENGINE = "cengine"
+
+
+@dataclass(frozen=True)
+class CompressionDesign:
+    """One of PEDAL's eight (algorithm, placement) designs."""
+
+    algo: Algo
+    placement: Placement
+
+    @property
+    def label(self) -> str:
+        """Figure-legend label, e.g. ``"C-Engine_DEFLATE"``."""
+        where = "SoC" if self.placement is Placement.SOC else "C-Engine"
+        names = {
+            Algo.DEFLATE: "DEFLATE",
+            Algo.ZLIB: "zlib",
+            Algo.LZ4: "LZ4",
+            Algo.SZ3: "SZ3",
+        }
+        return f"{where}_{names[self.algo]}"
+
+    @property
+    def is_lossy(self) -> bool:
+        return self.algo is Algo.SZ3
+
+    def __str__(self) -> str:
+        return self.label
+
+
+ALL_DESIGNS: tuple[CompressionDesign, ...] = tuple(
+    CompressionDesign(algo, placement)
+    for algo in (Algo.DEFLATE, Algo.ZLIB, Algo.LZ4, Algo.SZ3)
+    for placement in (Placement.SOC, Placement.CENGINE)
+)
+
+LOSSLESS_DESIGNS: tuple[CompressionDesign, ...] = tuple(
+    d for d in ALL_DESIGNS if not d.is_lossy
+)
+LOSSY_DESIGNS: tuple[CompressionDesign, ...] = tuple(
+    d for d in ALL_DESIGNS if d.is_lossy
+)
+
+_BY_LABEL = {d.label.lower(): d for d in ALL_DESIGNS}
+
+# AlgoID values carried in the PEDAL header's second byte.  Zero is
+# reserved (an uncompressed passthrough message).
+ALGO_IDS: dict[Algo, int] = {
+    Algo.DEFLATE: 1,
+    Algo.ZLIB: 2,
+    Algo.LZ4: 3,
+    Algo.SZ3: 4,
+}
+ALGO_FROM_ID = {v: k for k, v in ALGO_IDS.items()}
+
+
+def design(spec: "str | CompressionDesign") -> CompressionDesign:
+    """Look a design up by label (case-insensitive) or pass one through.
+
+    >>> design("C-Engine_DEFLATE").algo
+    <Algo.DEFLATE: 'deflate'>
+    """
+    if isinstance(spec, CompressionDesign):
+        return spec
+    try:
+        return _BY_LABEL[spec.lower()]
+    except KeyError:
+        raise UnknownDesignError(
+            f"unknown design {spec!r}; expected one of "
+            f"{sorted(d.label for d in ALL_DESIGNS)}"
+        ) from None

@@ -1,0 +1,211 @@
+"""Parallel chunked compression across SoC cores and the C-Engine.
+
+Paper §IV: "future developments could involve various compression
+designs using the SoC and C-Engine to achieve parallel compression and
+decompression", and §V-C2 notes "a prospective hybrid design avenue for
+exploiting both SoC and C-Engine in parallel".  This module implements
+that design as an experimental extension:
+
+* the payload splits into ``n_chunks`` independent chunks;
+* each chunk is a self-contained DEFLATE stream, so chunks compress and
+  decompress concurrently — SoC chunks fan out across the core pool
+  while (optionally) one stream at a time feeds the C-Engine;
+* a small container records chunk boundaries.
+
+Chunk independence costs a little ratio (no cross-chunk matches); the
+simulated speedup approaches ``min(n_chunks, n_cores)`` for SoC-only
+runs and better when the engine helps.  The ablation bench
+(``benchmarks/test_ablation_parallel.py``) quantifies both effects.
+
+Container format (little-endian)::
+
+    magic  b"PPAR"
+    u32    n_chunks
+    u64[n] compressed chunk sizes
+    bytes  concatenated DEFLATE streams
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.algorithms.deflate import DeflateConfig, deflate_compress, deflate_decompress
+from repro.dpu.device import BlueFieldDPU
+from repro.dpu.specs import Algo, Direction
+from repro.errors import CorruptStreamError
+from repro.sim import TimeBreakdown
+
+__all__ = ["ParallelConfig", "ParallelResult", "ParallelCompressor"]
+
+_MAGIC = b"PPAR"
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Chunking and placement policy."""
+
+    n_chunks: int = 8
+    use_cengine: bool = True  # one chunk stream may use the engine
+    deflate: DeflateConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_chunks < 1:
+            raise ValueError("n_chunks must be >= 1")
+
+
+@dataclass
+class ParallelResult:
+    """One parallel compression/decompression with its accounting."""
+
+    payload: bytes
+    original_bytes: int
+    breakdown: TimeBreakdown
+    chunks_on_engine: int
+    chunks_on_soc: int
+
+    @property
+    def sim_seconds(self) -> float:
+        return self.breakdown.total()
+
+
+def _split_even(data: bytes, parts: int) -> list[bytes]:
+    n = len(data)
+    base, rem = divmod(n, parts)
+    out = []
+    pos = 0
+    for i in range(parts):
+        take = base + (1 if i < rem else 0)
+        out.append(data[pos : pos + take])
+        pos += take
+    return out
+
+
+class ParallelCompressor:
+    """Chunk-parallel DEFLATE over one device's SoC pool (+ C-Engine)."""
+
+    def __init__(self, device: BlueFieldDPU, config: ParallelConfig | None = None) -> None:
+        self.device = device
+        self.config = config or ParallelConfig()
+
+    def _plan_engine_chunks(self, direction: Direction) -> int:
+        """How many chunk streams the engine serves (0 or 1 stream —
+        it is a single-server queue, so more streams would just queue)."""
+        if not self.config.use_cengine:
+            return 0
+        return 1 if self.device.cengine.supports(Algo.DEFLATE, direction) else 0
+
+    def compress(self, data: bytes, sim_bytes: float | None = None) -> Generator:
+        """Compress ``data`` chunk-parallel; returns :class:`ParallelResult`."""
+        cfg = self.config
+        sim_total = float(len(data) if sim_bytes is None else sim_bytes)
+        chunks = _split_even(bytes(data), cfg.n_chunks)
+        compressed = [deflate_compress(chunk, cfg.deflate) for chunk in chunks]
+
+        container = bytearray()
+        container += _MAGIC
+        container += struct.pack("<I", len(compressed))
+        for blob in compressed:
+            container += struct.pack("<Q", len(blob))
+        for blob in compressed:
+            container += blob
+
+        breakdown, n_engine, n_soc = yield from self._fan_out(
+            Direction.COMPRESS, cfg.n_chunks, sim_total
+        )
+        return ParallelResult(
+            payload=bytes(container),
+            original_bytes=len(data),
+            breakdown=breakdown,
+            chunks_on_engine=n_engine,
+            chunks_on_soc=n_soc,
+        )
+
+    def decompress(self, payload: bytes, sim_bytes: float | None = None) -> Generator:
+        """Inverse of :meth:`compress`; returns :class:`ParallelResult`
+        whose ``payload`` is the reassembled original data."""
+        if len(payload) < 8 or payload[:4] != _MAGIC:
+            raise CorruptStreamError("not a PPAR container")
+        (n_chunks,) = struct.unpack_from("<I", payload, 4)
+        pos = 8
+        if len(payload) < pos + 8 * n_chunks:
+            raise CorruptStreamError("PPAR chunk table truncated")
+        sizes = [
+            struct.unpack_from("<Q", payload, pos + 8 * i)[0] for i in range(n_chunks)
+        ]
+        pos += 8 * n_chunks
+        pieces = []
+        for size in sizes:
+            if len(payload) < pos + size:
+                raise CorruptStreamError("PPAR chunk payload truncated")
+            pieces.append(deflate_decompress(payload[pos : pos + size]))
+            pos += size
+        data = b"".join(pieces)
+
+        sim_total = float(len(data) if sim_bytes is None else sim_bytes)
+        breakdown, n_engine, n_soc = yield from self._fan_out(
+            Direction.DECOMPRESS, n_chunks, sim_total
+        )
+        return ParallelResult(
+            payload=data,
+            original_bytes=len(data),
+            breakdown=breakdown,
+            chunks_on_engine=n_engine,
+            chunks_on_soc=n_soc,
+        )
+
+    def _fan_out(
+        self, direction: Direction, n_chunks: int, sim_total: float
+    ) -> Generator:
+        """Run chunk jobs concurrently; returns (breakdown, n_engine,
+        n_soc).
+
+        The C-Engine, when capable, serves one *stream* of chunks (its
+        queue serialises jobs anyway); the remaining chunks fan out over
+        SoC cores.  The chunk assignment is the exact argmin of the
+        makespan ``max(k * t_engine, ceil((n-k)/cores) * t_soc)`` over
+        k — with the engine orders of magnitude faster it usually takes
+        every chunk, which is itself an instructive outcome.
+        """
+        device = self.device
+        env = device.env
+        chunk_bytes = sim_total / n_chunks
+        engine_streams = self._plan_engine_chunks(direction)
+
+        import math
+
+        soc_rate = device.cal.soc_throughput[(Algo.DEFLATE, direction)]
+        soc_time = chunk_bytes / soc_rate
+        cores = device.soc.cores.capacity
+        if engine_streams:
+            engine_time = device.cal.cengine_time(Algo.DEFLATE, direction, chunk_bytes)
+            n_engine = min(
+                range(n_chunks + 1),
+                key=lambda k: max(
+                    k * engine_time, math.ceil((n_chunks - k) / cores) * soc_time
+                ),
+            )
+        else:
+            n_engine = 0
+        n_soc = n_chunks - n_engine
+
+        def engine_stream(env, count):
+            for _ in range(count):
+                yield from device.cengine.submit(Algo.DEFLATE, direction, chunk_bytes)
+
+        def soc_chunk(env):
+            yield from device.soc.run(chunk_bytes / soc_rate)
+
+        t0 = env.now
+        procs = []
+        if n_engine:
+            procs.append(env.process(engine_stream(env, n_engine)))
+        for _ in range(n_soc):
+            procs.append(env.process(soc_chunk(env)))
+        if procs:
+            yield env.all_of(procs)
+        breakdown = TimeBreakdown()
+        phase = "compression" if direction is Direction.COMPRESS else "decompression"
+        breakdown.add(phase, env.now - t0)
+        return breakdown, n_engine, n_soc

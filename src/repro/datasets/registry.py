@@ -1,0 +1,128 @@
+"""The Table IV dataset registry.
+
+Each entry records the paper's nominal size (what the simulated cost
+model charges for) and generates deterministic synthetic bytes at a
+configurable actual size (what the real codecs compress).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.datasets import exaalt, obs_error, silesia
+
+__all__ = [
+    "Dataset",
+    "DATASETS",
+    "get_dataset",
+    "lossless_datasets",
+    "lossy_datasets",
+    "DEFAULT_ACTUAL_BYTES",
+]
+
+_MB = 1e6
+
+# Default actual generation budget: large enough that ratios converge
+# for these data classes, small enough for the pure-Python codecs.
+DEFAULT_ACTUAL_BYTES = 256 * 1024
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """One benchmark dataset (paper Table IV row)."""
+
+    key: str
+    description: str
+    nominal_bytes: float  # the paper's dataset size
+    kind: str  # "lossless" | "lossy"
+    _generator: Callable[[int], Any]
+
+    @property
+    def nominal_mb(self) -> float:
+        return self.nominal_bytes / _MB
+
+    def generate(self, actual_bytes: int | None = None) -> Any:
+        """Deterministic synthetic data (bytes, or float32 ndarray for
+        lossy datasets)."""
+        budget = DEFAULT_ACTUAL_BYTES if actual_bytes is None else actual_bytes
+        if budget <= 0:
+            raise ValueError("actual_bytes must be positive")
+        return self._generator(budget)
+
+    def sim_scale(self, actual_bytes: int) -> float:
+        """Nominal/actual scale factor for the cost model."""
+        return self.nominal_bytes / actual_bytes
+
+    def payload_nbytes(self, data: Any) -> int:
+        if isinstance(data, np.ndarray):
+            return int(data.nbytes)
+        return len(data)
+
+
+DATASETS: dict[str, Dataset] = {
+    ds.key: ds
+    for ds in [
+        # -- lossless (Table IV top half, ascending size) -----------------
+        Dataset(
+            "silesia/xml", "XML files, text", 5.1 * _MB, "lossless",
+            silesia.generate_xml,
+        ),
+        Dataset(
+            "silesia/mr", "3-D MRI image, DICOM", 9.51 * _MB, "lossless",
+            silesia.generate_mr,
+        ),
+        Dataset(
+            "silesia/samba", "source code and graphics", 20.61 * _MB, "lossless",
+            silesia.generate_samba,
+        ),
+        Dataset(
+            "obs_error", "single float-point", 30.0 * _MB, "lossless",
+            obs_error.generate_obs_error,
+        ),
+        Dataset(
+            "silesia/mozilla", "exe", 48.85 * _MB, "lossless",
+            silesia.generate_mozilla,
+        ),
+        # -- lossy (Table IV bottom half; paper lists 10/31/64 MB) --------
+        Dataset(
+            "exaalt-dataset1", "MD simulation, single float-point",
+            10.0 * _MB, "lossy", lambda n: exaalt.generate_exaalt(1, n),
+        ),
+        Dataset(
+            "exaalt-dataset3", "MD simulation, single float-point",
+            31.0 * _MB, "lossy", lambda n: exaalt.generate_exaalt(3, n),
+        ),
+        Dataset(
+            "exaalt-dataset2", "MD simulation, single float-point",
+            64.0 * _MB, "lossy", lambda n: exaalt.generate_exaalt(2, n),
+        ),
+    ]
+}
+
+
+def get_dataset(key: str) -> Dataset:
+    try:
+        return DATASETS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {key!r}; available: {sorted(DATASETS)}"
+        ) from None
+
+
+def lossless_datasets() -> list[Dataset]:
+    """Lossless datasets in ascending nominal size (figure order)."""
+    return sorted(
+        (d for d in DATASETS.values() if d.kind == "lossless"),
+        key=lambda d: d.nominal_bytes,
+    )
+
+
+def lossy_datasets() -> list[Dataset]:
+    """Lossy datasets in ascending nominal size (figure order)."""
+    return sorted(
+        (d for d in DATASETS.values() if d.kind == "lossy"),
+        key=lambda d: d.nominal_bytes,
+    )

@@ -1,0 +1,22 @@
+"""A DOCA-SDK-shaped interface over the simulated C-Engine.
+
+Mirrors the NVIDIA DOCA workflow the paper's PEDAL implementation uses:
+
+1. open a session (device context + work queue) — *expensive*;
+2. create a buffer inventory and DMA-map buffers — *expensive*;
+3. submit compress/decompress jobs referencing mapped buffers — cheap.
+
+Steps 1–2 are what consume ~90-94% of a naive per-operation flow
+(paper §III-C / Fig. 7); PEDAL performs them once inside ``PEDAL_Init``.
+
+Public API
+----------
+:class:`DocaSession`, :class:`BufInventory`, :class:`DocaBuffer`,
+:func:`submit_job`.
+"""
+
+from repro.doca.buffers import BufInventory, DocaBuffer
+from repro.doca.jobs import submit_job
+from repro.doca.sdk import DocaSession
+
+__all__ = ["BufInventory", "DocaBuffer", "DocaSession", "submit_job"]

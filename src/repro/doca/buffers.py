@@ -1,0 +1,73 @@
+"""DOCA buffer inventory and DMA-mapped buffers."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.errors import DocaBufferError
+
+if TYPE_CHECKING:
+    from repro.doca.sdk import DocaSession
+
+__all__ = ["BufInventory", "DocaBuffer"]
+
+
+class DocaBuffer:
+    """A DMA-mapped region the C-Engine can read/write."""
+
+    __slots__ = ("inventory", "nbytes", "map_seconds", "_live")
+
+    def __init__(self, inventory: "BufInventory", nbytes: int, map_seconds: float) -> None:
+        self.inventory = inventory
+        self.nbytes = nbytes
+        self.map_seconds = map_seconds
+        self._live = True
+
+    @property
+    def is_live(self) -> bool:
+        return self._live
+
+    def release(self) -> None:
+        """Unmap (instantaneous in the model; the cost was at map time)."""
+        if self._live:
+            self._live = False
+            self.inventory._release(self)
+
+
+class BufInventory:
+    """Pool of DMA-mappable buffers bound to a session."""
+
+    def __init__(self, session: "DocaSession") -> None:
+        self.session = session
+        self._buffers: list[DocaBuffer] = []
+
+    @property
+    def mapped_bytes(self) -> int:
+        return sum(buf.nbytes for buf in self._buffers)
+
+    @property
+    def n_buffers(self) -> int:
+        return len(self._buffers)
+
+    def map_buffer(self, nbytes: int) -> Generator:
+        """Allocate + register ``nbytes``; returns the :class:`DocaBuffer`.
+
+        This is the per-buffer portion of "buffer preparation": a plain
+        allocation followed by DMA registration at the (slow) map
+        bandwidth.
+        """
+        if nbytes < 0:
+            raise DocaBufferError(f"negative buffer size {nbytes}")
+        self.session.require_open()
+        memory = self.session.device.memory
+        seconds = memory.alloc_time(nbytes) + memory.dma_map_time(nbytes)
+        yield self.session.device.env.timeout(seconds)
+        buf = DocaBuffer(self, nbytes, seconds)
+        self._buffers.append(buf)
+        return buf
+
+    def _release(self, buf: DocaBuffer) -> None:
+        try:
+            self._buffers.remove(buf)
+        except ValueError:
+            raise DocaBufferError("buffer does not belong to this inventory")

@@ -1,0 +1,39 @@
+"""DOCA job submission: compress/decompress on the C-Engine."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.doca.buffers import DocaBuffer
+from repro.doca.sdk import DocaSession
+from repro.dpu.specs import Algo, Direction
+from repro.errors import DocaBufferError
+
+__all__ = ["submit_job"]
+
+
+def submit_job(
+    session: DocaSession,
+    algo: Algo,
+    direction: Direction,
+    src: DocaBuffer,
+    nbytes: int | None = None,
+) -> Generator:
+    """Submit one compression job against a mapped source buffer.
+
+    ``nbytes`` defaults to the full buffer size.  Queues on the
+    C-Engine (single-server FIFO) and returns the job's execution
+    duration.  Raises :class:`~repro.errors.DocaCapabilityError` when the
+    device does not support (algo, direction) — callers such as PEDAL
+    check :meth:`CEngine.supports` first and fall back to the SoC.
+    """
+    session.require_open()
+    if not src.is_live:
+        raise DocaBufferError("source buffer has been released")
+    size = src.nbytes if nbytes is None else nbytes
+    if size < 0 or size > src.nbytes:
+        raise DocaBufferError(
+            f"job size {size} outside mapped buffer of {src.nbytes} bytes"
+        )
+    seconds = yield from session.device.cengine.submit(algo, direction, size)
+    return seconds

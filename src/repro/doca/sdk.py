@@ -1,0 +1,60 @@
+"""DOCA session lifecycle."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.doca.buffers import BufInventory
+from repro.dpu.device import BlueFieldDPU
+from repro.errors import DocaNotInitializedError
+
+__all__ = ["DocaSession"]
+
+
+class DocaSession:
+    """A device context + work queue, as created by ``doca_*_create``.
+
+    Opening the session charges the one-time DOCA initialisation cost
+    (device/context/workq creation, engine bring-up).  All job
+    submission requires an open session.
+    """
+
+    def __init__(self, device: BlueFieldDPU) -> None:
+        self.device = device
+        self._open = False
+        self.init_seconds: float | None = None
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def open(self) -> Generator:
+        """Initialise DOCA (simulated); returns the init duration."""
+        if self._open:
+            return 0.0
+        seconds = self.device.cal.doca_init_time
+        yield self.device.env.timeout(seconds)
+        self._open = True
+        self.init_seconds = seconds
+        return seconds
+
+    def create_inventory(self) -> Generator:
+        """Create a buffer inventory bound to this session.
+
+        Returns ``(inventory, seconds)`` — inventory creation carries
+        the fixed buffer-infrastructure cost.
+        """
+        self.require_open()
+        seconds = self.device.cal.buffer_fixed_time
+        yield self.device.env.timeout(seconds)
+        return BufInventory(self), seconds
+
+    def require_open(self) -> None:
+        if not self._open:
+            raise DocaNotInitializedError(
+                "DOCA session is not open; call open() first"
+            )
+
+    def close(self) -> None:
+        """Tear down the session (instantaneous in the model)."""
+        self._open = False

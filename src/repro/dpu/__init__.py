@@ -1,0 +1,23 @@
+"""BlueField DPU hardware model.
+
+This package substitutes for the physical BlueField-2/3 DPUs the paper
+measures (see DESIGN.md §1): device *capabilities* are modelled exactly
+(Table II's algorithm/direction support matrix), and device *speeds* are
+a calibrated linear cost model (``time = job_overhead + bytes /
+throughput``) whose constants are derived in
+:mod:`repro.dpu.calibration` from the factors the paper reports.
+
+Structure
+---------
+:mod:`repro.dpu.specs`        — static device descriptions (BF2/BF3).
+:mod:`repro.dpu.calibration`  — throughput/overhead tables + derivations.
+:mod:`repro.dpu.memory`       — allocation and DMA-mapping cost model.
+:mod:`repro.dpu.soc`          — ARM SoC execution model (core pool).
+:mod:`repro.dpu.cengine`      — compression accelerator with job queue.
+:mod:`repro.dpu.device`       — :class:`BlueFieldDPU` composition + factory.
+"""
+
+from repro.dpu.device import BlueFieldDPU, make_device
+from repro.dpu.specs import BLUEFIELD2, BLUEFIELD3, DpuSpec
+
+__all__ = ["BLUEFIELD2", "BLUEFIELD3", "BlueFieldDPU", "DpuSpec", "make_device"]

@@ -1,0 +1,164 @@
+"""Calibrated speed constants for the BlueField cost model.
+
+Every *performance* number this repository reports comes from the
+linear cost model ``time = job_overhead + bytes / throughput`` with the
+constants below.  Each constant is derived from a factor the paper
+itself reports; the derivations are spelled out next to each value so
+the calibration is auditable.  The test suite
+(``tests/dpu/test_calibration.py``) re-checks the headline factors
+against the model.
+
+Anchor set (all from the paper's §V):
+
+A1. BF2 SoC DEFLATE compression ≈ 25 MB/s, decompression ≈ 180 MB/s —
+    a zlib-class single A72 core; these absolute values are the free
+    parameters every other constant is expressed against.
+A2. Fig. 8: BF2 C-Engine is 101.8x the SoC for DEFLATE *compression* on
+    5.1 MB ⇒ with a 0.25 ms compression-job overhead:
+    204 ms / 101.8 = 2.004 ms ⇒ throughput = 5.1 MB / 1.754 ms
+    ≈ 2908 MB/s.
+A3. Fig. 8: BF2 C-Engine is 11.2x the SoC for DEFLATE *decompression*
+    on 5.1 MB ⇒ with a 1.0 ms decompression-job overhead (decompression
+    jobs validate/stage more state): 28.33 ms / 11.2 = 2.530 ms ⇒
+    throughput = 5.1 MB / 1.530 ms ≈ 3333 MB/s.
+A4. Fig. 8: zlib on C-Engine is 84.6x SoC (compression, 48.85 MB) and
+    20x (decompression).  zlib-on-C-Engine = C-Engine DEFLATE + SoC
+    adler32/header work at 10 GB/s ⇒
+    compression:  C path = 0.25 + 16.80 + 4.885 = 21.93 ms
+                  ⇒ SoC zlib compression = 48.85/(84.6 × 21.93 ms)
+                  ≈ 26.3 MB/s;
+    decompression: C path = 1.0 + 14.66 + 4.885 = 20.54 ms
+                  ⇒ SoC zlib decompression ≈ 118.9 MB/s.
+A5. Fig. 8: BF3 C-Engine beats BF2's on DEFLATE decompression by 1.78x
+    at 5.1 MB and 1.28x at 48.84 MB ⇒ two equations, two unknowns:
+    BF3 job overhead ≈ 0.161 ms, throughput ≈ 4047 MB/s.
+A6. §V-D: BF3 SoC designs reduce communication time by up to 40% vs BF2
+    ⇒ SoC throughput scale 1.67x (A78 vs A72), applied uniformly.
+A7. Fig. 7: DOCA init + buffer preparation ≈ 94% of a naive 5.1 MB
+    C-Engine compress+decompress ⇒ DOCA session init 45 ms, an 8 ms
+    fixed inventory cost, and DMA-map registration ≈ 1.7 GB/s.
+A8. Fig. 9 / Fig. 10f: SZ3 at ≈ 90 MB/s compress / 180 MB/s decompress
+    on the BF2 SoC with ~10% of time in the lossless backend stage
+    makes (i) BF2's SoC and C-Engine-assisted SZ3 paths land within a
+    few percent of each other (Fig. 9a "comparable"), (ii) the BF3 SoC
+    beat the BF3 C-Engine path by ~1.6x at 10 MB (paper: 1.58x, the
+    fallback SoC-DEFLATE backend being slower than the zstd-class
+    native backend), and (iii) the Fig. 10f latency reduction land near
+    the paper's 47-48%.
+
+Conventions: throughputs in bytes/second, overheads in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dpu.specs import BLUEFIELD3, Algo, Direction, DpuSpec
+
+__all__ = ["Calibration", "calibration_for", "CAL_BF2", "CAL_BF3"]
+
+_MB = 1e6
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Speed constants for one DPU generation."""
+
+    # SoC codec throughput (bytes/s), keyed by (algo, direction).
+    soc_throughput: dict[tuple[Algo, Direction], float]
+    # C-Engine codec throughput (bytes/s) for natively supported ops.
+    cengine_throughput: dict[tuple[Algo, Direction], float]
+    # Fixed C-Engine job overheads (s), per direction (A2/A3).
+    cengine_overhead: dict[Direction, float]
+    # SoC checksum/header stream rate (adler32, zlib/PEDAL headers).
+    soc_checksum_throughput: float
+    # One-time DOCA session initialisation (s) — hoisted by PEDAL_Init.
+    doca_init_time: float
+    # Fixed buffer-inventory/creation cost per naive op (s).
+    buffer_fixed_time: float
+    # Fraction of SZ3 SoC time spent in the lossless backend stage (A8).
+    sz3_lossless_fraction: float = 0.10
+    # SoC DEFLATE throughput when compressing SZ3's entropy-coded
+    # payload (the BF3 fallback path).  Huffman-coded bytes offer few
+    # long matches, so DEFLATE runs near its fast path — calibrated per
+    # A8 so the BF3 SoC-vs-C-Engine gap lands at the paper's ~1.58x.
+    sz3_backend_deflate_throughput: float = 50.0 * _MB
+
+    def soc_time(self, algo: Algo, direction: Direction, nbytes: float) -> float:
+        """SoC codec execution time."""
+        return nbytes / self.soc_throughput[(algo, direction)]
+
+    def cengine_time(self, algo: Algo, direction: Direction, nbytes: float) -> float:
+        """C-Engine codec execution time (excluding queueing)."""
+        return self.cengine_overhead[direction] + nbytes / self.cengine_throughput[
+            (algo, direction)
+        ]
+
+    def checksum_time(self, nbytes: float) -> float:
+        return nbytes / self.soc_checksum_throughput
+
+
+_BF2_SOC = {
+    # A1 anchors.
+    (Algo.DEFLATE, Direction.COMPRESS): 25.0 * _MB,
+    (Algo.DEFLATE, Direction.DECOMPRESS): 180.0 * _MB,
+    # A4: solved from the 84.6x / 20x zlib factors.
+    (Algo.ZLIB, Direction.COMPRESS): 26.33 * _MB,
+    (Algo.ZLIB, Direction.DECOMPRESS): 118.9 * _MB,
+    # LZ4's speed class on an A72 (lz4 -1): fast compress, very fast
+    # decompress; the absolute values only need to keep LZ4-on-SoC well
+    # below the wire rate (Fig. 10c shape).
+    (Algo.LZ4, Direction.COMPRESS): 200.0 * _MB,
+    (Algo.LZ4, Direction.DECOMPRESS): 700.0 * _MB,
+    # A8: SZ3 single-core speed class on the A72.
+    (Algo.SZ3, Direction.COMPRESS): 90.0 * _MB,
+    (Algo.SZ3, Direction.DECOMPRESS): 180.0 * _MB,
+}
+
+CAL_BF2 = Calibration(
+    soc_throughput=_BF2_SOC,
+    cengine_throughput={
+        (Algo.DEFLATE, Direction.COMPRESS): 2908.0 * _MB,  # A2
+        (Algo.DEFLATE, Direction.DECOMPRESS): 3333.0 * _MB,  # A3
+    },
+    cengine_overhead={
+        Direction.COMPRESS: 0.25e-3,  # A2
+        Direction.DECOMPRESS: 1.0e-3,  # A3
+    },
+    soc_checksum_throughput=10e9,  # A4
+    doca_init_time=45e-3,  # A7
+    buffer_fixed_time=8e-3,  # A7
+)
+
+CAL_BF3 = Calibration(
+    # A6: uniform 1.67x SoC scale.
+    soc_throughput={
+        key: value * BLUEFIELD3.soc.perf_scale for key, value in _BF2_SOC.items()
+    },
+    cengine_throughput={
+        # A5: solved from the 1.78x / 1.28x DEFLATE decompression gaps.
+        (Algo.DEFLATE, Direction.DECOMPRESS): 4047.0 * _MB,
+        # LZ4 decompression is the other native BF3 capability; same
+        # engine generation, same speed class.
+        (Algo.LZ4, Direction.DECOMPRESS): 4047.0 * _MB,
+    },
+    cengine_overhead={
+        Direction.COMPRESS: 0.161e-3,  # A5 (unused natively: no compress)
+        Direction.DECOMPRESS: 0.161e-3,  # A5
+    },
+    soc_checksum_throughput=10e9 * BLUEFIELD3.soc.perf_scale,
+    doca_init_time=45e-3,
+    # DDR5 registration is proportionally faster (specs carry the 4.2x
+    # memory factor), but inventory creation is still fixed-cost.
+    buffer_fixed_time=8e-3,
+    sz3_backend_deflate_throughput=50.0 * _MB * BLUEFIELD3.soc.perf_scale,
+)
+
+
+def calibration_for(spec: DpuSpec) -> Calibration:
+    """The calibration bound to a device spec."""
+    if spec.generation == 2:
+        return CAL_BF2
+    if spec.generation == 3:
+        return CAL_BF3
+    raise ValueError(f"no calibration for {spec.name}")

@@ -1,0 +1,64 @@
+"""C-Engine: the BlueField hardware compression accelerator.
+
+A single-server FIFO device (jobs submitted through DOCA work queues
+execute one at a time), with the capability matrix of the owning device
+generation (paper Table II).  Unsupported (algo, direction) submissions
+raise :class:`~repro.errors.DocaCapabilityError` — PEDAL's registry
+catches this class of condition *before* submission and falls back to
+the SoC (paper §III-D), but direct DOCA users hit the error.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.dpu.calibration import Calibration
+from repro.dpu.specs import Algo, Direction, DpuSpec
+from repro.errors import DocaCapabilityError
+from repro.sim import Environment, Resource
+
+__all__ = ["CEngine"]
+
+
+class CEngine:
+    """The hardware compression engine of one DPU."""
+
+    def __init__(self, env: Environment, spec: DpuSpec, cal: Calibration) -> None:
+        self.env = env
+        self.spec = spec
+        self.cal = cal
+        self.queue = Resource(env, capacity=1)
+        self.jobs_completed = 0
+        self.busy_seconds = 0.0
+
+    def supports(self, algo: Algo, direction: Direction) -> bool:
+        """Native DOCA support for (algo, direction) on this device."""
+        return self.spec.cengine_supports(algo, direction)
+
+    def job_time(self, algo: Algo, direction: Direction, nbytes: int) -> float:
+        """Execution time of one job (submission overhead + transfer)."""
+        if not self.supports(algo, direction):
+            raise DocaCapabilityError(
+                f"{self.spec.name} C-Engine does not support "
+                f"{algo.value} {direction.value}"
+            )
+        return self.cal.cengine_time(algo, direction, nbytes)
+
+    def submit(
+        self, algo: Algo, direction: Direction, nbytes: int
+    ) -> Generator:
+        """Queue and execute one job; returns the job duration.
+
+        The duration returned excludes queueing delay (callers measure
+        wall time from the environment clock if they need it).
+        """
+        seconds = self.job_time(algo, direction, nbytes)  # may raise
+        req = self.queue.request()
+        yield req
+        try:
+            yield self.env.timeout(seconds)
+            self.jobs_completed += 1
+            self.busy_seconds += seconds
+        finally:
+            self.queue.release(req)
+        return seconds

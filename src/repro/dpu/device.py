@@ -1,0 +1,60 @@
+"""The composed BlueField DPU device."""
+
+from __future__ import annotations
+
+from repro.dpu.calibration import Calibration, calibration_for
+from repro.dpu.cengine import CEngine
+from repro.dpu.memory import MemoryModel
+from repro.dpu.soc import Soc
+from repro.dpu.specs import BLUEFIELD2, BLUEFIELD3, DpuSpec
+from repro.sim import Environment
+
+__all__ = ["BlueFieldDPU", "make_device"]
+
+
+class BlueFieldDPU:
+    """One BlueField DPU in Separated Host mode (paper §II-A).
+
+    Composes the SoC core pool, the C-Engine accelerator, and the
+    memory cost model over one simulation environment.  The NIC fabric
+    model lives in :mod:`repro.mpi.network` (it couples *pairs* of
+    devices).
+    """
+
+    def __init__(self, env: Environment, spec: DpuSpec) -> None:
+        self.env = env
+        self.spec = spec
+        self.cal: Calibration = calibration_for(spec)
+        self.soc = Soc(env, spec.soc, self.cal)
+        self.cengine = CEngine(env, spec, self.cal)
+        self.memory = MemoryModel(spec.memory, self.cal.buffer_fixed_time)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def generation(self) -> int:
+        return self.spec.generation
+
+    def __repr__(self) -> str:
+        return f"BlueFieldDPU({self.spec.name})"
+
+
+_SPECS = {
+    "bf2": BLUEFIELD2,
+    "bf3": BLUEFIELD3,
+    "bluefield-2": BLUEFIELD2,
+    "bluefield-3": BLUEFIELD3,
+}
+
+
+def make_device(env: Environment, kind: str) -> BlueFieldDPU:
+    """Create a DPU by name (``"bf2"`` or ``"bf3"``)."""
+    try:
+        spec = _SPECS[kind.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown device {kind!r}; expected one of {sorted(set(_SPECS))}"
+        ) from None
+    return BlueFieldDPU(env, spec)

@@ -1,0 +1,54 @@
+"""DPU memory cost model: plain allocation vs DOCA DMA mapping.
+
+Two distinct costs matter for the paper's Fig. 7 story:
+
+* plain buffer allocation — cheap (a fixed malloc cost plus a stream
+  touch of the buffer);
+* DOCA buffer preparation — expensive: creating a buffer inventory and
+  registering (pinning + IOMMU-mapping) memory so the C-Engine can DMA
+  it.  Registration runs at :attr:`MemorySpec.map_bandwidth`, an order
+  of magnitude below stream bandwidth.
+
+PEDAL's memory pool (paper §III-C) pays these costs once at init and
+reuses the buffers; the naive baseline pays them per operation.
+"""
+
+from __future__ import annotations
+
+from repro.dpu.specs import MemorySpec
+
+__all__ = ["MemoryModel"]
+
+_MALLOC_FIXED = 20e-6  # glibc-class large-allocation fixed cost
+
+
+class MemoryModel:
+    """Cost model for buffer operations on one DPU's DRAM."""
+
+    def __init__(self, spec: MemorySpec, buffer_fixed_time: float) -> None:
+        self.spec = spec
+        self.buffer_fixed_time = buffer_fixed_time
+
+    def alloc_time(self, nbytes: int) -> float:
+        """Plain allocation + first-touch of ``nbytes``."""
+        return _MALLOC_FIXED + nbytes / self.spec.stream_bandwidth
+
+    def dma_map_time(self, nbytes: int) -> float:
+        """Register ``nbytes`` for C-Engine DMA (pin + map)."""
+        return nbytes / self.spec.map_bandwidth
+
+    def doca_buffer_prep_time(self, nbytes_mapped: int) -> float:
+        """Naive per-op DOCA buffer preparation.
+
+        Inventory creation (fixed) + allocation + registration of all
+        source/destination buffers.
+        """
+        return (
+            self.buffer_fixed_time
+            + self.alloc_time(nbytes_mapped)
+            + self.dma_map_time(nbytes_mapped)
+        )
+
+    def copy_time(self, nbytes: int) -> float:
+        """Stream copy of ``nbytes`` through DRAM."""
+        return nbytes / self.spec.stream_bandwidth

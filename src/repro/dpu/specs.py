@@ -1,0 +1,144 @@
+"""Static BlueField-2 / BlueField-3 device descriptions.
+
+Numbers come from the paper's §II-A and §V-B testbed description:
+
+* BlueField-2 — 8x ARM Cortex-A72 @ 2.75 GHz, 16 GB DDR4, ConnectX-6
+  NIC at 200 Gb/s.
+* BlueField-3 — 16x ARM Cortex-A78, 16 GB DDR5 (up to 4.2x the RAM
+  throughput of BF2), ConnectX-7 NIC at 400 Gb/s.
+
+The C-Engine capability matrix is the paper's Table II (what DOCA
+exposes natively).  PEDAL's *extensions* of that matrix (Table III:
+zlib/SZ3 via C-Engine DEFLATE) are not hardware properties and live in
+:mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = [
+    "Algo",
+    "Direction",
+    "SocSpec",
+    "MemorySpec",
+    "NicSpec",
+    "DpuSpec",
+    "BLUEFIELD2",
+    "BLUEFIELD3",
+]
+
+
+class Algo(str, Enum):
+    """Compression algorithms PEDAL unifies (paper Table I)."""
+
+    DEFLATE = "deflate"
+    ZLIB = "zlib"
+    LZ4 = "lz4"
+    SZ3 = "sz3"
+
+
+class Direction(str, Enum):
+    COMPRESS = "compress"
+    DECOMPRESS = "decompress"
+
+
+@dataclass(frozen=True)
+class SocSpec:
+    """The DPU's ARM System-on-Chip."""
+
+    core_model: str
+    n_cores: int
+    clock_ghz: float
+    # Relative single-core throughput vs. the BF2 A72 baseline; used by
+    # the calibration to scale SoC codec speeds (A78 ~1.67x A72 here,
+    # consistent with the paper's ~40% communication-time reduction for
+    # SoC designs on BF3, §V-D).
+    perf_scale: float
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """On-board DRAM."""
+
+    kind: str
+    size_gib: int
+    # Effective streaming bandwidth for plain buffer touches (bytes/s).
+    stream_bandwidth: float
+    # Effective rate for DMA registration/mapping of DOCA buffers
+    # (bytes/s) — registration (pinning + IOMMU) is far slower than a
+    # stream copy, which is what makes naive per-op buffer prep so
+    # expensive in Fig. 7.
+    map_bandwidth: float
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """Integrated ConnectX NIC."""
+
+    model: str
+    rate_gbps: float
+    base_latency_s: float
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.rate_gbps * 1e9 / 8.0
+
+
+@dataclass(frozen=True)
+class DpuSpec:
+    """A BlueField DPU generation."""
+
+    name: str
+    generation: int
+    soc: SocSpec
+    memory: MemorySpec
+    nic: NicSpec
+    # Native C-Engine support per (algo, direction) — paper Table II.
+    cengine_native: frozenset[tuple[Algo, Direction]] = field(
+        default_factory=frozenset
+    )
+
+    def cengine_supports(self, algo: Algo, direction: Direction) -> bool:
+        """True if DOCA natively accelerates (algo, direction) here."""
+        return (algo, direction) in self.cengine_native
+
+
+BLUEFIELD2 = DpuSpec(
+    name="BlueField-2",
+    generation=2,
+    soc=SocSpec(core_model="Cortex-A72", n_cores=8, clock_ghz=2.75, perf_scale=1.0),
+    memory=MemorySpec(
+        kind="DDR4",
+        size_gib=16,
+        stream_bandwidth=17e9,
+        map_bandwidth=1.7e9,
+    ),
+    nic=NicSpec(model="ConnectX-6", rate_gbps=200.0, base_latency_s=2e-6),
+    cengine_native=frozenset(
+        {
+            (Algo.DEFLATE, Direction.COMPRESS),
+            (Algo.DEFLATE, Direction.DECOMPRESS),
+        }
+    ),
+)
+
+BLUEFIELD3 = DpuSpec(
+    name="BlueField-3",
+    generation=3,
+    soc=SocSpec(core_model="Cortex-A78", n_cores=16, clock_ghz=3.0, perf_scale=1.67),
+    memory=MemorySpec(
+        kind="DDR5",
+        size_gib=16,
+        stream_bandwidth=17e9 * 4.2,  # paper: up to 4.2x BF2 RAM throughput
+        map_bandwidth=1.7e9 * 4.2,
+    ),
+    nic=NicSpec(model="ConnectX-7", rate_gbps=400.0, base_latency_s=1.5e-6),
+    cengine_native=frozenset(
+        {
+            (Algo.DEFLATE, Direction.DECOMPRESS),
+            (Algo.LZ4, Direction.DECOMPRESS),
+        }
+    ),
+)

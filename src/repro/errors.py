@@ -1,0 +1,122 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class.  Sub-hierarchies mirror the major
+subsystems: codecs, the DOCA-like SDK, the PEDAL core, the simulated MPI
+runtime, and the discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Codec errors
+# ---------------------------------------------------------------------------
+
+class CodecError(ReproError):
+    """Base class for compression/decompression failures."""
+
+
+class CorruptStreamError(CodecError):
+    """The compressed stream violates its format specification."""
+
+
+class ChecksumMismatchError(CorruptStreamError):
+    """A stored integrity checksum does not match the recomputed value."""
+
+    def __init__(self, kind: str, expected: int, actual: int) -> None:
+        super().__init__(
+            f"{kind} checksum mismatch: stored=0x{expected:08x} computed=0x{actual:08x}"
+        )
+        self.kind = kind
+        self.expected = expected
+        self.actual = actual
+
+
+class OutputOverflowError(CodecError):
+    """Decompressed output exceeded the caller-provided bound."""
+
+
+class ErrorBoundViolation(CodecError):
+    """A lossy codec produced reconstruction error above the configured bound."""
+
+
+class UnsupportedDataError(CodecError):
+    """The codec cannot handle the supplied data shape or dtype."""
+
+
+# ---------------------------------------------------------------------------
+# DOCA-like SDK errors
+# ---------------------------------------------------------------------------
+
+class DocaError(ReproError):
+    """Base class for errors from the simulated DOCA SDK."""
+
+
+class DocaNotInitializedError(DocaError):
+    """A DOCA operation was attempted before session initialization."""
+
+
+class DocaCapabilityError(DocaError):
+    """The device's C-Engine does not support the requested operation."""
+
+
+class DocaBufferError(DocaError):
+    """Invalid buffer handle, exhausted inventory, or bad mapping."""
+
+
+# ---------------------------------------------------------------------------
+# PEDAL core errors
+# ---------------------------------------------------------------------------
+
+class PedalError(ReproError):
+    """Base class for errors raised by the PEDAL library core."""
+
+
+class PedalNotInitializedError(PedalError):
+    """PEDAL_compress/PEDAL_decompress called before PEDAL_init."""
+
+
+class UnknownDesignError(PedalError):
+    """An unknown compression design or AlgoID was requested."""
+
+
+class HeaderError(PedalError):
+    """The 3-byte PEDAL message header is malformed."""
+
+
+# ---------------------------------------------------------------------------
+# Simulator errors
+# ---------------------------------------------------------------------------
+
+class SimulationError(ReproError):
+    """Base class for discrete-event simulation errors."""
+
+
+class SimDeadlockError(SimulationError):
+    """The event queue drained while processes were still waiting."""
+
+
+# ---------------------------------------------------------------------------
+# MPI errors
+# ---------------------------------------------------------------------------
+
+class MpiError(ReproError):
+    """Base class for simulated-MPI errors."""
+
+
+class MpiAbortError(MpiError):
+    """A rank called MPI_Abort or raised inside the simulated job."""
+
+    def __init__(self, rank: int, reason: str) -> None:
+        super().__init__(f"rank {rank} aborted: {reason}")
+        self.rank = rank
+        self.reason = reason
+
+
+class MpiTruncationError(MpiError):
+    """An incoming message is larger than the posted receive buffer."""

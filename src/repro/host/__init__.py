@@ -1,0 +1,40 @@
+"""The host-offload deployment scenario (paper §VI).
+
+The paper's discussion asks the MPI community to "explore alternative
+deployment scenarios, such as MPI on the host while offloading data
+compression to the DPU", stressing that "it is crucial to assess the
+overhead associated with data movement between the host and DPU" over
+PCIe.  This package models exactly that evaluation:
+
+* :mod:`repro.host.specs` — an x86 host CPU and the PCIe Gen4 x16 link
+  that attaches the BlueField card;
+* :mod:`repro.host.model` — host-side execution (host cores run the
+  same codecs, faster per core than the DPU's ARM cores);
+* :mod:`repro.host.offload` — the three compression placements for a
+  host-resident MPI rank, with full simulated-time accounting:
+
+  - ``HOST_ONLY``: compress on host cores, send from the host NIC path;
+  - ``DPU_ROUNDTRIP``: DMA the data to the DPU, compress there
+    (C-Engine when capable), DMA the compressed bytes back, send from
+    the host — data crosses PCIe twice;
+  - ``DPU_INLINE``: DMA the data to the DPU, compress there, and inject
+    directly into the fabric from the DPU's NIC — one PCIe crossing,
+    the design the paper hints at for future co-designs.
+
+The crossover between these placements is measured by
+``benchmarks/test_ablation_host_offload.py``.
+"""
+
+from repro.host.model import HostNode
+from repro.host.offload import HostOffloadEngine, OffloadPath
+from repro.host.specs import HOST_XEON, PCIE_GEN4_X16, HostSpec, PcieSpec
+
+__all__ = [
+    "HOST_XEON",
+    "HostNode",
+    "HostOffloadEngine",
+    "HostSpec",
+    "OffloadPath",
+    "PCIE_GEN4_X16",
+    "PcieSpec",
+]

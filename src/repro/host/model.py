@@ -1,0 +1,53 @@
+"""Host-side execution model.
+
+The host runs the same codec implementations as the DPU SoC, scaled by
+its per-core performance factor; host cores are a simulated resource
+pool so concurrent streams contend realistically.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.dpu.calibration import CAL_BF2
+from repro.dpu.specs import Algo, Direction
+from repro.host.specs import HostSpec
+from repro.sim import Environment, Resource
+
+__all__ = ["HostNode"]
+
+
+class HostNode:
+    """One host server (the CPU side of a host+DPU pair)."""
+
+    def __init__(self, env: Environment, spec: HostSpec) -> None:
+        self.env = env
+        self.spec = spec
+        self.cores = Resource(env, capacity=spec.n_cores)
+        self.busy_seconds = 0.0
+
+    def codec_time(self, algo: Algo, direction: Direction, nbytes: float) -> float:
+        """Single-core codec time on the host.
+
+        Host speeds derive from the same BF2 calibration baseline scaled
+        by the host's per-core factor — one consistent speed model
+        across the whole machine pair.
+        """
+        return CAL_BF2.soc_time(algo, direction, nbytes) / self.spec.perf_scale
+
+    def run(self, seconds: float) -> Generator:
+        """Occupy one host core for ``seconds``."""
+        req = self.cores.request()
+        yield req
+        try:
+            yield self.env.timeout(seconds)
+            self.busy_seconds += seconds
+        finally:
+            self.cores.release(req)
+
+    def run_codec(
+        self, algo: Algo, direction: Direction, nbytes: float
+    ) -> Generator:
+        seconds = self.codec_time(algo, direction, nbytes)
+        yield from self.run(seconds)
+        return seconds

@@ -1,0 +1,47 @@
+"""Host CPU and PCIe link descriptions.
+
+The Thor cluster's hosts are dual-socket Xeon-class servers; a single
+server core runs zlib-class codecs roughly 2.5-3x faster than a
+BlueField-2 A72 core (typical published single-core gaps for this
+generation).  PCIe Gen4 x16 carries ~32 GB/s raw, ~25 GB/s effective
+after protocol overhead, with a few microseconds of DMA setup per
+descriptor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HostSpec", "PcieSpec", "HOST_XEON", "PCIE_GEN4_X16"]
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """A host server attached to a DPU."""
+
+    name: str
+    n_cores: int
+    # Per-core codec throughput relative to the BF2 A72 baseline.
+    perf_scale: float
+
+
+@dataclass(frozen=True)
+class PcieSpec:
+    """The host <-> DPU PCIe link."""
+
+    name: str
+    bandwidth: float  # effective bytes/second
+    dma_setup_s: float  # per-descriptor setup cost
+
+    def transfer_time(self, nbytes: float) -> float:
+        """One DMA crossing of ``nbytes``."""
+        return self.dma_setup_s + nbytes / self.bandwidth
+
+
+HOST_XEON = HostSpec(name="Xeon-class host", n_cores=32, perf_scale=2.8)
+
+PCIE_GEN4_X16 = PcieSpec(
+    name="PCIe Gen4 x16",
+    bandwidth=25e9,
+    dma_setup_s=5e-6,
+)

@@ -1,0 +1,146 @@
+"""Message matching and blocking point-to-point transport.
+
+One :class:`Communicator` spans all ranks of a job.  Matching follows
+MPI semantics: a receive posted for ``(source, tag)`` matches the
+oldest unexpected message with that key, otherwise it blocks; arriving
+messages first look for a matching posted receive, otherwise they join
+the unexpected queue.  ``ANY_SOURCE``/``ANY_TAG`` wildcards are
+supported with MPI's non-overtaking ordering per (source, tag) pair.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator
+
+from repro.dpu.device import BlueFieldDPU
+from repro.errors import MpiTruncationError
+from repro.mpi.network import Fabric
+from repro.mpi.protocol import Envelope, Protocol, protocol_for
+from repro.sim import Environment, Event
+
+__all__ = ["Communicator", "ANY_SOURCE", "ANY_TAG"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class _PostedRecv:
+    __slots__ = ("source", "tag", "event")
+
+    def __init__(self, source: int, tag: int, event: Event) -> None:
+        self.source = source
+        self.tag = tag
+        self.event = event
+
+    def matches(self, env: Envelope) -> bool:
+        return (self.source in (ANY_SOURCE, env.source)) and (
+            self.tag in (ANY_TAG, env.tag)
+        )
+
+
+class Communicator:
+    """COMM_WORLD over a set of DPU nodes."""
+
+    def __init__(
+        self,
+        env: Environment,
+        nodes: list[BlueFieldDPU],
+        fabric: Fabric,
+        eager_threshold: int,
+    ) -> None:
+        self.env = env
+        self.nodes = nodes
+        self.fabric = fabric
+        self.eager_threshold = eager_threshold
+        self._unexpected: list[deque[Envelope]] = [deque() for _ in nodes]
+        self._posted: list[deque[_PostedRecv]] = [deque() for _ in nodes]
+        self.messages_sent = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    # -- matching ----------------------------------------------------------
+
+    def _arrive(self, envlp: Envelope) -> None:
+        """A message (eager payload or rendezvous RTS) reaches ``dest``."""
+        posted = self._posted[envlp.dest]
+        for rec in posted:
+            if rec.matches(envlp):
+                posted.remove(rec)
+                rec.event.succeed(envlp)
+                return
+        self._unexpected[envlp.dest].append(envlp)
+
+    def _match_or_wait(self, dest: int, source: int, tag: int) -> Event:
+        """Event yielding the matching :class:`Envelope` for a receive."""
+        ev = Event(self.env)
+        unexpected = self._unexpected[dest]
+        for envlp in unexpected:
+            if (source in (ANY_SOURCE, envlp.source)) and (
+                tag in (ANY_TAG, envlp.tag)
+            ):
+                unexpected.remove(envlp)
+                ev.succeed(envlp)
+                return ev
+        self._posted[dest].append(_PostedRecv(source, tag, ev))
+        return ev
+
+    # -- blocking point-to-point --------------------------------------------
+
+    def send(
+        self,
+        source: int,
+        dest: int,
+        tag: int,
+        payload,
+        wire_bytes: float,
+        meta: dict | None = None,
+    ) -> Generator:
+        """Blocking send (MPI_Send semantics over eager/rendezvous)."""
+        meta = dict(meta or {})
+        proto = protocol_for(wire_bytes, self.eager_threshold)
+        envlp = Envelope(
+            source=source,
+            dest=dest,
+            tag=tag,
+            protocol=proto,
+            payload=payload,
+            wire_bytes=wire_bytes,
+            meta=meta,
+        )
+        self.messages_sent += 1
+        if proto is Protocol.EAGER:
+            yield from self.fabric.transfer(source, dest, wire_bytes)
+            self._arrive(envlp)
+            return
+
+        # Rendezvous: RTS -> (receiver matches, sends CTS) -> data.
+        envlp.cts = Event(self.env)
+        envlp.data_ready = Event(self.env)
+        yield from self.fabric.control(source, dest)  # RTS
+        self._arrive(envlp)
+        yield envlp.cts
+        yield from self.fabric.transfer(source, dest, wire_bytes)
+        envlp.data_ready.succeed()
+
+    def recv(
+        self,
+        dest: int,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        max_bytes: float | None = None,
+    ) -> Generator:
+        """Blocking receive; returns the matched :class:`Envelope`."""
+        envlp = yield self._match_or_wait(dest, source, tag)
+        if max_bytes is not None and envlp.wire_bytes > max_bytes:
+            raise MpiTruncationError(
+                f"incoming message of {envlp.wire_bytes:.0f} wire bytes exceeds "
+                f"posted buffer of {max_bytes:.0f}"
+            )
+        if envlp.protocol is Protocol.RENDEZVOUS:
+            yield from self.fabric.control(dest, envlp.source)  # CTS
+            envlp.cts.succeed()
+            yield envlp.data_ready
+        return envlp

@@ -1,0 +1,42 @@
+"""MPI datatypes.
+
+The paper's ``PEDAL_compress`` takes a ``datatype`` argument because the
+lossy design needs to know the element type (int, float, double) to run
+SZ3 correctly; lossless designs treat everything as bytes.  The same
+split appears here: each :class:`Datatype` knows its numpy dtype (or
+None for raw bytes) and whether SZ3 may be applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Datatype", "MPI_BYTE", "MPI_INT", "MPI_FLOAT", "MPI_DOUBLE"]
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """An MPI basic datatype."""
+
+    name: str
+    np_dtype: np.dtype | None  # None = untyped bytes
+    size: int  # bytes per element
+
+    @property
+    def lossy_capable(self) -> bool:
+        """True if SZ3 (floating-point lossy) applies to this type."""
+        return self.np_dtype is not None and self.np_dtype.kind == "f"
+
+    def count_of(self, data) -> int:
+        """Element count of a buffer of this datatype."""
+        if isinstance(data, np.ndarray):
+            return data.size
+        return len(data) // self.size
+
+
+MPI_BYTE = Datatype("MPI_BYTE", None, 1)
+MPI_INT = Datatype("MPI_INT", np.dtype(np.int32), 4)
+MPI_FLOAT = Datatype("MPI_FLOAT", np.dtype(np.float32), 4)
+MPI_DOUBLE = Datatype("MPI_DOUBLE", np.dtype(np.float64), 8)

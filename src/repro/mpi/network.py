@@ -1,0 +1,79 @@
+"""The interconnect fabric model.
+
+InfiniBand-class links between DPU nodes: a transfer costs
+``base_latency + bytes / link_bandwidth`` where the link bandwidth is
+the min of the two endpoints' NIC rates (ConnectX-6 at 200 Gb/s for
+BF2 pairs, ConnectX-7 at 400 Gb/s for BF3 pairs — paper §II-A).  Each
+directed (src, dst) link is a FIFO resource, so concurrent messages
+between the same pair serialise on the wire while disjoint pairs
+proceed in parallel (full-bisection switch, as on the Thor cluster).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.dpu.device import BlueFieldDPU
+from repro.sim import Environment, Resource
+
+__all__ = ["Fabric", "CONTROL_MESSAGE_BYTES"]
+
+CONTROL_MESSAGE_BYTES = 64  # RTS/CTS envelopes
+
+
+class Fabric:
+    """Point-to-point interconnect between a fixed set of nodes."""
+
+    def __init__(self, env: Environment, nodes: list[BlueFieldDPU]) -> None:
+        self.env = env
+        self.nodes = nodes
+        self._links: dict[tuple[int, int], Resource] = {}
+        self.bytes_moved = 0.0
+
+    def _link(self, src: int, dst: int) -> Resource:
+        key = (src, dst)
+        link = self._links.get(key)
+        if link is None:
+            link = Resource(self.env, capacity=1)
+            self._links[key] = link
+        return link
+
+    def link_bandwidth(self, src: int, dst: int) -> float:
+        """Bytes/second between two node indices."""
+        return min(
+            self.nodes[src].spec.nic.bytes_per_second,
+            self.nodes[dst].spec.nic.bytes_per_second,
+        )
+
+    def link_latency(self, src: int, dst: int) -> float:
+        return max(
+            self.nodes[src].spec.nic.base_latency_s,
+            self.nodes[dst].spec.nic.base_latency_s,
+        )
+
+    def transfer_time(self, src: int, dst: int, nbytes: float) -> float:
+        """Unloaded wire time for ``nbytes``."""
+        return self.link_latency(src, dst) + nbytes / self.link_bandwidth(src, dst)
+
+    def transfer(self, src: int, dst: int, nbytes: float) -> Generator:
+        """Move ``nbytes`` over the (src, dst) link; returns wire seconds."""
+        if src == dst:
+            # Loopback: a memory copy on the local node.
+            seconds = self.nodes[src].memory.copy_time(int(nbytes))
+            yield self.env.timeout(seconds)
+            return seconds
+        link = self._link(src, dst)
+        req = link.request()
+        yield req
+        try:
+            seconds = self.transfer_time(src, dst, nbytes)
+            yield self.env.timeout(seconds)
+            self.bytes_moved += nbytes
+        finally:
+            link.release(req)
+        return seconds
+
+    def control(self, src: int, dst: int) -> Generator:
+        """Send a control envelope (RTS/CTS); returns wire seconds."""
+        seconds = yield from self.transfer(src, dst, CONTROL_MESSAGE_BYTES)
+        return seconds

@@ -1,0 +1,72 @@
+"""Non-blocking point-to-point: MPI_Isend / MPI_Irecv / Wait / Waitall.
+
+A non-blocking call spawns the blocking flow as its own simulated
+process and returns a :class:`Request` handle.  ``wait`` yields until
+that process completes; ``test`` polls without blocking.  Compression
+happens inside the spawned flow exactly as in the blocking path, so a
+rank can overlap codec/communication work across several in-flight
+messages (the C-Engine and SoC resources arbitrate contention).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Iterable
+
+from repro.sim.engine import Process
+
+if TYPE_CHECKING:
+    from repro.mpi.runtime import RankContext
+
+__all__ = ["Request", "waitall"]
+
+
+class Request:
+    """Handle to an in-flight non-blocking operation."""
+
+    __slots__ = ("_proc",)
+
+    def __init__(self, proc: Process) -> None:
+        self._proc = proc
+
+    @property
+    def complete(self) -> bool:
+        """True once the operation has finished (MPI_Test semantics)."""
+        return self._proc.processed
+
+    def wait(self) -> Generator:
+        """Block until completion; returns the received data (irecv)
+        or None (isend)."""
+        value = yield self._proc
+        return value
+
+
+def isend(
+    ctx: "RankContext",
+    dest: int,
+    data: Any,
+    tag: int = 0,
+    sim_bytes: float | None = None,
+) -> Request:
+    """Start a non-blocking send; returns its :class:`Request`."""
+    proc = ctx.env.process(
+        ctx.send(dest, data, tag=tag, sim_bytes=sim_bytes),
+        name=f"isend:{ctx.rank}->{dest}",
+    )
+    return Request(proc)
+
+
+def irecv(ctx: "RankContext", source: int = -1, tag: int = -1) -> Request:
+    """Start a non-blocking receive; ``wait`` returns the data."""
+    proc = ctx.env.process(
+        ctx.recv(source=source, tag=tag), name=f"irecv:{ctx.rank}<-{source}"
+    )
+    return Request(proc)
+
+
+def waitall(ctx: "RankContext", requests: Iterable[Request]) -> Generator:
+    """MPI_Waitall: block until every request completes.
+
+    Returns the per-request values in order.
+    """
+    values = yield ctx.env.all_of([req._proc for req in requests])
+    return values

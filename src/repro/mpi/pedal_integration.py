@@ -1,0 +1,158 @@
+"""The PEDAL <-> MPICH integration shim (paper §IV, Fig. 6).
+
+Sender side: sits between the MPI abstraction and the transport; when a
+message takes the rendezvous path, the user buffer is compressed and
+the wire carries ``PEDAL header + compressed payload``.  Receiver side:
+the receive is posted with a PEDAL-owned buffer; once the full message
+arrives it is decompressed straight into the user buffer.
+
+Three modes:
+
+* ``RAW`` — plain MPI, no compression (the uncompressed reference);
+* ``PEDAL`` — the co-design: pooled buffers, DOCA init hoisted into
+  ``MPI_Init``;
+* ``NAIVE`` — the paper's baseline: same compression algorithms, but
+  memory allocation and DOCA initialisation on every message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Generator
+
+from repro.core.api import PedalConfig, PedalContext
+from repro.core.baseline import NaiveCompressor
+from repro.core.codecs import CodecConfig
+from repro.core.designs import CompressionDesign, design as lookup_design
+from repro.core.header import HEADER_SIZE, PedalHeader
+from repro.dpu.device import BlueFieldDPU
+from repro.mpi.protocol import EAGER_THRESHOLD_BYTES, should_compress
+from repro.sim import TimeBreakdown
+
+__all__ = ["CommMode", "CommConfig", "CompressionLayer"]
+
+
+class CommMode(str, Enum):
+    RAW = "raw"
+    PEDAL = "pedal"
+    NAIVE = "naive"
+
+
+@dataclass(frozen=True)
+class CommConfig:
+    """Per-job communication-layer configuration."""
+
+    mode: CommMode = CommMode.RAW
+    design: "str | CompressionDesign | None" = None
+    codecs: CodecConfig = field(default_factory=CodecConfig)
+    # PEDAL compresses only rendezvous-path messages (paper §IV).
+    rndv_threshold: int = EAGER_THRESHOLD_BYTES
+    eager_threshold: int = EAGER_THRESHOLD_BYTES
+    pool_buffers: int = 4
+
+    def resolved_design(self) -> CompressionDesign | None:
+        if self.design is None:
+            return None
+        return lookup_design(self.design)
+
+    def __post_init__(self) -> None:
+        if self.mode is not CommMode.RAW and self.design is None:
+            raise ValueError(f"mode {self.mode.value} requires a design")
+
+
+class CompressionLayer:
+    """Shim instance bound to one node (one DPU)."""
+
+    def __init__(self, device: BlueFieldDPU, config: CommConfig) -> None:
+        self.device = device
+        self.config = config
+        self.pedal: PedalContext | None = None
+        self.naive: NaiveCompressor | None = None
+        self.compress_seconds = 0.0
+        self.decompress_seconds = 0.0
+        if config.mode is CommMode.PEDAL:
+            self.pedal = PedalContext(
+                device,
+                PedalConfig(codecs=config.codecs, pool_buffers=config.pool_buffers),
+            )
+        elif config.mode is CommMode.NAIVE:
+            self.naive = NaiveCompressor(device, config.codecs)
+
+    def mpi_init(self) -> Generator:
+        """The ``MPI_Init`` hook: runs ``PEDAL_init`` (PEDAL mode only)."""
+        if self.pedal is not None:
+            breakdown = yield from self.pedal.init()
+            return breakdown
+        return TimeBreakdown()
+
+    def mpi_finalize(self) -> Generator:
+        if self.pedal is not None:
+            yield from self.pedal.finalize()
+
+    # -- send path -----------------------------------------------------------
+
+    def outbound(
+        self, data: Any, sim_bytes: float
+    ) -> Generator:
+        """Prepare a payload for the wire.
+
+        Returns ``(payload, wire_bytes, meta)``.  ``payload`` is what
+        the receiver's :meth:`inbound` will see; ``wire_bytes`` is the
+        simulated size crossing the fabric.
+        """
+        cfg = self.config
+        dsg = cfg.resolved_design()
+        if cfg.mode is CommMode.RAW or dsg is None or not should_compress(
+            sim_bytes, cfg.rndv_threshold
+        ):
+            if cfg.mode is CommMode.RAW:
+                return data, sim_bytes, {"compressed": False, "raw": True}
+            # PEDAL passthrough: header marks the message uncompressed.
+            return (
+                (PedalHeader.passthrough(), data),
+                sim_bytes + HEADER_SIZE,
+                {"compressed": False, "raw": False},
+            )
+
+        t0 = self.device.env.now
+        if cfg.mode is CommMode.PEDAL:
+            assert self.pedal is not None
+            result = yield from self.pedal.compress(data, dsg, sim_bytes)
+        else:
+            assert self.naive is not None
+            result = yield from self.naive.compress(data, dsg, sim_bytes)
+        self.compress_seconds += self.device.env.now - t0
+        meta = {
+            "compressed": True,
+            "raw": False,
+            "sim_uncompressed": sim_bytes,
+            "design": dsg,
+            "breakdown": result.breakdown,
+        }
+        return result.message, result.sim_compressed_bytes, meta
+
+    # -- receive path ----------------------------------------------------------
+
+    def inbound(self, payload: Any, meta: dict) -> Generator:
+        """Recover user data from a wire payload."""
+        if meta.get("raw"):
+            return payload
+        if not meta.get("compressed"):
+            _header, data = payload
+            return data
+        dsg: CompressionDesign = meta["design"]
+        sim_bytes = meta["sim_uncompressed"]
+        t0 = self.device.env.now
+        if self.config.mode is CommMode.PEDAL:
+            assert self.pedal is not None
+            result = yield from self.pedal.decompress(
+                payload, dsg.placement, sim_bytes
+            )
+        else:
+            assert self.naive is not None
+            result = yield from self.naive.decompress(
+                payload, dsg.placement, sim_bytes
+            )
+        self.decompress_seconds += self.device.env.now - t0
+        return result.data

@@ -1,0 +1,60 @@
+"""Point-to-point message protocols: eager vs rendezvous.
+
+MPICH-style behaviour: messages at or below the eager threshold are
+pushed to the receiver immediately (one wire transfer, buffered at the
+destination if no receive is posted); larger messages handshake —
+Request-To-Send, wait for a matching posted receive, Clear-To-Send,
+then the payload moves directly into the destination buffer.
+
+PEDAL "operates on MPI's Rendezvous (RNDV) protocol for larger message
+sizes rather than the Eager protocol" (paper §IV), because compression
+latency swamps small messages; the integration layer consults
+:func:`should_compress` accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any
+
+__all__ = [
+    "EAGER_THRESHOLD_BYTES",
+    "Protocol",
+    "Envelope",
+    "protocol_for",
+    "should_compress",
+]
+
+# MPICH's default netmod eager/rendezvous switchover is 64 KiB.
+EAGER_THRESHOLD_BYTES = 64 * 1024
+
+
+class Protocol(str, Enum):
+    EAGER = "eager"
+    RENDEZVOUS = "rendezvous"
+
+
+@dataclass
+class Envelope:
+    """One in-flight message (matching key + payload + wire metadata)."""
+
+    source: int
+    dest: int
+    tag: int
+    protocol: Protocol
+    payload: Any
+    wire_bytes: float  # simulated bytes that cross the fabric
+    meta: dict  # simulation bookkeeping (e.g. nominal uncompressed size)
+    cts: Any = None  # CTS event, rendezvous only
+    data_ready: Any = None  # payload-arrived event, rendezvous only
+
+
+def protocol_for(wire_bytes: float, eager_threshold: int = EAGER_THRESHOLD_BYTES) -> Protocol:
+    """Protocol selection by (possibly compressed) wire size."""
+    return Protocol.EAGER if wire_bytes <= eager_threshold else Protocol.RENDEZVOUS
+
+
+def should_compress(sim_bytes: float, rndv_threshold: int = EAGER_THRESHOLD_BYTES) -> bool:
+    """PEDAL's rule: compress only messages on the rendezvous path."""
+    return sim_bytes > rndv_threshold

@@ -1,0 +1,113 @@
+"""Waitable resources for the DES kernel.
+
+:class:`Resource`
+    A FIFO server pool with fixed capacity — models the C-Engine's job
+    queue (capacity 1 per engine) and SoC core pools.
+:class:`Store`
+    An unbounded FIFO item queue with blocking ``get`` — models MPI
+    unexpected-message queues and DOCA work-queue completions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment, Event
+
+__all__ = ["Resource", "Store"]
+
+
+class Request(Event):
+    """Grant event for one unit of a :class:`Resource`."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, env: Environment, resource: "Resource") -> None:
+        super().__init__(env)
+        self.resource = resource
+
+
+class Resource:
+    """FIFO resource with ``capacity`` concurrent holders.
+
+    Usage inside a process generator::
+
+        req = resource.request()
+        yield req
+        try:
+            yield env.timeout(service_time)
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._holders: set[Request] = set()
+        self._waiting: deque[Request] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return len(self._holders)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Request one unit; the returned event fires when granted."""
+        req = Request(self.env, self)
+        if len(self._holders) < self.capacity:
+            self._holders.add(req)
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, req: Request) -> None:
+        """Release a previously granted unit."""
+        if req in self._holders:
+            self._holders.discard(req)
+        else:
+            # Cancelling a queued request is allowed.
+            try:
+                self._waiting.remove(req)
+                return
+            except ValueError:
+                raise SimulationError("release of a request not held or queued")
+        while self._waiting and len(self._holders) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._holders.add(nxt)
+            nxt.succeed()
+
+
+class Store:
+    """Unbounded FIFO store: ``put`` never blocks, ``get`` may."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``, waking the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that fires with the next item (immediately if available)."""
+        ev = Event(self.env)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev

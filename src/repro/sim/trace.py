@@ -1,0 +1,52 @@
+"""Phase-time accounting for the reproduced time-distribution figures.
+
+Fig. 7 and Fig. 9 of the paper break execution time into named phases
+(DOCA init, buffer preparation, compression, decompression).
+:class:`TimeBreakdown` is the accumulator every simulated operation
+reports into; the bench harness renders them as stacked fractions.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["TimeBreakdown"]
+
+
+class TimeBreakdown:
+    """Ordered accumulation of time per named phase (seconds)."""
+
+    def __init__(self) -> None:
+        self._phases: "OrderedDict[str, float]" = OrderedDict()
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into ``phase``."""
+        if seconds < 0:
+            raise ValueError(f"negative phase duration {seconds} for {phase!r}")
+        self._phases[phase] = self._phases.get(phase, 0.0) + seconds
+
+    def merge(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        """Accumulate all phases of ``other`` into self; returns self."""
+        for phase, seconds in other._phases.items():
+            self.add(phase, seconds)
+        return self
+
+    def get(self, phase: str) -> float:
+        return self._phases.get(phase, 0.0)
+
+    def total(self) -> float:
+        return sum(self._phases.values())
+
+    def fraction(self, *phases: str) -> float:
+        """Combined share of ``phases`` in the total (0 when empty)."""
+        total = self.total()
+        if total == 0:
+            return 0.0
+        return sum(self._phases.get(p, 0.0) for p in phases) / total
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self._phases)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:.6g}s" for k, v in self._phases.items())
+        return f"TimeBreakdown({inner})"

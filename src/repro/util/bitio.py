@@ -1,0 +1,217 @@
+"""LSB-first bit stream I/O.
+
+DEFLATE (RFC 1951) packs bits starting from the least-significant bit of
+each output byte; Huffman codes are written most-significant-code-bit
+first, which RFC 1951 expresses by storing codes bit-reversed.  This
+module only deals with the raw LSB-first transport; code bit-reversal is
+the concern of :mod:`repro.algorithms.huffman`.
+
+The writer offers a numpy-vectorised bulk path
+(:meth:`BitWriter.write_code_array`) because per-symbol Python calls are
+the dominant cost when emitting a megabyte-scale token stream.  The bulk
+path scatters one bit-plane at a time with ``np.bitwise_or.at`` —
+``maxlen`` passes over the symbol arrays instead of one Python-level loop
+per symbol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CorruptStreamError
+
+__all__ = ["BitWriter", "BitReader", "reverse_bits"]
+
+
+def reverse_bits(value: int, nbits: int) -> int:
+    """Reverse the low ``nbits`` bits of ``value``.
+
+    Used to convert canonical (MSB-first) Huffman codes into DEFLATE's
+    LSB-first wire order.
+    """
+    out = 0
+    for _ in range(nbits):
+        out = (out << 1) | (value & 1)
+        value >>= 1
+    return out
+
+
+class BitWriter:
+    """Accumulates an LSB-first bit stream into a growable byte buffer."""
+
+    def __init__(self) -> None:
+        self._out = bytearray()
+        self._acc = 0  # pending bits, LSB = next bit on the wire
+        self._nbits = 0
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far (including pending bits)."""
+        return len(self._out) * 8 + self._nbits
+
+    def write_bits(self, value: int, nbits: int) -> None:
+        """Append the low ``nbits`` bits of ``value``, LSB first."""
+        if nbits < 0:
+            raise ValueError(f"nbits must be >= 0, got {nbits}")
+        if nbits == 0:
+            return
+        if value >> nbits:
+            raise ValueError(f"value 0x{value:x} does not fit in {nbits} bits")
+        self._acc |= value << self._nbits
+        self._nbits += nbits
+        while self._nbits >= 8:
+            self._out.append(self._acc & 0xFF)
+            self._acc >>= 8
+            self._nbits -= 8
+
+    def align_to_byte(self) -> None:
+        """Pad with zero bits up to the next byte boundary."""
+        if self._nbits:
+            self._out.append(self._acc & 0xFF)
+            self._acc = 0
+            self._nbits = 0
+
+    def write_bytes(self, data: bytes | bytearray | memoryview) -> None:
+        """Byte-align, then append raw bytes (used for stored blocks)."""
+        self.align_to_byte()
+        self._out += data
+
+    def write_code_array(self, codes: np.ndarray, lengths: np.ndarray) -> None:
+        """Vectorised bulk append of many variable-length codes.
+
+        Parameters
+        ----------
+        codes:
+            Integer array; entry ``i`` holds the bits of code ``i`` already
+            in LSB-first wire order.
+        lengths:
+            Bit length of each code; zero-length entries are skipped.
+        """
+        codes = np.ascontiguousarray(codes, dtype=np.uint32)
+        lengths = np.ascontiguousarray(lengths, dtype=np.int64)
+        if codes.shape != lengths.shape:
+            raise ValueError("codes and lengths must have identical shapes")
+        if codes.size == 0:
+            return
+        total = int(lengths.sum())
+        if total == 0:
+            return
+        # Bit offset of each code relative to the start of the bulk region.
+        offsets = np.empty(lengths.size, dtype=np.int64)
+        offsets[0] = 0
+        np.cumsum(lengths[:-1], out=offsets[1:])
+
+        start = self._nbits  # bulk region starts after the pending bits
+        nbytes = (start + total + 7) // 8
+        buf = np.zeros(nbytes, dtype=np.uint8)
+        if start:
+            buf[0] = self._acc & 0xFF
+
+        maxlen = int(lengths.max())
+        base = offsets + start
+        for bit in range(maxlen):
+            live = lengths > bit
+            if not live.any():
+                break
+            idx = base[live] + bit
+            vals = ((codes[live] >> np.uint32(bit)) & np.uint32(1)).astype(np.uint8)
+            np.bitwise_or.at(buf, idx >> 3, vals << (idx & 7).astype(np.uint8))
+
+        end_bits = (start + total) % 8
+        if end_bits:
+            self._out += buf[:-1].tobytes()
+            self._acc = int(buf[-1])
+            self._nbits = end_bits
+        else:
+            self._out += buf.tobytes()
+            self._acc = 0
+            self._nbits = 0
+
+    def getvalue(self) -> bytes:
+        """Return the stream contents, zero-padding any final partial byte."""
+        if self._nbits:
+            return bytes(self._out) + bytes([self._acc & 0xFF])
+        return bytes(self._out)
+
+
+class BitReader:
+    """Reads an LSB-first bit stream produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes | bytearray | memoryview) -> None:
+        self._data = bytes(data)
+        self._pos = 0  # byte cursor
+        self._acc = 0
+        self._nbits = 0
+
+    @property
+    def bits_consumed(self) -> int:
+        """Number of bits consumed from the underlying byte stream."""
+        return self._pos * 8 - self._nbits
+
+    @property
+    def bytes_consumed(self) -> int:
+        """Bytes consumed, rounding the current partial byte up."""
+        return self._pos - (self._nbits // 8)
+
+    def _fill(self, nbits: int) -> None:
+        data = self._data
+        while self._nbits < nbits:
+            if self._pos >= len(data):
+                raise CorruptStreamError("unexpected end of bit stream")
+            self._acc |= data[self._pos] << self._nbits
+            self._pos += 1
+            self._nbits += 8
+
+    def read_bits(self, nbits: int) -> int:
+        """Consume and return ``nbits`` bits (LSB-first)."""
+        if nbits == 0:
+            return 0
+        self._fill(nbits)
+        value = self._acc & ((1 << nbits) - 1)
+        self._acc >>= nbits
+        self._nbits -= nbits
+        return value
+
+    def peek_bits(self, nbits: int) -> int:
+        """Return up to ``nbits`` bits without consuming them.
+
+        Near the end of the stream fewer bits may remain; the missing high
+        bits are returned as zero, matching common inflate implementations
+        that over-peek into the lookup table.
+        """
+        data = self._data
+        while self._nbits < nbits and self._pos < len(data):
+            self._acc |= data[self._pos] << self._nbits
+            self._pos += 1
+            self._nbits += 8
+        return self._acc & ((1 << nbits) - 1)
+
+    def skip_bits(self, nbits: int) -> None:
+        """Consume ``nbits`` previously peeked bits."""
+        if nbits > self._nbits:
+            raise CorruptStreamError("skip beyond buffered bits")
+        self._acc >>= nbits
+        self._nbits -= nbits
+
+    def align_to_byte(self) -> None:
+        """Drop bits up to the next byte boundary."""
+        drop = self._nbits % 8
+        self._acc >>= drop
+        self._nbits -= drop
+
+    def read_bytes(self, n: int) -> bytes:
+        """Byte-align, then read ``n`` raw bytes."""
+        self.align_to_byte()
+        # Return whole buffered bytes first.
+        out = bytearray()
+        while self._nbits and n:
+            out.append(self._acc & 0xFF)
+            self._acc >>= 8
+            self._nbits -= 8
+            n -= 1
+        if n:
+            if self._pos + n > len(self._data):
+                raise CorruptStreamError("unexpected end of byte stream")
+            out += self._data[self._pos : self._pos + n]
+            self._pos += n
+        return bytes(out)

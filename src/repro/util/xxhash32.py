@@ -1,0 +1,75 @@
+"""xxHash32 — the checksum used by the LZ4 frame format.
+
+Reference: https://github.com/Cyan4973/xxHash (XXH32, little-endian).
+Implemented from the published algorithm specification; verified in the
+test suite against the official test vectors (e.g. ``XXH32("") == 0x02CC5D05``
+with seed 0).
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["xxh32"]
+
+_PRIME1 = 0x9E3779B1
+_PRIME2 = 0x85EBCA77
+_PRIME3 = 0xC2B2AE3D
+_PRIME4 = 0x27D4EB2F
+_PRIME5 = 0x165667B1
+_MASK = 0xFFFFFFFF
+
+
+def _rotl(x: int, r: int) -> int:
+    return ((x << r) | (x >> (32 - r))) & _MASK
+
+
+def _round(acc: int, lane: int) -> int:
+    acc = (acc + lane * _PRIME2) & _MASK
+    return (_rotl(acc, 13) * _PRIME1) & _MASK
+
+
+def xxh32(data: bytes | bytearray | memoryview, seed: int = 0) -> int:
+    """Compute XXH32 of ``data`` with the given ``seed``."""
+    data = bytes(data)
+    n = len(data)
+    seed &= _MASK
+
+    pos = 0
+    if n >= 16:
+        v1 = (seed + _PRIME1 + _PRIME2) & _MASK
+        v2 = (seed + _PRIME2) & _MASK
+        v3 = seed
+        v4 = (seed - _PRIME1) & _MASK
+        limit = n - 16
+        unpack = struct.Struct("<4I").unpack_from
+        while pos <= limit:
+            l1, l2, l3, l4 = unpack(data, pos)
+            v1 = _round(v1, l1)
+            v2 = _round(v2, l2)
+            v3 = _round(v3, l3)
+            v4 = _round(v4, l4)
+            pos += 16
+        h = (_rotl(v1, 1) + _rotl(v2, 7) + _rotl(v3, 12) + _rotl(v4, 18)) & _MASK
+    else:
+        h = (seed + _PRIME5) & _MASK
+
+    h = (h + n) & _MASK
+
+    while pos + 4 <= n:
+        (lane,) = struct.unpack_from("<I", data, pos)
+        h = (h + lane * _PRIME3) & _MASK
+        h = (_rotl(h, 17) * _PRIME4) & _MASK
+        pos += 4
+
+    while pos < n:
+        h = (h + data[pos] * _PRIME5) & _MASK
+        h = (_rotl(h, 11) * _PRIME1) & _MASK
+        pos += 1
+
+    h ^= h >> 15
+    h = (h * _PRIME2) & _MASK
+    h ^= h >> 13
+    h = (h * _PRIME3) & _MASK
+    h ^= h >> 16
+    return h

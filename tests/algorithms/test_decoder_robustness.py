@@ -1,0 +1,106 @@
+"""Decoder robustness: arbitrary bytes must fail cleanly.
+
+Every decompressor in the library is exposed to wire data; feeding them
+random garbage must raise a :class:`~repro.errors.ReproError` subclass
+(or, for checksum-less raw formats, return *some* bytes) — never an
+unhandled exception, infinite loop, or memory blow-up.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.deflate import deflate_compress, deflate_decompress
+from repro.algorithms.gzip_format import gzip_decompress
+from repro.algorithms.lz4 import lz4_block_decompress, lz4_decompress
+from repro.algorithms.sz3 import sz3_decompress
+from repro.algorithms.zlib_format import zlib_decompress
+from repro.algorithms.zstdlite import zstdlite_decompress
+from repro.errors import ReproError
+
+DECODERS = {
+    "deflate": lambda b: deflate_decompress(b, max_output=1 << 20),
+    "zlib": zlib_decompress,
+    "gzip": gzip_decompress,
+    "lz4_block": lambda b: lz4_block_decompress(b, max_output=1 << 20),
+    "lz4_frame": lz4_decompress,
+    "zstdlite": zstdlite_decompress,
+    "sz3": sz3_decompress,
+}
+
+
+@pytest.mark.parametrize("name", sorted(DECODERS))
+@given(blob=st.binary(max_size=600))
+@settings(max_examples=60, deadline=None)
+def test_random_bytes_fail_cleanly(name, blob):
+    try:
+        DECODERS[name](blob)
+    except ReproError:
+        pass  # the expected outcome for garbage
+
+
+@pytest.mark.parametrize("name", sorted(DECODERS))
+def test_empty_input(name):
+    try:
+        result = DECODERS[name](b"")
+    except ReproError:
+        return
+    assert result in (b"",) or getattr(result, "size", None) == 0
+
+
+@given(blob=st.binary(min_size=1, max_size=400), index=st.data())
+@settings(max_examples=80, deadline=None)
+def test_deflate_single_bitflip_never_hangs(blob, index):
+    """Flip one bit anywhere in a valid stream: decode must terminate
+    quickly with either an error or some (possibly different) bytes —
+    bounded by max_output so corrupted run-lengths cannot explode."""
+    stream = bytearray(deflate_compress(blob))
+    position = index.draw(st.integers(0, len(stream) * 8 - 1))
+    stream[position // 8] ^= 1 << (position % 8)
+    try:
+        out = deflate_decompress(bytes(stream), max_output=len(blob) * 4 + 64)
+        assert len(out) <= len(blob) * 4 + 64
+    except ReproError:
+        pass
+
+
+@given(blob=st.binary(max_size=400), index=st.data())
+@settings(max_examples=60, deadline=None)
+def test_zlib_single_byteflip_never_silently_wrong(blob, index):
+    """zlib is checksummed: a corrupted stream either errors or decodes
+    to the original (flips in non-load-bearing bits)."""
+    stream = bytearray(
+        __import__("repro.algorithms.zlib_format", fromlist=["zlib_compress"])
+        .zlib_compress(blob)
+    )
+    position = index.draw(st.integers(0, len(stream) - 1))
+    stream[position] ^= 0xA5
+    try:
+        out = zlib_decompress(bytes(stream))
+    except ReproError:
+        return
+    assert out == blob
+
+
+@given(
+    values=st.lists(
+        st.floats(-1e4, 1e4, allow_nan=False, width=32), min_size=1, max_size=200
+    ),
+    index=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_sz3_corruption_never_crashes(values, index):
+    from repro.algorithms.sz3 import SZ3Config, sz3_compress
+
+    array = np.asarray(values, dtype=np.float32)
+    stream = bytearray(sz3_compress(array, SZ3Config(error_bound=1e-2)))
+    position = index.draw(st.integers(0, len(stream) - 1))
+    stream[position] ^= 0xFF
+    try:
+        out = sz3_decompress(bytes(stream))
+        assert isinstance(out, np.ndarray)
+    except (ReproError, ValueError):
+        # ValueError covers pathological reshape sizes from corrupted
+        # shape fields caught by numpy before our own checks.
+        pass

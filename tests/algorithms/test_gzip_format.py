@@ -1,0 +1,84 @@
+"""gzip container (RFC 1952) and stdlib interop."""
+
+import gzip as stdgzip
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.gzip_format import gzip_compress, gzip_decompress
+from repro.errors import ChecksumMismatchError, CorruptStreamError
+
+
+class TestRoundtrip:
+    def test_roundtrip(self, text_payload):
+        assert gzip_decompress(gzip_compress(text_payload)) == text_payload
+
+    def test_empty(self):
+        assert gzip_decompress(gzip_compress(b"")) == b""
+
+    def test_deterministic(self, text_payload):
+        assert gzip_compress(text_payload) == gzip_compress(text_payload)
+
+    def test_filename_field(self, text_payload):
+        blob = gzip_compress(text_payload, filename="data.bin")
+        assert b"data.bin\x00" in blob[:30]
+        assert gzip_decompress(blob) == text_payload
+
+    def test_mtime_recorded(self):
+        blob = gzip_compress(b"x", mtime=1234)
+        assert int.from_bytes(blob[4:8], "little") == 1234
+
+
+class TestStdlibInterop:
+    def test_stdlib_reads_ours(self, text_payload):
+        assert stdgzip.decompress(gzip_compress(text_payload)) == text_payload
+
+    def test_we_read_stdlib(self, text_payload):
+        assert gzip_decompress(stdgzip.compress(text_payload, mtime=0)) == text_payload
+
+    def test_we_read_stdlib_all_levels(self, text_payload):
+        for level in (1, 5, 9):
+            blob = stdgzip.compress(text_payload, compresslevel=level, mtime=0)
+            assert gzip_decompress(blob) == text_payload
+
+
+class TestCorruption:
+    def test_bad_magic(self):
+        with pytest.raises(CorruptStreamError):
+            gzip_decompress(b"\x1f\x8c" + bytes(20))
+
+    def test_short_member(self):
+        with pytest.raises(CorruptStreamError):
+            gzip_decompress(b"\x1f\x8b\x08")
+
+    def test_reserved_flg_bits(self, text_payload):
+        blob = bytearray(gzip_compress(text_payload))
+        blob[3] |= 0x80
+        with pytest.raises(CorruptStreamError):
+            gzip_decompress(bytes(blob))
+
+    def test_crc_mismatch(self, text_payload):
+        blob = bytearray(gzip_compress(text_payload))
+        blob[-5] ^= 0xFF  # inside the CRC32 field
+        with pytest.raises(ChecksumMismatchError):
+            gzip_decompress(bytes(blob))
+
+    def test_isize_mismatch(self, text_payload):
+        blob = bytearray(gzip_compress(text_payload))
+        blob[-1] ^= 0xFF  # inside ISIZE
+        with pytest.raises(CorruptStreamError):
+            gzip_decompress(bytes(blob))
+
+    def test_unterminated_filename(self):
+        header = b"\x1f\x8b\x08" + bytes([0x08]) + bytes(6) + b"no-null-here"
+        with pytest.raises(CorruptStreamError):
+            gzip_decompress(header + bytes(20))
+
+
+@given(st.binary(max_size=3000))
+@settings(max_examples=40, deadline=None)
+def test_property_gzip_differential(blob):
+    assert gzip_decompress(gzip_compress(blob)) == blob
+    assert stdgzip.decompress(gzip_compress(blob)) == blob
+    assert gzip_decompress(stdgzip.compress(blob, mtime=0)) == blob

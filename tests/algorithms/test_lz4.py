@@ -1,0 +1,162 @@
+"""LZ4 block + frame format."""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.lz4 import (
+    Lz4Config,
+    lz4_block_compress,
+    lz4_block_decompress,
+    lz4_compress,
+    lz4_decompress,
+)
+from repro.algorithms.lz4.frame import MAGIC
+from repro.errors import ChecksumMismatchError, CorruptStreamError, OutputOverflowError
+
+
+SAMPLES = [
+    b"",
+    b"a",
+    b"short",
+    b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+    b"the quick brown fox jumps over the lazy dog. " * 200,
+    np.random.default_rng(0).bytes(4000),
+    b"\x00" * 100000,
+    bytes(range(256)) * 16,
+]
+
+
+class TestBlock:
+    @pytest.mark.parametrize("idx", range(len(SAMPLES)))
+    def test_roundtrip(self, idx):
+        data = SAMPLES[idx]
+        assert lz4_block_decompress(lz4_block_compress(data)) == data
+
+    def test_acceleration_levels(self, text_payload):
+        for accel in (1, 4, 16):
+            block = lz4_block_compress(text_payload, Lz4Config(acceleration=accel))
+            assert lz4_block_decompress(block) == text_payload
+
+    def test_bad_acceleration(self):
+        with pytest.raises(ValueError):
+            Lz4Config(acceleration=0)
+
+    def test_run_compresses_well(self):
+        data = b"z" * 10000
+        block = lz4_block_compress(data)
+        assert len(block) < 100
+
+    def test_last_five_bytes_are_literals(self):
+        # Decode the final sequence: it must be literal-only.
+        data = b"abcdefgh" * 50
+        block = lz4_block_compress(data)
+        assert lz4_block_decompress(block) == data
+
+    def test_zero_offset_rejected(self):
+        # token: 1 literal + match; offset 0 is illegal.
+        bad = bytes([0x10 | 0x0, ord("x"), 0x00, 0x00])
+        with pytest.raises(CorruptStreamError):
+            lz4_block_decompress(bad)
+
+    def test_truncated_literal_run(self):
+        bad = bytes([0xF0])  # promises >= 15 literals, none present
+        with pytest.raises(CorruptStreamError):
+            lz4_block_decompress(bad)
+
+    def test_offset_before_start_rejected(self):
+        bad = bytes([0x10, ord("x"), 0x05, 0x00])  # offset 5 > output 1
+        with pytest.raises(CorruptStreamError):
+            lz4_block_decompress(bad)
+
+    def test_output_limit(self):
+        data = b"q" * 50000
+        block = lz4_block_compress(data)
+        with pytest.raises(OutputOverflowError):
+            lz4_block_decompress(block, max_output=100)
+
+    def test_long_match_extension_bytes(self):
+        # A >270-byte match exercises the 255-saturated extension path.
+        data = b"Lorem ipsum " + b"A" * 2000 + b" dolor sit amet"
+        block = lz4_block_compress(data)
+        assert lz4_block_decompress(block) == data
+
+
+class TestFrame:
+    @pytest.mark.parametrize("idx", range(len(SAMPLES)))
+    def test_roundtrip(self, idx):
+        data = SAMPLES[idx]
+        assert lz4_decompress(lz4_compress(data)) == data
+
+    def test_magic_number(self, text_payload):
+        frame = lz4_compress(text_payload)
+        assert struct.unpack_from("<I", frame, 0)[0] == MAGIC
+
+    def test_bad_magic_rejected(self, text_payload):
+        frame = bytearray(lz4_compress(text_payload))
+        frame[0] ^= 1
+        with pytest.raises(CorruptStreamError):
+            lz4_decompress(bytes(frame))
+
+    def test_header_checksum_verified(self, text_payload):
+        frame = bytearray(lz4_compress(text_payload))
+        # HC byte is at offset 4 (magic) + 2 (FLG/BD) + 8 (content size).
+        frame[14] ^= 0xFF
+        with pytest.raises(ChecksumMismatchError):
+            lz4_decompress(bytes(frame))
+
+    def test_content_checksum_verified(self, text_payload):
+        frame = bytearray(lz4_compress(text_payload))
+        frame[-1] ^= 0xFF
+        with pytest.raises(ChecksumMismatchError):
+            lz4_decompress(bytes(frame))
+
+    def test_multi_block_frames(self):
+        data = (b"block content " * 6000)[: 3 * 65536 + 17]
+        frame = lz4_compress(data, block_size_code=4)  # 64 KiB blocks
+        assert lz4_decompress(frame) == data
+
+    def test_incompressible_blocks_stored(self):
+        rng = np.random.default_rng(5)
+        data = rng.bytes(200000)
+        frame = lz4_compress(data)
+        # Stored-block fallback: bounded expansion.
+        assert len(frame) < len(data) + 64
+        assert lz4_decompress(frame) == data
+
+    def test_invalid_block_size_code(self):
+        with pytest.raises(ValueError):
+            lz4_compress(b"x", block_size_code=3)
+
+    def test_truncated_frame(self, text_payload):
+        frame = lz4_compress(text_payload)
+        with pytest.raises(CorruptStreamError):
+            lz4_decompress(frame[:20])
+
+    def test_reserved_flg_bits_rejected(self):
+        frame = bytearray(lz4_compress(b"data"))
+        frame[4] |= 0x03
+        with pytest.raises(CorruptStreamError):
+            lz4_decompress(bytes(frame))
+
+
+@given(st.binary(max_size=4000))
+@settings(max_examples=60, deadline=None)
+def test_property_block_roundtrip(blob):
+    assert lz4_block_decompress(lz4_block_compress(blob)) == blob
+
+
+@given(st.binary(max_size=4000))
+@settings(max_examples=40, deadline=None)
+def test_property_frame_roundtrip(blob):
+    assert lz4_decompress(lz4_compress(blob)) == blob
+
+
+@given(st.lists(st.sampled_from(b"abcd"), min_size=0, max_size=3000))
+@settings(max_examples=30, deadline=None)
+def test_property_low_entropy_block(symbols):
+    blob = bytes(symbols)
+    assert lz4_block_decompress(lz4_block_compress(blob)) == blob

@@ -1,0 +1,146 @@
+"""SZ3 end-to-end: error bound, backends, format robustness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.algorithms.sz3 import SZ3Compressor, SZ3Config, sz3_compress, sz3_decompress
+from repro.errors import CorruptStreamError
+
+
+def max_error(a: np.ndarray, b: np.ndarray) -> float:
+    return float(np.abs(a.astype(np.float64) - b.astype(np.float64)).max(initial=0.0))
+
+
+class TestErrorBound:
+    @pytest.mark.parametrize("eb", [1e-2, 1e-4, 1e-6])
+    def test_abs_bound_float64(self, eb):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=5000)
+        recon = sz3_decompress(sz3_compress(data, SZ3Config(error_bound=eb)))
+        assert max_error(data, recon) <= eb * (1 + 1e-9)
+
+    def test_abs_bound_float32(self, smooth_field):
+        eb = 1e-4
+        recon = sz3_decompress(sz3_compress(smooth_field, SZ3Config(error_bound=eb)))
+        # float32 casting can add up to half an ulp on top of eb.
+        assert max_error(smooth_field, recon) <= eb + 1e-6
+
+    def test_relative_bound(self):
+        data = np.linspace(0, 100, 10000).astype(np.float64)
+        cfg = SZ3Config(error_bound=1e-3, error_mode="rel")
+        recon = sz3_decompress(sz3_compress(data, cfg))
+        assert max_error(data, recon) <= 0.1 * (1 + 1e-9)
+
+    @pytest.mark.parametrize("shape", [(50,), (30, 40), (8, 9, 10), (3, 4, 5, 6)])
+    def test_shapes_roundtrip(self, shape):
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=shape)
+        recon = sz3_decompress(sz3_compress(data, SZ3Config(error_bound=1e-3)))
+        assert recon.shape == shape
+        assert max_error(data, recon) <= 1e-3 * (1 + 1e-9)
+
+    def test_empty_array(self):
+        data = np.zeros(0, dtype=np.float32)
+        recon = sz3_decompress(sz3_compress(data))
+        assert recon.size == 0
+
+
+class TestConfigurations:
+    @pytest.mark.parametrize("pred", ["lorenzo", "interp", "none"])
+    @pytest.mark.parametrize("backend", ["deflate", "lz4", "zstdlite", "none"])
+    def test_all_stage_combinations(self, pred, backend, smooth_field):
+        cfg = SZ3Config(error_bound=1e-4, predictor=pred, backend=backend)
+        recon = sz3_decompress(sz3_compress(smooth_field[:5000], cfg))
+        assert max_error(smooth_field[:5000], recon) <= 1e-4 + 1e-6
+
+    def test_smooth_data_compresses_well(self, smooth_field):
+        stream = sz3_compress(smooth_field, SZ3Config(error_bound=1e-4))
+        assert smooth_field.nbytes / len(stream) > 5.0
+
+    def test_lorenzo_beats_none_on_smooth(self, smooth_field):
+        ratio = {}
+        for pred in ("lorenzo", "none"):
+            cfg = SZ3Config(error_bound=1e-4, predictor=pred)
+            ratio[pred] = smooth_field.nbytes / len(sz3_compress(smooth_field, cfg))
+        assert ratio["lorenzo"] > ratio["none"]
+
+    def test_invalid_config_values(self):
+        with pytest.raises(ValueError):
+            SZ3Config(error_bound=0.0)
+        with pytest.raises(ValueError):
+            SZ3Config(predictor="magic")
+        with pytest.raises(ValueError):
+            SZ3Config(backend="zstd")
+        with pytest.raises(ValueError):
+            SZ3Config(error_mode="psnr")
+
+    def test_dtype_preserved(self):
+        for dtype in (np.float32, np.float64):
+            data = np.linspace(0, 1, 100).astype(dtype)
+            assert sz3_decompress(sz3_compress(data)).dtype == dtype
+
+
+class TestFormat:
+    def test_magic_required(self):
+        with pytest.raises(CorruptStreamError):
+            sz3_decompress(b"JUNKJUNKJUNKJUNK")
+
+    def test_truncated_stream(self, smooth_field):
+        stream = sz3_compress(smooth_field[:1000])
+        with pytest.raises(CorruptStreamError):
+            sz3_decompress(stream[: len(stream) // 2])
+
+    def test_unknown_version(self, smooth_field):
+        stream = bytearray(sz3_compress(smooth_field[:100]))
+        stream[4] = 99
+        with pytest.raises(CorruptStreamError):
+            sz3_decompress(bytes(stream))
+
+    def test_stage_sizes_recorded(self, smooth_field):
+        compressor = SZ3Compressor(SZ3Config(error_bound=1e-4))
+        stream = compressor.compress(smooth_field)
+        sizes = compressor.last_stage_sizes
+        assert sizes.input_bytes == smooth_field.nbytes
+        assert sizes.stream_bytes == len(stream)
+        assert 0 < sizes.backend_blob_bytes <= sizes.entropy_payload_bytes
+
+    def test_decompress_stages_reports_sizes(self, smooth_field):
+        stream = sz3_compress(smooth_field)
+        array, sizes = SZ3Compressor.decompress_stages(stream)
+        assert sizes.input_bytes == smooth_field.nbytes
+        assert sizes.stream_bytes == len(stream)
+        assert max_error(smooth_field, array) <= 1e-4 + 1e-6
+
+
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.integers(1, 500),
+        elements=st.floats(-1e6, 1e6, allow_nan=False, width=64),
+    ),
+    st.sampled_from([1e-1, 1e-3, 1e-5]),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_error_bound(data, eb):
+    recon = sz3_decompress(sz3_compress(data, SZ3Config(error_bound=eb)))
+    assert max_error(data, recon) <= eb * (1 + 1e-9)
+
+
+@given(
+    st.sampled_from(["lorenzo", "interp"]),
+    arrays(
+        dtype=np.float32,
+        shape=st.tuples(st.integers(1, 20), st.integers(1, 20)),
+        elements=st.floats(-1e3, 1e3, allow_nan=False, width=32),
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_2d_bound_float32(pred, data):
+    eb = 1e-2
+    cfg = SZ3Config(error_bound=eb, predictor=pred)
+    recon = sz3_decompress(sz3_compress(data, cfg))
+    assert recon.shape == data.shape
+    assert max_error(data, recon) <= eb + 1e-4

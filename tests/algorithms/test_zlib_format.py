@@ -1,0 +1,100 @@
+"""zlib container format (RFC 1950)."""
+
+import zlib as stdzlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.zlib_format import (
+    assemble_zlib_stream,
+    build_zlib_header,
+    build_zlib_trailer,
+    parse_zlib_header,
+    zlib_compress,
+    zlib_decompress,
+)
+from repro.errors import ChecksumMismatchError, CorruptStreamError
+
+
+class TestHeader:
+    def test_fcheck_valid(self):
+        for level in range(4):
+            header = build_zlib_header(level)
+            assert (header[0] * 256 + header[1]) % 31 == 0
+
+    def test_level_out_of_range(self):
+        with pytest.raises(ValueError):
+            build_zlib_header(4)
+
+    def test_parse_returns_flevel(self):
+        assert parse_zlib_header(build_zlib_header(3) + b"xx") == 3
+
+    def test_parse_rejects_bad_method(self):
+        with pytest.raises(CorruptStreamError):
+            parse_zlib_header(bytes([0x79, 0x01]))  # CM=9
+
+    def test_parse_rejects_bad_fcheck(self):
+        header = bytearray(build_zlib_header())
+        header[1] ^= 1
+        with pytest.raises(CorruptStreamError):
+            parse_zlib_header(bytes(header))
+
+    def test_parse_rejects_fdict(self):
+        cmf = 0x78
+        flg = 0x20
+        rem = (cmf * 256 + flg) % 31
+        if rem:
+            flg += 31 - rem
+        with pytest.raises(CorruptStreamError):
+            parse_zlib_header(bytes([cmf, flg]))
+
+    def test_parse_rejects_short_input(self):
+        with pytest.raises(CorruptStreamError):
+            parse_zlib_header(b"\x78")
+
+    def test_stdlib_accepts_our_header(self, text_payload):
+        assert stdzlib.decompress(zlib_compress(text_payload)) == text_payload
+
+
+class TestRoundtrip:
+    def test_roundtrip(self, text_payload):
+        assert zlib_decompress(zlib_compress(text_payload)) == text_payload
+
+    def test_empty(self):
+        assert zlib_decompress(zlib_compress(b"")) == b""
+
+    def test_we_decode_stdlib(self, text_payload):
+        assert zlib_decompress(stdzlib.compress(text_payload)) == text_payload
+
+    def test_trailer_is_adler32(self, text_payload):
+        stream = zlib_compress(text_payload)
+        assert stream[-4:] == stdzlib.adler32(text_payload).to_bytes(4, "big")
+
+    def test_adler_mismatch_detected(self, text_payload):
+        stream = bytearray(zlib_compress(text_payload))
+        stream[-1] ^= 0xFF
+        with pytest.raises(ChecksumMismatchError):
+            zlib_decompress(bytes(stream))
+
+    def test_truncated_stream(self):
+        with pytest.raises(CorruptStreamError):
+            zlib_decompress(build_zlib_header() + b"\x01")
+
+    def test_assemble_matches_oneshot(self, text_payload):
+        from repro.algorithms.deflate import deflate_compress
+
+        manual = assemble_zlib_stream(
+            deflate_compress(text_payload),
+            build_zlib_header(),
+            build_zlib_trailer(text_payload),
+        )
+        assert manual == zlib_compress(text_payload)
+
+
+@given(st.binary(max_size=3000))
+@settings(max_examples=40, deadline=None)
+def test_property_zlib_differential(blob):
+    assert zlib_decompress(zlib_compress(blob)) == blob
+    assert stdzlib.decompress(zlib_compress(blob)) == blob
+    assert zlib_decompress(stdzlib.compress(blob)) == blob

@@ -1,0 +1,65 @@
+"""OSU-style benchmark functions."""
+
+import pytest
+
+from repro.bench.osu import format_osu_report, osu_bcast, osu_bw, osu_latency
+from repro.mpi import CommConfig, CommMode
+
+SIZES = [1 << 16, 1 << 20, 1 << 22]
+
+
+class TestOsuLatency:
+    def test_latency_monotone_in_size(self):
+        rows = osu_latency(sizes=SIZES)
+        latencies = [lat for _, lat in rows]
+        assert latencies == sorted(latencies)
+
+    def test_latency_approaches_wire_rate(self):
+        (size, lat), = osu_latency(sizes=[1 << 24])
+        # 16 MiB over 200 Gb/s ~= 671 us plus protocol overheads.
+        assert lat == pytest.approx(size / 25e9, rel=0.05)
+
+    def test_with_pedal_compression(self):
+        cfg = CommConfig(mode=CommMode.PEDAL, design="C-Engine_DEFLATE")
+        rows = osu_latency(comm_config=cfg, sizes=SIZES)
+        assert all(lat > 0 for _, lat in rows)
+
+
+class TestOsuBw:
+    def test_bw_increases_with_size(self):
+        rows = osu_bw(sizes=SIZES, window=8)
+        bws = [bw for _, bw in rows]
+        assert bws == sorted(bws)
+
+    def test_bw_saturates_near_link_rate(self):
+        (_, bw), = osu_bw(sizes=[1 << 24], window=16)
+        assert bw == pytest.approx(25e9, rel=0.05)
+
+    def test_bf3_doubles_bf2(self):
+        (_, bw2), = osu_bw("bf2", sizes=[1 << 24], window=8)
+        (_, bw3), = osu_bw("bf3", sizes=[1 << 24], window=8)
+        assert bw3 / bw2 == pytest.approx(2.0, rel=0.05)
+
+
+class TestOsuBcast:
+    @pytest.mark.parametrize("algorithm", ["binomial", "scatter_allgather"])
+    def test_bcast_runs(self, algorithm):
+        rows = osu_bcast(n_ranks=4, sizes=SIZES, algorithm=algorithm)
+        times = [t for _, t in rows]
+        assert times == sorted(times)
+
+    def test_more_ranks_cost_more(self):
+        (_, t2), = osu_bcast(n_ranks=2, sizes=[1 << 22])
+        (_, t8), = osu_bcast(n_ranks=8, sizes=[1 << 22])
+        assert t8 > t2
+
+
+class TestReport:
+    def test_format(self):
+        text = format_osu_report("OSU Latency Test", [(1024, 2.5e-6)], unit="us")
+        assert "# OSU Latency Test" in text
+        assert "1024" in text and "2.50" in text
+
+    def test_bandwidth_unit(self):
+        text = format_osu_report("BW", [(1024, 12.5e9)], unit="MB/s")
+        assert "12500.00" in text

@@ -1,0 +1,51 @@
+"""Text rendering of experiment tables."""
+
+from repro.bench.reporting import format_ratio, format_seconds, format_table
+
+
+class TestFormatSeconds:
+    def test_microseconds(self):
+        assert format_seconds(2.5e-6) == "2.5 us"
+
+    def test_milliseconds(self):
+        assert format_seconds(0.0123) == "12.3 ms"
+
+    def test_seconds(self):
+        assert format_seconds(3.21) == "3.21 s"
+
+
+def test_format_ratio():
+    assert format_ratio(2.71828) == "2.718"
+
+
+class TestFormatTable:
+    ROWS = [
+        {"name": "alpha", "value": 1.23456},
+        {"name": "b", "value": 7},
+    ]
+
+    def test_header_and_rows(self):
+        out = format_table(self.ROWS, ["name", "value"])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "alpha" in lines[2]
+        assert "1.235" in lines[2]
+
+    def test_title(self):
+        out = format_table(self.ROWS, ["name"], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+        assert out.splitlines()[1] == "=" * len("My Table")
+
+    def test_missing_column_blank(self):
+        out = format_table([{"a": 1}], ["a", "b"])
+        assert out.splitlines()[-1].split("|")[1].strip() == ""
+
+    def test_custom_formatter(self):
+        out = format_table(
+            [{"t": 0.005}], ["t"], formatters={"t": format_seconds}
+        )
+        assert "5 ms" in out
+
+    def test_empty_rows(self):
+        out = format_table([], ["col"])
+        assert "col" in out

@@ -1,0 +1,70 @@
+"""PEDAL memory pool: prewarm, hit/miss accounting, drain."""
+
+import pytest
+
+from repro.core.mempool import MemoryPool
+from repro.doca import DocaSession
+
+
+@pytest.fixture
+def pool(env, bf2, run_sim):
+    session = DocaSession(bf2)
+    run_sim(env, session.open())
+    inventory, _ = run_sim(env, session.create_inventory())
+    return MemoryPool(inventory, buffer_bytes=1 << 20)
+
+
+class TestPrewarm:
+    def test_prewarm_maps_buffers(self, env, pool, run_sim):
+        seconds = run_sim(env, pool.prewarm(4))
+        assert seconds > 0
+        assert pool.total_buffers == 4
+        assert pool.free_buffers == 4
+
+    def test_prewarm_charges_time(self, env, pool, run_sim):
+        t0 = env.now
+        run_sim(env, pool.prewarm(2))
+        assert env.now > t0
+
+
+class TestAcquire:
+    def test_hit_is_free(self, env, pool, run_sim):
+        run_sim(env, pool.prewarm(2))
+        t0 = env.now
+        buf = run_sim(env, pool.acquire())
+        assert env.now == t0  # no simulated cost on a pool hit
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 0
+        pool.release(buf)
+        assert pool.free_buffers == 2
+
+    def test_miss_grows_pool(self, env, pool, run_sim):
+        t0 = env.now
+        buf = run_sim(env, pool.acquire())  # empty pool -> miss
+        assert env.now > t0
+        assert pool.stats.misses == 1
+        assert pool.total_buffers == 1
+        pool.release(buf)
+
+    def test_acquisitions_counter(self, env, pool, run_sim):
+        run_sim(env, pool.prewarm(1))
+        a = run_sim(env, pool.acquire())
+        b = run_sim(env, pool.acquire())
+        assert pool.stats.acquisitions == 2
+        pool.release(a)
+        pool.release(b)
+
+    def test_release_dead_buffer_rejected(self, env, pool, run_sim):
+        buf = run_sim(env, pool.acquire())
+        buf.release()  # unmapped out-of-band
+        with pytest.raises(ValueError):
+            pool.release(buf)
+
+
+class TestDrain:
+    def test_drain_unmaps_everything(self, env, pool, run_sim):
+        run_sim(env, pool.prewarm(3))
+        pool.drain()
+        assert pool.total_buffers == 0
+        assert pool.free_buffers == 0
+        assert pool.inventory.n_buffers == 0

@@ -1,0 +1,91 @@
+"""Parallel chunked compression (paper future-work extension)."""
+
+import pytest
+
+from repro.core.parallel import ParallelCompressor, ParallelConfig
+from repro.errors import CorruptStreamError
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("n_chunks", [1, 2, 8, 13])
+    def test_roundtrip(self, env, bf2, run_sim, text_payload, n_chunks):
+        pc = ParallelCompressor(bf2, ParallelConfig(n_chunks=n_chunks))
+        comp = run_sim(env, pc.compress(text_payload))
+        dec = run_sim(env, pc.decompress(comp.payload))
+        assert dec.payload == text_payload
+
+    def test_empty_payload(self, env, bf2, run_sim):
+        pc = ParallelCompressor(bf2, ParallelConfig(n_chunks=4))
+        comp = run_sim(env, pc.compress(b""))
+        dec = run_sim(env, pc.decompress(comp.payload))
+        assert dec.payload == b""
+
+    def test_invalid_chunks(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(n_chunks=0)
+
+    def test_corrupt_container(self, env, bf2, run_sim):
+        pc = ParallelCompressor(bf2)
+        with pytest.raises(CorruptStreamError):
+            run_sim(env, pc.decompress(b"NOPE" + bytes(16)))
+
+    def test_truncated_container(self, env, bf2, run_sim, text_payload):
+        pc = ParallelCompressor(bf2)
+        comp = run_sim(env, pc.compress(text_payload))
+        with pytest.raises(CorruptStreamError):
+            run_sim(env, pc.decompress(comp.payload[: len(comp.payload) // 2]))
+
+
+class TestRatioTrade:
+    def test_chunking_costs_some_ratio(self, env, bf2, run_sim):
+        # Realistic corpus: cross-chunk match loss is bounded by the
+        # 32 KiB window anyway, so the penalty is modest.
+        from repro.datasets import get_dataset
+
+        payload = get_dataset("silesia/samba").generate(64 * 1024)
+        one = run_sim(
+            env, ParallelCompressor(bf2, ParallelConfig(n_chunks=1)).compress(payload)
+        )
+        eight = run_sim(
+            env, ParallelCompressor(bf2, ParallelConfig(n_chunks=8)).compress(payload)
+        )
+        assert len(one.payload) <= len(eight.payload) <= len(one.payload) * 1.3
+
+
+class TestSimulatedSpeedup:
+    NOMINAL = 48.85e6
+
+    def _soc_time(self, env, bf2, run_sim, payload, n_chunks):
+        cfg = ParallelConfig(n_chunks=n_chunks, use_cengine=False)
+        result = run_sim(
+            env, ParallelCompressor(bf2, cfg).compress(payload, self.NOMINAL)
+        )
+        return result.sim_seconds
+
+    def test_near_linear_soc_scaling(self, env, bf2, run_sim, text_payload):
+        t1 = self._soc_time(env, bf2, run_sim, text_payload, 1)
+        t8 = self._soc_time(env, bf2, run_sim, text_payload, 8)
+        assert t1 / t8 == pytest.approx(8.0, rel=0.05)  # 8 cores on BF2
+
+    def test_scaling_saturates_at_core_count(self, env, bf2, run_sim, text_payload):
+        t8 = self._soc_time(env, bf2, run_sim, text_payload, 8)
+        t32 = self._soc_time(env, bf2, run_sim, text_payload, 32)
+        # Beyond 8 chunks the 8-core pool is the limit.
+        assert t32 == pytest.approx(t8, rel=0.05)
+
+    def test_engine_assist_beats_soc_only(self, env, bf2, run_sim, text_payload):
+        soc_only = self._soc_time(env, bf2, run_sim, text_payload, 8)
+        hybrid_cfg = ParallelConfig(n_chunks=8, use_cengine=True)
+        hybrid = run_sim(
+            env,
+            ParallelCompressor(bf2, hybrid_cfg).compress(text_payload, self.NOMINAL),
+        )
+        assert hybrid.chunks_on_engine >= 1
+        assert hybrid.sim_seconds < soc_only
+
+    def test_bf3_compress_cannot_use_engine(self, env, bf3, run_sim, text_payload):
+        pc = ParallelCompressor(bf3, ParallelConfig(n_chunks=8, use_cengine=True))
+        comp = run_sim(env, pc.compress(text_payload, self.NOMINAL))
+        assert comp.chunks_on_engine == 0  # BF3 engine cannot compress
+        dec = run_sim(env, pc.decompress(comp.payload, self.NOMINAL))
+        assert dec.chunks_on_engine >= 1  # ...but can decompress

@@ -1,0 +1,64 @@
+"""The synthetic corpora must land near the paper's Table V ratios.
+
+Bands are deliberately loose (the generators were tuned at 256 KiB;
+this test runs smaller for speed), but the *ordering* assertions are
+strict — they are what makes the reproduction meaningful.
+"""
+
+import pytest
+
+from repro.algorithms.deflate import deflate_compress
+from repro.algorithms.lz4 import lz4_compress
+from repro.algorithms.sz3 import SZ3Config, sz3_compress
+from repro.datasets import get_dataset
+
+N = 128 * 1024
+
+PAPER_DEFLATE = {
+    "silesia/xml": 7.769,
+    "silesia/samba": 3.963,
+    "silesia/mr": 2.712,
+    "silesia/mozilla": 2.683,
+    "obs_error": 1.469,
+}
+
+
+@pytest.fixture(scope="module")
+def deflate_ratios():
+    out = {}
+    for key in PAPER_DEFLATE:
+        data = get_dataset(key).generate(N)
+        out[key] = len(data) / len(deflate_compress(data))
+    return out
+
+
+class TestLosslessBands:
+    @pytest.mark.parametrize("key,paper", sorted(PAPER_DEFLATE.items()))
+    def test_deflate_within_25_percent(self, deflate_ratios, key, paper):
+        assert deflate_ratios[key] == pytest.approx(paper, rel=0.25)
+
+    def test_ordering_matches_paper(self, deflate_ratios):
+        measured_order = sorted(deflate_ratios, key=deflate_ratios.get)
+        paper_order = sorted(PAPER_DEFLATE, key=PAPER_DEFLATE.get)
+        assert measured_order == paper_order
+
+    def test_lz4_below_deflate_everywhere(self, deflate_ratios):
+        # Table V(a): LZ4 trails DEFLATE on every dataset.
+        for key in PAPER_DEFLATE:
+            data = get_dataset(key).generate(N)
+            lz4_ratio = len(data) / len(lz4_compress(data))
+            assert lz4_ratio < deflate_ratios[key]
+
+
+class TestLossyBands:
+    PAPER_SZ3 = {
+        "exaalt-dataset1": 2.941,
+        "exaalt-dataset3": 5.745,
+        "exaalt-dataset2": 5.378,
+    }
+
+    @pytest.mark.parametrize("key,paper", sorted(PAPER_SZ3.items()))
+    def test_sz3_within_25_percent(self, key, paper):
+        arr = get_dataset(key).generate(N)
+        ratio = arr.nbytes / len(sz3_compress(arr, SZ3Config(error_bound=1e-4)))
+        assert ratio == pytest.approx(paper, rel=0.25)

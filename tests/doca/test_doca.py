@@ -1,0 +1,117 @@
+"""DOCA-like SDK: session lifecycle, buffers, job submission."""
+
+import pytest
+
+from repro.doca import BufInventory, DocaSession, submit_job
+from repro.dpu.specs import Algo, Direction
+from repro.errors import DocaBufferError, DocaCapabilityError, DocaNotInitializedError
+
+
+class TestSessionLifecycle:
+    def test_open_charges_init_time(self, env, bf2, run_sim):
+        session = DocaSession(bf2)
+        assert not session.is_open
+        seconds = run_sim(env, session.open())
+        assert seconds == pytest.approx(bf2.cal.doca_init_time)
+        assert session.is_open
+        assert env.now == pytest.approx(seconds)
+
+    def test_double_open_is_free(self, env, bf2, run_sim):
+        session = DocaSession(bf2)
+        run_sim(env, session.open())
+        t = env.now
+        assert run_sim(env, session.open()) == 0.0
+        assert env.now == t
+
+    def test_operations_require_open(self, env, bf2, run_sim):
+        session = DocaSession(bf2)
+        with pytest.raises(DocaNotInitializedError):
+            run_sim(env, session.create_inventory())
+
+    def test_close(self, env, bf2, run_sim):
+        session = DocaSession(bf2)
+        run_sim(env, session.open())
+        session.close()
+        assert not session.is_open
+
+
+class TestBuffers:
+    def _open(self, env, bf2, run_sim) -> tuple[DocaSession, BufInventory]:
+        session = DocaSession(bf2)
+        run_sim(env, session.open())
+        inventory, seconds = run_sim(env, session.create_inventory())
+        assert seconds == pytest.approx(bf2.cal.buffer_fixed_time)
+        return session, inventory
+
+    def test_map_buffer_charges_alloc_plus_map(self, env, bf2, run_sim):
+        _, inv = self._open(env, bf2, run_sim)
+        n = 10 * 1024 * 1024
+        buf = run_sim(env, inv.map_buffer(n))
+        expected = bf2.memory.alloc_time(n) + bf2.memory.dma_map_time(n)
+        assert buf.map_seconds == pytest.approx(expected)
+        assert inv.mapped_bytes == n
+        assert inv.n_buffers == 1
+
+    def test_negative_size_rejected(self, env, bf2, run_sim):
+        _, inv = self._open(env, bf2, run_sim)
+        with pytest.raises(DocaBufferError):
+            run_sim(env, inv.map_buffer(-1))
+
+    def test_release(self, env, bf2, run_sim):
+        _, inv = self._open(env, bf2, run_sim)
+        buf = run_sim(env, inv.map_buffer(1024))
+        buf.release()
+        assert not buf.is_live
+        assert inv.n_buffers == 0
+        buf.release()  # idempotent
+
+
+class TestJobs:
+    def _setup(self, env, bf2, run_sim):
+        session = DocaSession(bf2)
+        run_sim(env, session.open())
+        inventory, _ = run_sim(env, session.create_inventory())
+        buf = run_sim(env, inventory.map_buffer(int(6e6)))
+        return session, buf
+
+    def test_submit_compress(self, env, bf2, run_sim):
+        session, buf = self._setup(env, bf2, run_sim)
+        seconds = run_sim(
+            env, submit_job(session, Algo.DEFLATE, Direction.COMPRESS, buf, int(5.1e6))
+        )
+        assert seconds == pytest.approx(
+            bf2.cal.cengine_time(Algo.DEFLATE, Direction.COMPRESS, 5.1e6)
+        )
+
+    def test_defaults_to_full_buffer(self, env, bf2, run_sim):
+        session, buf = self._setup(env, bf2, run_sim)
+        seconds = run_sim(
+            env, submit_job(session, Algo.DEFLATE, Direction.DECOMPRESS, buf)
+        )
+        assert seconds == pytest.approx(
+            bf2.cal.cengine_time(Algo.DEFLATE, Direction.DECOMPRESS, buf.nbytes)
+        )
+
+    def test_oversized_job_rejected(self, env, bf2, run_sim):
+        session, buf = self._setup(env, bf2, run_sim)
+        with pytest.raises(DocaBufferError):
+            run_sim(
+                env,
+                submit_job(
+                    session, Algo.DEFLATE, Direction.COMPRESS, buf, buf.nbytes + 1
+                ),
+            )
+
+    def test_released_buffer_rejected(self, env, bf2, run_sim):
+        session, buf = self._setup(env, bf2, run_sim)
+        buf.release()
+        with pytest.raises(DocaBufferError):
+            run_sim(env, submit_job(session, Algo.DEFLATE, Direction.COMPRESS, buf))
+
+    def test_capability_error_on_bf3_compress(self, env, bf3, run_sim):
+        session = DocaSession(bf3)
+        run_sim(env, session.open())
+        inventory, _ = run_sim(env, session.create_inventory())
+        buf = run_sim(env, inventory.map_buffer(1024))
+        with pytest.raises(DocaCapabilityError):
+            run_sim(env, submit_job(session, Algo.DEFLATE, Direction.COMPRESS, buf))

@@ -1,0 +1,94 @@
+"""The calibration must reproduce the paper's headline factors exactly.
+
+These are the anchors of DESIGN.md §4 / calibration.py's A1-A8 — if a
+constant drifts, this file pins down which paper claim broke.
+"""
+
+import pytest
+
+from repro.dpu.calibration import CAL_BF2, CAL_BF3, calibration_for
+from repro.dpu.memory import MemoryModel
+from repro.dpu.specs import BLUEFIELD2, BLUEFIELD3, Algo, Direction
+
+MB = 1e6
+
+
+class TestAnchors:
+    def test_a2_deflate_compress_101_8x(self):
+        soc = CAL_BF2.soc_time(Algo.DEFLATE, Direction.COMPRESS, 5.1 * MB)
+        ce = CAL_BF2.cengine_time(Algo.DEFLATE, Direction.COMPRESS, 5.1 * MB)
+        assert soc / ce == pytest.approx(101.8, rel=0.02)
+
+    def test_a3_deflate_decompress_11_2x(self):
+        soc = CAL_BF2.soc_time(Algo.DEFLATE, Direction.DECOMPRESS, 5.1 * MB)
+        ce = CAL_BF2.cengine_time(Algo.DEFLATE, Direction.DECOMPRESS, 5.1 * MB)
+        assert soc / ce == pytest.approx(11.2, rel=0.02)
+
+    def test_a4_zlib_compress_84_6x(self):
+        size = 48.85 * MB
+        soc = CAL_BF2.soc_time(Algo.ZLIB, Direction.COMPRESS, size)
+        ce = CAL_BF2.cengine_time(
+            Algo.DEFLATE, Direction.COMPRESS, size
+        ) + CAL_BF2.checksum_time(size)
+        assert soc / ce == pytest.approx(84.6, rel=0.02)
+
+    def test_a4_zlib_decompress_20x(self):
+        size = 48.85 * MB
+        soc = CAL_BF2.soc_time(Algo.ZLIB, Direction.DECOMPRESS, size)
+        ce = CAL_BF2.cengine_time(
+            Algo.DEFLATE, Direction.DECOMPRESS, size
+        ) + CAL_BF2.checksum_time(size)
+        assert soc / ce == pytest.approx(20.0, rel=0.02)
+
+    @pytest.mark.parametrize("size_mb,factor", [(5.1, 1.78), (48.84, 1.28)])
+    def test_a5_bf3_cengine_decompress_gap(self, size_mb, factor):
+        bf2 = CAL_BF2.cengine_time(Algo.DEFLATE, Direction.DECOMPRESS, size_mb * MB)
+        bf3 = CAL_BF3.cengine_time(Algo.DEFLATE, Direction.DECOMPRESS, size_mb * MB)
+        assert bf2 / bf3 == pytest.approx(factor, rel=0.02)
+
+    def test_a6_bf3_soc_uniform_scale(self):
+        for key, value in CAL_BF2.soc_throughput.items():
+            assert CAL_BF3.soc_throughput[key] == pytest.approx(value * 1.67)
+
+    def test_a7_naive_overhead_fraction_94_percent(self):
+        memory = MemoryModel(BLUEFIELD2.memory, CAL_BF2.buffer_fixed_time)
+        init = CAL_BF2.doca_init_time
+        prep = memory.doca_buffer_prep_time(int(4 * 5.1 * MB))
+        work = CAL_BF2.cengine_time(
+            Algo.DEFLATE, Direction.COMPRESS, 5.1 * MB
+        ) + CAL_BF2.cengine_time(Algo.DEFLATE, Direction.DECOMPRESS, 5.1 * MB)
+        frac = (init + prep) / (init + prep + work)
+        assert 0.90 <= frac <= 0.97  # paper: ~94%
+
+    def test_a8_sz3_lossless_fraction_small(self):
+        assert 0.05 <= CAL_BF2.sz3_lossless_fraction <= 0.2
+
+    def test_decompress_faster_than_compress_everywhere(self):
+        # Fig. 8 insight 2: decompression invariably faster.
+        for cal in (CAL_BF2, CAL_BF3):
+            for algo in (Algo.DEFLATE, Algo.ZLIB, Algo.LZ4, Algo.SZ3):
+                assert cal.soc_throughput[(algo, Direction.DECOMPRESS)] > (
+                    cal.soc_throughput[(algo, Direction.COMPRESS)]
+                )
+
+
+class TestLookup:
+    def test_calibration_for_specs(self):
+        assert calibration_for(BLUEFIELD2) is CAL_BF2
+        assert calibration_for(BLUEFIELD3) is CAL_BF3
+
+    def test_unknown_generation_rejected(self):
+        from dataclasses import replace
+
+        with pytest.raises(ValueError):
+            calibration_for(replace(BLUEFIELD2, generation=4))
+
+    def test_linear_model_shape(self):
+        # time = overhead + bytes/throughput: doubling bytes less than
+        # doubles C-Engine time (fixed overhead), exactly doubles SoC time.
+        t1 = CAL_BF2.cengine_time(Algo.DEFLATE, Direction.COMPRESS, 1 * MB)
+        t2 = CAL_BF2.cengine_time(Algo.DEFLATE, Direction.COMPRESS, 2 * MB)
+        assert t2 < 2 * t1
+        s1 = CAL_BF2.soc_time(Algo.DEFLATE, Direction.COMPRESS, 1 * MB)
+        s2 = CAL_BF2.soc_time(Algo.DEFLATE, Direction.COMPRESS, 2 * MB)
+        assert s2 == pytest.approx(2 * s1)

@@ -1,0 +1,55 @@
+"""Device specs: the paper's Table II capability matrix."""
+
+import pytest
+
+from repro.dpu.specs import BLUEFIELD2, BLUEFIELD3, Algo, Direction
+
+
+class TestTable2CapabilityMatrix:
+    """Exact transcription of paper Table II (native DOCA support)."""
+
+    def test_bf2_deflate_both_directions(self):
+        assert BLUEFIELD2.cengine_supports(Algo.DEFLATE, Direction.COMPRESS)
+        assert BLUEFIELD2.cengine_supports(Algo.DEFLATE, Direction.DECOMPRESS)
+
+    def test_bf3_deflate_decompress_only(self):
+        assert not BLUEFIELD3.cengine_supports(Algo.DEFLATE, Direction.COMPRESS)
+        assert BLUEFIELD3.cengine_supports(Algo.DEFLATE, Direction.DECOMPRESS)
+
+    def test_lz4_decompress_bf3_only(self):
+        assert not BLUEFIELD2.cengine_supports(Algo.LZ4, Direction.COMPRESS)
+        assert not BLUEFIELD2.cengine_supports(Algo.LZ4, Direction.DECOMPRESS)
+        assert not BLUEFIELD3.cengine_supports(Algo.LZ4, Direction.COMPRESS)
+        assert BLUEFIELD3.cengine_supports(Algo.LZ4, Direction.DECOMPRESS)
+
+    @pytest.mark.parametrize("algo", [Algo.ZLIB, Algo.SZ3])
+    @pytest.mark.parametrize("spec", [BLUEFIELD2, BLUEFIELD3], ids=["bf2", "bf3"])
+    def test_zlib_sz3_never_native(self, algo, spec):
+        for direction in Direction:
+            assert not spec.cengine_supports(algo, direction)
+
+
+class TestHardwareParameters:
+    def test_bf2_testbed_description(self):
+        # §V-B: 8x A72 @ 2.75 GHz, 16 GB DDR4, ConnectX-6 @ 200 Gb/s.
+        assert BLUEFIELD2.soc.n_cores == 8
+        assert BLUEFIELD2.soc.clock_ghz == 2.75
+        assert BLUEFIELD2.memory.kind == "DDR4"
+        assert BLUEFIELD2.memory.size_gib == 16
+        assert BLUEFIELD2.nic.rate_gbps == 200.0
+
+    def test_bf3_testbed_description(self):
+        # §II-A/§V-B: 16x A78, DDR5 (4.2x RAM throughput), CX-7 @ 400 Gb/s.
+        assert BLUEFIELD3.soc.n_cores == 16
+        assert BLUEFIELD3.memory.kind == "DDR5"
+        assert BLUEFIELD3.nic.rate_gbps == 400.0
+        assert BLUEFIELD3.memory.stream_bandwidth == pytest.approx(
+            BLUEFIELD2.memory.stream_bandwidth * 4.2
+        )
+
+    def test_nic_byte_rate(self):
+        assert BLUEFIELD2.nic.bytes_per_second == pytest.approx(25e9)
+        assert BLUEFIELD3.nic.bytes_per_second == pytest.approx(50e9)
+
+    def test_bf3_soc_faster_per_core(self):
+        assert BLUEFIELD3.soc.perf_scale > BLUEFIELD2.soc.perf_scale == 1.0

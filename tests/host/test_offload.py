@@ -1,0 +1,152 @@
+"""Host-offload scenario (paper §VI): placements and crossovers."""
+
+import pytest
+
+from repro.dpu import make_device
+from repro.host import HOST_XEON, PCIE_GEN4_X16, HostNode, HostOffloadEngine, OffloadPath
+from repro.host.offload import PHASE_PCIE_D2H, PHASE_PCIE_H2D
+
+
+@pytest.fixture
+def engine(env, run_sim):
+    host = HostNode(env, HOST_XEON)
+    dpu = make_device(env, "bf2")
+    eng = HostOffloadEngine(host, dpu, PCIE_GEN4_X16)
+    run_sim(env, eng.init())
+    return eng
+
+
+class TestSpecs:
+    def test_pcie_transfer_time(self):
+        t = PCIE_GEN4_X16.transfer_time(25e9)
+        assert t == pytest.approx(1.0 + PCIE_GEN4_X16.dma_setup_s)
+
+    def test_host_faster_than_dpu_soc(self, env):
+        from repro.dpu.calibration import CAL_BF2
+        from repro.dpu.specs import Algo, Direction
+
+        host = HostNode(env, HOST_XEON)
+        assert host.codec_time(Algo.DEFLATE, Direction.COMPRESS, 1e6) < (
+            CAL_BF2.soc_time(Algo.DEFLATE, Direction.COMPRESS, 1e6)
+        )
+
+
+class TestPlacements:
+    def test_host_only_no_pcie(self, env, engine, run_sim, text_payload):
+        result = run_sim(
+            env,
+            engine.compress(text_payload, "C-Engine_DEFLATE", OffloadPath.HOST_ONLY, 5.1e6),
+        )
+        assert result.breakdown.get(PHASE_PCIE_H2D) == 0.0
+        assert not result.data_on_dpu
+
+    def test_roundtrip_crosses_twice(self, env, engine, run_sim, text_payload):
+        result = run_sim(
+            env,
+            engine.compress(
+                text_payload, "C-Engine_DEFLATE", OffloadPath.DPU_ROUNDTRIP, 5.1e6
+            ),
+        )
+        assert result.breakdown.get(PHASE_PCIE_H2D) > 0
+        assert result.breakdown.get(PHASE_PCIE_D2H) > 0
+        # Return leg carries the smaller, compressed size.
+        assert result.breakdown.get(PHASE_PCIE_D2H) < result.breakdown.get(
+            PHASE_PCIE_H2D
+        )
+        assert not result.data_on_dpu
+
+    def test_inline_crosses_once(self, env, engine, run_sim, text_payload):
+        result = run_sim(
+            env,
+            engine.compress(
+                text_payload, "C-Engine_DEFLATE", OffloadPath.DPU_INLINE, 5.1e6
+            ),
+        )
+        assert result.breakdown.get(PHASE_PCIE_H2D) > 0
+        assert result.breakdown.get(PHASE_PCIE_D2H) == 0.0
+        assert result.data_on_dpu
+
+    def test_same_bytes_all_paths(self, env, engine, run_sim, text_payload):
+        messages = set()
+        for path in OffloadPath:
+            result = run_sim(
+                env, engine.compress(text_payload, "C-Engine_DEFLATE", path, 5.1e6)
+            )
+            messages.add(result.message)
+        assert len(messages) == 1  # placement never changes the format
+
+    def test_decompress_roundtrip(self, env, engine, run_sim, text_payload):
+        comp = run_sim(
+            env,
+            engine.compress(
+                text_payload, "C-Engine_DEFLATE", OffloadPath.DPU_ROUNDTRIP, 5.1e6
+            ),
+        )
+        for path in OffloadPath:
+            data, breakdown = run_sim(
+                env, engine.decompress(comp.message, path, 5.1e6)
+            )
+            assert data == text_payload
+
+
+class TestCrossover:
+    def test_big_messages_prefer_offload(self, env, engine, run_sim, text_payload):
+        """At large sizes the C-Engine gain dominates the PCIe cost."""
+        nominal = 48.85e6
+        host = run_sim(
+            env,
+            engine.compress(text_payload, "C-Engine_DEFLATE", OffloadPath.HOST_ONLY, nominal),
+        )
+        inline = run_sim(
+            env,
+            engine.compress(text_payload, "C-Engine_DEFLATE", OffloadPath.DPU_INLINE, nominal),
+        )
+        assert inline.sim_seconds < host.sim_seconds
+
+    def test_tiny_messages_prefer_host(self, env, engine, run_sim):
+        payload = b"small" * 50
+        nominal = 16e3
+        host = run_sim(
+            env,
+            engine.compress(payload, "C-Engine_DEFLATE", OffloadPath.HOST_ONLY, nominal),
+        )
+        roundtrip = run_sim(
+            env,
+            engine.compress(
+                payload, "C-Engine_DEFLATE", OffloadPath.DPU_ROUNDTRIP, nominal
+            ),
+        )
+        assert host.sim_seconds < roundtrip.sim_seconds
+
+    def test_predicted_crossover_is_finite_for_engine_designs(self, engine):
+        crossover = engine.predicted_crossover_bytes("C-Engine_DEFLATE")
+        assert 1e3 < crossover < 1e8
+
+    def test_predicted_crossover_infinite_for_fallbacks(self, env, run_sim):
+        host = HostNode(env, HOST_XEON)
+        bf3 = make_device(env, "bf3")
+        eng = HostOffloadEngine(host, bf3, PCIE_GEN4_X16)
+        run_sim(env, eng.init())
+        # BF3 cannot compress on its engine: offload never pays.
+        assert eng.predicted_crossover_bytes("C-Engine_DEFLATE") == float("inf")
+
+    def test_measured_crossover_brackets_prediction(self, env, engine, run_sim, text_payload):
+        crossover = engine.predicted_crossover_bytes("C-Engine_DEFLATE")
+
+        def gap(nominal):
+            host = run_sim(
+                env,
+                engine.compress(
+                    text_payload, "C-Engine_DEFLATE", OffloadPath.HOST_ONLY, nominal
+                ),
+            )
+            off = run_sim(
+                env,
+                engine.compress(
+                    text_payload, "C-Engine_DEFLATE", OffloadPath.DPU_ROUNDTRIP, nominal
+                ),
+            )
+            return off.sim_seconds - host.sim_seconds
+
+        assert gap(crossover / 8) > 0  # host wins well below
+        assert gap(crossover * 8) < 0  # offload wins well above

@@ -1,0 +1,131 @@
+"""Contention stress: shared C-Engine, core pool, and fabric under load.
+
+The simulator's value over a spreadsheet is precisely these effects:
+queueing on the single-server C-Engine, SoC core exhaustion, and wire
+serialisation.  These tests pin the arithmetic down.
+"""
+
+import pytest
+
+from repro.core import PedalContext
+from repro.dpu import make_device
+from repro.dpu.specs import Algo, Direction
+from repro.mpi import CommConfig, CommMode, run_mpi
+from repro.sim import Environment
+
+
+class TestCEngineQueueing:
+    def test_n_streams_serialise_linearly(self, text_payload):
+        """K concurrent C-Engine compressions finish in ~K x one job."""
+        nominal = 5.1e6
+        results = {}
+        from repro.core import PedalConfig
+
+        for k in (1, 4, 8):
+            env = Environment()
+            device = make_device(env, "bf2")
+            # Pool sized to the stream count: isolate pure queueing
+            # (pool-miss effects are the mempool ablation's subject).
+            ctx = PedalContext(device, PedalConfig(pool_buffers=8))
+            env.run(until=env.process(ctx.init()))
+            t0 = env.now
+
+            def job(env, ctx):
+                yield from ctx.compress(text_payload, "C-Engine_DEFLATE", nominal)
+
+            procs = [env.process(job(env, ctx)) for _ in range(k)]
+            env.run(until=env.all_of(procs))
+            results[k] = env.now - t0
+        one_job = make_device(Environment(), "bf2").cal.cengine_time(
+            Algo.DEFLATE, Direction.COMPRESS, nominal
+        )
+        assert results[1] == pytest.approx(one_job, rel=0.01)
+        assert results[8] == pytest.approx(8 * one_job, rel=0.01)
+
+    def test_soc_designs_unaffected_by_engine_load(self, text_payload):
+        """SoC compressions proceed while the engine is saturated."""
+        env = Environment()
+        device = make_device(env, "bf2")
+        ctx = PedalContext(device)
+        env.run(until=env.process(ctx.init()))
+
+        def engine_hog(env, ctx):
+            for _ in range(4):
+                yield from ctx.compress(text_payload, "C-Engine_DEFLATE", 48.85e6)
+
+        t0 = env.now  # after init
+
+        def soc_job(env, ctx):
+            yield from ctx.compress(text_payload, "SoC_LZ4", 5.1e6)
+            return env.now - t0
+
+        env.process(engine_hog(env, ctx))
+        soc = env.process(soc_job(env, ctx))
+        done = env.run(until=soc)
+        expected = device.cal.soc_time(Algo.LZ4, Direction.COMPRESS, 5.1e6)
+        assert done == pytest.approx(expected, rel=0.01)
+
+    def test_soc_core_exhaustion_queues(self, text_payload):
+        """More SoC streams than cores: completion steps by core count."""
+        env = Environment()
+        device = make_device(env, "bf2")  # 8 cores
+        ctx = PedalContext(device)
+        env.run(until=env.process(ctx.init()))
+        finish = []
+
+        def job(env, ctx):
+            yield from ctx.compress(text_payload, "SoC_DEFLATE", 5.1e6)
+            finish.append(env.now)
+
+        base = env.now
+        for _ in range(9):
+            env.process(job(env, ctx))
+        env.run()
+        one = device.cal.soc_time(Algo.DEFLATE, Direction.COMPRESS, 5.1e6)
+        # Eight finish together, the ninth a full slot later.
+        assert finish[7] - base == pytest.approx(one, rel=0.01)
+        assert finish[8] - base == pytest.approx(2 * one, rel=0.01)
+
+
+class TestFabricContention:
+    def test_fan_in_serialises_on_receiver_links(self):
+        """Many senders to one receiver: distinct directed links, so
+        transfers overlap (full-bisection switch), but the receiver's
+        processing of rendezvous handshakes still interleaves."""
+        payload = b"m" * 100000
+
+        def program(ctx):
+            if ctx.rank == 0:
+                for src in range(1, ctx.size):
+                    yield from ctx.recv(source=src)
+                return ctx.wtime()
+            yield from ctx.send(0, payload, sim_bytes=25e6)
+            return None
+
+        t4 = run_mpi(program, 4).returns[0]
+        t2 = run_mpi(program, 2).returns[0]
+        assert t4 > t2  # more senders -> strictly more receive time
+
+    def test_compressed_fan_in_bottlenecks_on_receiver_engine(self):
+        """With PEDAL C-Engine decompression, the receiver's single
+        engine is the fan-in bottleneck: time grows ~linearly with
+        the sender count."""
+        payload = (b"pattern " * 20000)[:100000]
+
+        def make(n):
+            def program(ctx):
+                if ctx.rank == 0:
+                    t0 = ctx.wtime()  # excludes MPI_Init/PEDAL_init
+                    for src in range(1, ctx.size):
+                        yield from ctx.recv(source=src)
+                    return ctx.wtime() - t0
+                yield from ctx.send(0, payload, sim_bytes=5.1e6)
+                return None
+
+            return program
+
+        cfg = CommConfig(mode=CommMode.PEDAL, design="C-Engine_DEFLATE")
+        t3 = run_mpi(make(3), 3, "bf2", cfg).returns[0]
+        t5 = run_mpi(make(5), 5, "bf2", cfg).returns[0]
+        # 2 decompressions vs 4: engine-bound, so ~2x.
+        assert t5 / t3 == pytest.approx(2.0, rel=0.25)

@@ -1,0 +1,113 @@
+"""Collective operations over the simulated runtime."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import CommConfig, CommMode, run_mpi
+
+
+class TestBcast:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 8])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_all_ranks_receive(self, n, root):
+        if root >= n:
+            pytest.skip("root outside communicator")
+        payload = b"broadcast me " * 10
+
+        def program(ctx):
+            data = payload if ctx.rank == root else None
+            out = yield from ctx.bcast(data, root=root)
+            return out
+
+        result = run_mpi(program, n)
+        assert all(r == payload for r in result.returns)
+
+    def test_ndarray_payload(self):
+        arr = np.arange(1000, dtype=np.float64)
+
+        def program(ctx):
+            data = arr if ctx.rank == 0 else None
+            out = yield from ctx.bcast(data, root=0)
+            return float(out.sum())
+
+        result = run_mpi(program, 4)
+        assert all(v == pytest.approx(arr.sum()) for v in result.returns)
+
+    def test_binomial_faster_than_linear_chain(self):
+        """The tree must finish in O(log p) serialized hops."""
+        payload = b"x" * (1 << 20)
+
+        def program(ctx):
+            data = payload if ctx.rank == 0 else None
+            yield from ctx.bcast(data, root=0)
+            return ctx.wtime()
+
+        t8 = max(run_mpi(program, 8).returns)
+        t2 = max(run_mpi(program, 2).returns)
+        # log2(8)=3 levels; allow generous slack over the 1-level time.
+        assert t8 < 4.5 * t2
+
+
+class TestGatherScatterReduce:
+    def test_gather_collects_in_rank_order(self):
+        def program(ctx):
+            out = yield from ctx.gather(f"rank{ctx.rank}", root=0)
+            return out
+
+        result = run_mpi(program, 4)
+        assert result.returns[0] == ["rank0", "rank1", "rank2", "rank3"]
+        assert result.returns[1:] == [None, None, None]
+
+    def test_scatter_distributes(self):
+        def program(ctx):
+            chunks = [f"part{i}" for i in range(ctx.size)] if ctx.rank == 0 else None
+            mine = yield from ctx.scatter(chunks, root=0)
+            return mine
+
+        result = run_mpi(program, 4)
+        assert result.returns == ["part0", "part1", "part2", "part3"]
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_reduce_sum(self, n):
+        def program(ctx):
+            out = yield from ctx.reduce(ctx.rank + 1, op=lambda a, b: a + b, root=0)
+            return out
+
+        result = run_mpi(program, n)
+        assert result.returns[0] == n * (n + 1) // 2
+        assert all(v is None for v in result.returns[1:])
+
+    def test_reduce_nonzero_root(self):
+        def program(ctx):
+            out = yield from ctx.reduce(ctx.rank, op=lambda a, b: a + b, root=2)
+            return out
+
+        result = run_mpi(program, 4)
+        assert result.returns[2] == 6
+        assert result.returns[0] is None
+
+
+class TestCollectivesWithCompression:
+    def test_bcast_under_pedal(self):
+        payload = (b"pattern! " * 40000)[: 1 << 18]
+
+        def program(ctx):
+            data = payload if ctx.rank == 0 else None
+            out = yield from ctx.bcast(data, root=0, sim_bytes=5.1e6)
+            return out == payload
+
+        cfg = CommConfig(mode=CommMode.PEDAL, design="C-Engine_DEFLATE")
+        result = run_mpi(program, 4, "bf2", cfg)
+        assert all(result.returns)
+
+    def test_gather_under_pedal_mixed_sizes(self):
+        def program(ctx):
+            blob = bytes([ctx.rank]) * (200000 + ctx.rank)
+            out = yield from ctx.gather(blob, root=0)
+            if ctx.rank == 0:
+                return [len(x) for x in out]
+            return None
+
+        cfg = CommConfig(mode=CommMode.PEDAL, design="SoC_LZ4")
+        result = run_mpi(program, 3, "bf2", cfg)
+        assert result.returns[0] == [200000, 200001, 200002]

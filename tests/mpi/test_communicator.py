@@ -1,0 +1,172 @@
+"""MPI matching semantics: ordering, wildcards, rendezvous, truncation."""
+
+import pytest
+
+from repro.dpu import make_device
+from repro.errors import MpiTruncationError
+from repro.mpi.communicator import ANY_SOURCE, ANY_TAG, Communicator
+from repro.mpi.network import Fabric
+from repro.mpi.protocol import EAGER_THRESHOLD_BYTES, Protocol
+
+
+@pytest.fixture
+def comm(env):
+    nodes = [make_device(env, "bf2") for _ in range(3)]
+    fabric = Fabric(env, nodes)
+    return Communicator(env, nodes, fabric, EAGER_THRESHOLD_BYTES)
+
+
+def test_eager_send_before_recv(env, comm):
+    """Unexpected-message queue: send completes without a posted recv."""
+    got = []
+
+    def sender(env, comm):
+        yield from comm.send(0, 1, tag=5, payload="hello", wire_bytes=100)
+
+    def receiver(env, comm):
+        yield env.timeout(1.0)  # post late
+        envlp = yield from comm.recv(1, source=0, tag=5)
+        got.append((envlp.payload, env.now))
+
+    env.process(sender(env, comm))
+    env.process(receiver(env, comm))
+    env.run()
+    assert got == [("hello", 1.0)]
+
+
+def test_recv_blocks_until_send(env, comm):
+    got = []
+
+    def receiver(env, comm):
+        envlp = yield from comm.recv(1, source=0, tag=0)
+        got.append((envlp.payload, env.now))
+
+    def sender(env, comm):
+        yield env.timeout(2.0)
+        yield from comm.send(0, 1, tag=0, payload="late", wire_bytes=10)
+
+    env.process(receiver(env, comm))
+    env.process(sender(env, comm))
+    env.run()
+    assert got[0][0] == "late"
+    assert got[0][1] >= 2.0
+
+
+def test_non_overtaking_order_same_key(env, comm):
+    order = []
+
+    def sender(env, comm):
+        yield from comm.send(0, 1, tag=9, payload="first", wire_bytes=10)
+        yield from comm.send(0, 1, tag=9, payload="second", wire_bytes=10)
+
+    def receiver(env, comm):
+        a = yield from comm.recv(1, source=0, tag=9)
+        b = yield from comm.recv(1, source=0, tag=9)
+        order.extend([a.payload, b.payload])
+
+    env.process(sender(env, comm))
+    env.process(receiver(env, comm))
+    env.run()
+    assert order == ["first", "second"]
+
+
+def test_tag_selectivity(env, comm):
+    got = []
+
+    def sender(env, comm):
+        yield from comm.send(0, 1, tag=1, payload="one", wire_bytes=10)
+        yield from comm.send(0, 1, tag=2, payload="two", wire_bytes=10)
+
+    def receiver(env, comm):
+        second = yield from comm.recv(1, source=0, tag=2)
+        first = yield from comm.recv(1, source=0, tag=1)
+        got.extend([second.payload, first.payload])
+
+    env.process(sender(env, comm))
+    env.process(receiver(env, comm))
+    env.run()
+    assert got == ["two", "one"]
+
+
+def test_any_source_any_tag(env, comm):
+    got = []
+
+    def sender(env, comm, src, payload):
+        yield env.timeout(src)
+        yield from comm.send(src, 2, tag=src * 10, payload=payload, wire_bytes=10)
+
+    def receiver(env, comm):
+        a = yield from comm.recv(2, source=ANY_SOURCE, tag=ANY_TAG)
+        b = yield from comm.recv(2, source=ANY_SOURCE, tag=ANY_TAG)
+        got.extend([(a.source, a.payload), (b.source, b.payload)])
+
+    env.process(sender(env, comm, 0, "from0"))
+    env.process(sender(env, comm, 1, "from1"))
+    env.process(receiver(env, comm))
+    env.run()
+    assert got == [(0, "from0"), (1, "from1")]
+
+
+def test_rendezvous_handshake_blocks_sender(env, comm):
+    """RNDV send cannot complete before the receive is posted."""
+    events = []
+    big = EAGER_THRESHOLD_BYTES * 4
+
+    def sender(env, comm):
+        yield from comm.send(0, 1, tag=0, payload="bulk", wire_bytes=big)
+        events.append(("send_done", env.now))
+
+    def receiver(env, comm):
+        yield env.timeout(5.0)
+        envlp = yield from comm.recv(1, source=0, tag=0)
+        assert envlp.protocol is Protocol.RENDEZVOUS
+        events.append(("recv_done", env.now))
+
+    env.process(sender(env, comm))
+    env.process(receiver(env, comm))
+    env.run()
+    send_done = dict(events)["send_done"]
+    assert send_done >= 5.0  # held until CTS
+
+
+def test_eager_sender_completes_immediately(env, comm):
+    events = []
+
+    def sender(env, comm):
+        yield from comm.send(0, 1, tag=0, payload="small", wire_bytes=64)
+        events.append(env.now)
+
+    def receiver(env, comm):
+        yield env.timeout(9.0)
+        yield from comm.recv(1, source=0, tag=0)
+
+    env.process(sender(env, comm))
+    env.process(receiver(env, comm))
+    env.run()
+    assert events[0] < 1.0  # sender returned long before the recv
+
+
+def test_truncation_error(env, comm):
+    def sender(env, comm):
+        yield from comm.send(0, 1, tag=0, payload="big", wire_bytes=5000)
+
+    def receiver(env, comm):
+        yield from comm.recv(1, source=0, tag=0, max_bytes=100)
+
+    env.process(sender(env, comm))
+    proc = env.process(receiver(env, comm))
+    with pytest.raises(MpiTruncationError):
+        env.run(until=proc)
+
+
+def test_messages_sent_counter(env, comm, run_sim):
+    def sender(env, comm):
+        yield from comm.send(0, 1, tag=0, payload="x", wire_bytes=8)
+
+    def receiver(env, comm):
+        yield from comm.recv(1)
+
+    env.process(sender(env, comm))
+    env.process(receiver(env, comm))
+    env.run()
+    assert comm.messages_sent == 1

@@ -1,0 +1,84 @@
+"""The fabric model: transfer timing, link contention, loopback."""
+
+import pytest
+
+from repro.dpu import make_device
+from repro.mpi.network import CONTROL_MESSAGE_BYTES, Fabric
+from repro.sim import Environment
+
+
+@pytest.fixture
+def cluster2(env):
+    nodes = [make_device(env, "bf2") for _ in range(2)]
+    return Fabric(env, nodes), nodes
+
+
+@pytest.fixture
+def mixed(env):
+    nodes = [make_device(env, "bf2"), make_device(env, "bf3")]
+    return Fabric(env, nodes), nodes
+
+
+class TestTiming:
+    def test_transfer_time_formula(self, cluster2):
+        fabric, nodes = cluster2
+        t = fabric.transfer_time(0, 1, 25e9)  # 1 second of wire at 200Gb/s
+        assert t == pytest.approx(1.0 + nodes[0].spec.nic.base_latency_s)
+
+    def test_mixed_link_uses_min_bandwidth(self, mixed):
+        fabric, _ = mixed
+        # BF2 (25 GB/s) to BF3 (50 GB/s): min is 25 GB/s.
+        assert fabric.link_bandwidth(0, 1) == pytest.approx(25e9)
+
+    def test_mixed_link_uses_max_latency(self, mixed):
+        fabric, nodes = mixed
+        assert fabric.link_latency(0, 1) == pytest.approx(
+            max(n.spec.nic.base_latency_s for n in nodes)
+        )
+
+    def test_transfer_charges_clock(self, env, cluster2, run_sim):
+        fabric, _ = cluster2
+        seconds = run_sim(env, fabric.transfer(0, 1, 25e6))
+        assert env.now == pytest.approx(seconds)
+        assert fabric.bytes_moved == 25e6
+
+    def test_control_message(self, env, cluster2, run_sim):
+        fabric, _ = cluster2
+        seconds = run_sim(env, fabric.control(0, 1))
+        assert seconds == pytest.approx(
+            fabric.transfer_time(0, 1, CONTROL_MESSAGE_BYTES)
+        )
+
+    def test_loopback_is_memory_copy(self, env, cluster2, run_sim):
+        fabric, nodes = cluster2
+        seconds = run_sim(env, fabric.transfer(0, 0, 17e9))
+        assert seconds == pytest.approx(nodes[0].memory.copy_time(int(17e9)))
+        assert fabric.bytes_moved == 0  # loopback never hits the wire
+
+
+class TestContention:
+    def test_same_link_serialises(self, env, cluster2):
+        fabric, _ = cluster2
+        done = []
+
+        def sender(env, fabric, tag):
+            yield from fabric.transfer(0, 1, 25e9)  # ~1 s each
+            done.append((tag, env.now))
+
+        env.process(sender(env, fabric, "a"))
+        env.process(sender(env, fabric, "b"))
+        env.run()
+        assert done[1][1] == pytest.approx(2 * done[0][1], rel=1e-3)
+
+    def test_disjoint_directions_parallel(self, env, cluster2):
+        fabric, _ = cluster2
+        done = []
+
+        def sender(env, fabric, src, dst):
+            yield from fabric.transfer(src, dst, 25e9)
+            done.append(env.now)
+
+        env.process(sender(env, fabric, 0, 1))
+        env.process(sender(env, fabric, 1, 0))
+        env.run()
+        assert done[0] == pytest.approx(done[1])

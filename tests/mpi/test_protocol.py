@@ -1,0 +1,34 @@
+"""Eager/rendezvous selection and the PEDAL compression rule."""
+
+from repro.mpi.protocol import (
+    EAGER_THRESHOLD_BYTES,
+    Protocol,
+    protocol_for,
+    should_compress,
+)
+
+
+class TestProtocolSelection:
+    def test_small_is_eager(self):
+        assert protocol_for(1024) is Protocol.EAGER
+
+    def test_threshold_inclusive_eager(self):
+        assert protocol_for(EAGER_THRESHOLD_BYTES) is Protocol.EAGER
+
+    def test_large_is_rendezvous(self):
+        assert protocol_for(EAGER_THRESHOLD_BYTES + 1) is Protocol.RENDEZVOUS
+
+    def test_custom_threshold(self):
+        assert protocol_for(100, eager_threshold=10) is Protocol.RENDEZVOUS
+        assert protocol_for(100, eager_threshold=1000) is Protocol.EAGER
+
+
+class TestShouldCompress:
+    def test_pedal_only_compresses_rendezvous_path(self):
+        # Paper §IV: PEDAL operates on RNDV, not Eager.
+        assert not should_compress(EAGER_THRESHOLD_BYTES)
+        assert should_compress(EAGER_THRESHOLD_BYTES + 1)
+
+    def test_custom_threshold(self):
+        assert should_compress(2048, rndv_threshold=1024)
+        assert not should_compress(512, rndv_threshold=1024)

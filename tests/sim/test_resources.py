@@ -1,0 +1,128 @@
+"""Resource and Store semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Resource, Store
+
+
+class TestResource:
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_fifo_grant_order(self, env):
+        res = Resource(env, capacity=1)
+        order = []
+
+        def worker(env, res, tag, hold):
+            req = res.request()
+            yield req
+            order.append((tag, env.now))
+            yield env.timeout(hold)
+            res.release(req)
+
+        env.process(worker(env, res, "a", 4))
+        env.process(worker(env, res, "b", 2))
+        env.process(worker(env, res, "c", 1))
+        env.run()
+        assert order == [("a", 0), ("b", 4), ("c", 6)]
+
+    def test_capacity_two_parallelism(self, env):
+        res = Resource(env, capacity=2)
+        done = []
+
+        def worker(env, res, tag):
+            req = res.request()
+            yield req
+            yield env.timeout(5)
+            res.release(req)
+            done.append((tag, env.now))
+
+        for tag in ("a", "b", "c"):
+            env.process(worker(env, res, tag))
+        env.run()
+        assert done == [("a", 5), ("b", 5), ("c", 10)]
+
+    def test_queue_length_and_in_use(self, env):
+        res = Resource(env, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        assert res.in_use == 1
+        assert res.queue_length == 1
+        res.release(r1)
+        assert res.in_use == 1  # r2 promoted
+        assert res.queue_length == 0
+        assert r2.triggered
+
+    def test_cancel_queued_request(self, env):
+        res = Resource(env, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        res.release(r2)  # cancel while queued
+        assert res.queue_length == 0
+        res.release(r1)
+
+    def test_release_unknown_rejected(self, env):
+        res = Resource(env, capacity=1)
+        res2 = Resource(env, capacity=1)
+        req = res2.request()
+        with pytest.raises(SimulationError):
+            res.release(req)
+
+
+class TestStore:
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+        got = []
+
+        def consumer(env, store):
+            item = yield store.get()
+            got.append((item, env.now))
+
+        def producer(env, store):
+            yield env.timeout(3)
+            store.put("x")
+
+        env.process(consumer(env, store))
+        env.process(producer(env, store))
+        env.run()
+        assert got == [("x", 3)]
+
+    def test_immediate_get_when_items_exist(self, env):
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+
+        def consumer(env, store):
+            a = yield store.get()
+            b = yield store.get()
+            return (a, b)
+
+        assert env.run(until=env.process(consumer(env, store))) == (1, 2)
+
+    def test_fifo_items_and_getters(self, env):
+        store = Store(env)
+        results = []
+
+        def consumer(env, store, tag):
+            item = yield store.get()
+            results.append((tag, item))
+
+        env.process(consumer(env, store, "first"))
+        env.process(consumer(env, store, "second"))
+
+        def producer(env, store):
+            yield env.timeout(1)
+            store.put("A")
+            store.put("B")
+
+        env.process(producer(env, store))
+        env.run()
+        assert results == [("first", "A"), ("second", "B")]
+
+    def test_len(self, env):
+        store = Store(env)
+        assert len(store) == 0
+        store.put("i")
+        assert len(store) == 1

@@ -1,0 +1,52 @@
+"""TimeBreakdown accounting."""
+
+import pytest
+
+from repro.sim import TimeBreakdown
+
+
+class TestTimeBreakdown:
+    def test_accumulates(self):
+        tb = TimeBreakdown()
+        tb.add("init", 1.0)
+        tb.add("init", 0.5)
+        tb.add("comp", 2.0)
+        assert tb.get("init") == 1.5
+        assert tb.total() == pytest.approx(3.5)
+
+    def test_missing_phase_zero(self):
+        assert TimeBreakdown().get("nothing") == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TimeBreakdown().add("x", -1.0)
+
+    def test_fraction(self):
+        tb = TimeBreakdown()
+        tb.add("a", 3.0)
+        tb.add("b", 1.0)
+        assert tb.fraction("a") == pytest.approx(0.75)
+        assert tb.fraction("a", "b") == pytest.approx(1.0)
+        assert TimeBreakdown().fraction("a") == 0.0
+
+    def test_merge(self):
+        a = TimeBreakdown()
+        a.add("x", 1.0)
+        b = TimeBreakdown()
+        b.add("x", 2.0)
+        b.add("y", 3.0)
+        a.merge(b)
+        assert a.get("x") == 3.0
+        assert a.get("y") == 3.0
+
+    def test_as_dict_and_repr(self):
+        tb = TimeBreakdown()
+        tb.add("phase", 0.25)
+        assert tb.as_dict() == {"phase": 0.25}
+        assert "phase" in repr(tb)
+
+    def test_insertion_order_preserved(self):
+        tb = TimeBreakdown()
+        for name in ("z", "a", "m"):
+            tb.add(name, 1.0)
+        assert list(tb.as_dict()) == ["z", "a", "m"]

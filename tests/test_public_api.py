@@ -1,0 +1,63 @@
+"""Top-level public API surface and the pedal-bench CLI."""
+
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_readme_quickstart_sequence(self, text_payload):
+        env = repro.Environment()
+        ctx = repro.PedalContext(repro.make_device(env, "bf2"))
+
+        def run(gen):
+            return env.run(until=env.process(gen))
+
+        run(ctx.init())
+        result = run(ctx.compress(text_payload, "C-Engine_DEFLATE"))
+        assert result.ratio > 1
+        out = run(ctx.decompress(result.message))
+        assert out.data == text_payload
+
+    def test_eight_designs_exported(self):
+        assert len(repro.ALL_DESIGNS) == 8
+
+
+class TestCli:
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.bench", *args],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+
+    def test_table4(self):
+        proc = self._run("table4")
+        assert proc.returncode == 0
+        assert "silesia/xml" in proc.stdout
+        assert "exaalt-dataset2" in proc.stdout
+
+    def test_actual_bytes_flag(self):
+        proc = self._run("table4", "--actual-bytes", "8192")
+        assert proc.returncode == 0
+
+    def test_unknown_experiment_fails(self):
+        proc = self._run("fig99")
+        assert proc.returncode != 0
+
+    @pytest.mark.slow
+    def test_fig9_headlines_printed(self):
+        proc = self._run("fig9", "--actual-bytes", "16384")
+        assert proc.returncode == 0
+        assert "Headline factors" in proc.stdout

@@ -1,0 +1,75 @@
+"""CRC-32 / Adler-32 against the stdlib oracle."""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.checksums import adler32, crc32
+
+
+KNOWN = [
+    b"",
+    b"a",
+    b"abc",
+    b"hello world",
+    b"\x00" * 1000,
+    bytes(range(256)) * 10,
+]
+
+
+class TestCrc32:
+    @pytest.mark.parametrize("blob", KNOWN, ids=range(len(KNOWN)))
+    def test_matches_stdlib(self, blob):
+        assert crc32(blob) == zlib.crc32(blob)
+
+    def test_known_vector(self):
+        # The classic "123456789" check value.
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_incremental_matches_oneshot(self):
+        blob = b"the quick brown fox" * 50
+        running = 0
+        for i in range(0, len(blob), 97):
+            running = crc32(blob[i : i + 97], running)
+        assert running == crc32(blob)
+
+    def test_accepts_memoryview(self):
+        blob = b"some data"
+        assert crc32(memoryview(blob)) == crc32(blob)
+
+
+class TestAdler32:
+    @pytest.mark.parametrize("blob", KNOWN, ids=range(len(KNOWN)))
+    def test_matches_stdlib(self, blob):
+        assert adler32(blob) == zlib.adler32(blob)
+
+    def test_known_vector(self):
+        assert adler32(b"Wikipedia") == 0x11E60398
+
+    def test_incremental_matches_oneshot(self):
+        blob = bytes(range(256)) * 300
+        running = 1
+        for i in range(0, len(blob), 1009):
+            running = adler32(blob[i : i + 1009], running)
+        assert running == adler32(blob)
+
+    def test_large_block_mod_handling(self):
+        # Exercise the chunked modulo path (> _BLOCK bytes of 0xFF).
+        blob = b"\xff" * (3 << 20)
+        assert adler32(blob) == zlib.adler32(blob)
+
+
+@given(st.binary(max_size=5000))
+@settings(max_examples=80)
+def test_property_both_match_stdlib(blob):
+    assert crc32(blob) == zlib.crc32(blob)
+    assert adler32(blob) == zlib.adler32(blob)
+
+
+@given(st.binary(max_size=2000), st.binary(max_size=2000))
+@settings(max_examples=40)
+def test_property_incremental_split(a, b):
+    assert crc32(b, crc32(a)) == crc32(a + b)
+    assert adler32(b, adler32(a)) == adler32(a + b)

@@ -1,0 +1,53 @@
+"""Byte statistics."""
+
+import numpy as np
+import pytest
+
+from repro.util.stats import byte_entropy, byte_histogram, compression_ratio
+
+
+class TestHistogram:
+    def test_empty(self):
+        hist = byte_histogram(b"")
+        assert hist.shape == (256,)
+        assert hist.sum() == 0
+
+    def test_counts(self):
+        hist = byte_histogram(b"aab")
+        assert hist[ord("a")] == 2
+        assert hist[ord("b")] == 1
+        assert hist.sum() == 3
+
+    def test_full_range(self):
+        hist = byte_histogram(bytes(range(256)))
+        assert (hist == 1).all()
+
+
+class TestEntropy:
+    def test_empty_is_zero(self):
+        assert byte_entropy(b"") == 0.0
+
+    def test_constant_is_zero(self):
+        assert byte_entropy(b"\x42" * 1000) == 0.0
+
+    def test_uniform_is_eight_bits(self):
+        assert byte_entropy(bytes(range(256)) * 16) == pytest.approx(8.0)
+
+    def test_two_symbols_is_one_bit(self):
+        assert byte_entropy(b"ab" * 500) == pytest.approx(1.0)
+
+    def test_random_data_near_eight(self):
+        rng = np.random.default_rng(0)
+        assert byte_entropy(rng.bytes(100000)) > 7.9
+
+
+class TestCompressionRatio:
+    def test_basic(self):
+        assert compression_ratio(100, 50) == 2.0
+
+    def test_expansion_below_one(self):
+        assert compression_ratio(100, 200) == 0.5
+
+    def test_zero_compressed_rejected(self):
+        with pytest.raises(ValueError):
+            compression_ratio(100, 0)
