@@ -4,17 +4,33 @@ Usage::
 
     python -m repro.bench all
     python -m repro.bench fig8 table5 --actual-bytes 262144
+    python -m repro.bench fig7 --trace fig7.trace.json --metrics fig7.metrics.json
+    python -m repro.bench fig7 fig9 --json out.json
+
+``--trace`` records every simulated operation as dual-clock spans and
+writes a Chrome trace-event file (open it in https://ui.perfetto.dev or
+``chrome://tracing``); ``--trace-jsonl`` writes the same spans as a
+JSONL event log.  ``--metrics`` dumps the counters/gauges/histograms
+collected during the run.  ``--json`` writes the experiment grids in
+machine-readable form instead of scraping stdout.
+
+Progress lines go through the ``repro.bench`` logger — silent unless
+``REPRO_LOG=info`` (or ``debug``) is set.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
+from repro import obs
 from repro.bench.harness import run_experiment
 
 _ALL = ["table4", "table5", "fig7", "fig8", "fig9", "fig10", "fig11"]
+
+log = obs.get_logger("bench")
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -33,6 +49,30 @@ def main(argv: "list[str] | None" = None) -> int:
         default=None,
         help="synthetic payload budget per dataset (default per experiment)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace-event JSON (sim-clock timeline) to PATH",
+    )
+    parser.add_argument(
+        "--trace-jsonl",
+        metavar="PATH",
+        default=None,
+        help="write the recorded spans as a JSONL event log to PATH",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write collected metrics (counters/gauges/histograms) to PATH",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write experiment rows + metadata as JSON to PATH",
+    )
     args = parser.parse_args(argv)
 
     names: list[str] = []
@@ -42,14 +82,48 @@ def main(argv: "list[str] | None" = None) -> int:
         else:
             names.append(name)
 
-    for name in names:
-        kwargs = {}
-        if args.actual_bytes is not None:
-            kwargs["actual_bytes"] = args.actual_bytes
-        started = time.time()
-        result = run_experiment(name, **kwargs)
-        print(result.render())
-        print(f"[{name} regenerated in {time.time() - started:.1f}s]\n")
+    tracer = obs.Tracer() if (args.trace or args.trace_jsonl) else None
+    metrics = obs.MetricsRegistry() if args.metrics else None
+    prev_tracer = obs.set_tracer(tracer) if tracer is not None else None
+    prev_metrics = obs.set_metrics(metrics) if metrics is not None else None
+
+    results = []
+    try:
+        for name in names:
+            kwargs = {}
+            if args.actual_bytes is not None:
+                kwargs["actual_bytes"] = args.actual_bytes
+            started = time.time()
+            result = run_experiment(name, **kwargs)
+            results.append(result)
+            print(result.render())
+            print()
+            log.info("%s regenerated in %.1fs", name, time.time() - started)
+    finally:
+        if tracer is not None:
+            obs.set_tracer(prev_tracer)
+        if metrics is not None:
+            obs.set_metrics(prev_metrics)
+
+    if tracer is not None and args.trace:
+        n = obs.write_chrome_trace(tracer, args.trace)
+        log.info("wrote %d spans to %s", n, args.trace)
+    if tracer is not None and args.trace_jsonl:
+        obs.write_jsonl(tracer, args.trace_jsonl, metrics=metrics)
+        log.info("wrote span JSONL to %s", args.trace_jsonl)
+    if metrics is not None and args.metrics:
+        obs.write_metrics_json(metrics, args.metrics)
+        log.info("wrote metrics to %s", args.metrics)
+    if args.json:
+        payload = {
+            "generator": "repro.bench",
+            "experiments": [result.as_dict() for result in results],
+            "args": {"actual_bytes": args.actual_bytes},
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        log.info("wrote experiment JSON to %s", args.json)
     return 0
 
 

@@ -61,6 +61,17 @@ class ExperimentResult:
             parts.append(f"note: {note}")
         return "\n".join(parts)
 
+    def as_dict(self) -> dict:
+        """JSON-ready form (``repro.bench --json``): rows + metadata."""
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+            "headlines": dict(self.headlines),
+            "notes": list(self.notes),
+        }
+
 
 @lru_cache(maxsize=64)
 def generate_payload(dataset_key: str, actual_bytes: int) -> Any:

@@ -4,16 +4,37 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Sequence
 
-__all__ = ["format_table", "format_seconds", "format_ratio"]
+__all__ = ["format_table", "format_seconds", "format_bytes", "format_ratio"]
 
 
 def format_seconds(seconds: float) -> str:
-    """Human scale: µs/ms/s with three significant digits."""
+    """Human scale: µs/ms/s with three significant digits.
+
+    Exactly zero renders as ``0 s`` (not ``0 us``), and values from
+    1000 s up switch to fixed-point so ``%.3g`` doesn't collapse them
+    to scientific notation and drop whole seconds.
+    """
+    if seconds == 0:
+        return "0 s"
     if seconds < 1e-3:
         return f"{seconds * 1e6:.3g} us"
     if seconds < 1.0:
         return f"{seconds * 1e3:.3g} ms"
-    return f"{seconds:.3g} s"
+    if seconds < 1000.0:
+        return f"{seconds:.3g} s"
+    return f"{seconds:.1f} s"
+
+
+def format_bytes(nbytes: float) -> str:
+    """Human scale: B/KiB/MiB/... with three significant digits."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{value:.0f} B"
+            return f"{value:.3g} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
 
 
 def format_ratio(value: float) -> str:

@@ -31,6 +31,7 @@ from repro.doca.sdk import DocaSession
 from repro.dpu.device import BlueFieldDPU
 from repro.dpu.specs import Algo, Direction
 from repro.errors import PedalNotInitializedError
+from repro.obs import device_span, get_metrics
 from repro.sim import TimeBreakdown
 
 __all__ = [
@@ -132,13 +133,21 @@ class PedalContext:
         """
         breakdown = TimeBreakdown()
         if not self._initialized:
-            init_seconds = yield from self.session.open()
-            breakdown.add(PHASE_INIT, init_seconds)
-            inventory, inv_seconds = yield from self.session.create_inventory()
-            breakdown.add(PHASE_PREP, inv_seconds)
-            self.pool = MemoryPool(inventory, self.config.max_message_bytes)
-            prewarm_seconds = yield from self.pool.prewarm(self.config.pool_buffers)
-            breakdown.add(PHASE_PREP, prewarm_seconds)
+            with device_span(
+                "pedal.init", self.device,
+                device=self.device.name,
+                pool_buffers=self.config.pool_buffers,
+            ) as span:
+                breakdown.bind(span)
+                init_seconds = yield from self.session.open()
+                breakdown.add(PHASE_INIT, init_seconds)
+                inventory, inv_seconds = yield from self.session.create_inventory()
+                breakdown.add(PHASE_PREP, inv_seconds)
+                self.pool = MemoryPool(inventory, self.config.max_message_bytes)
+                prewarm_seconds = yield from self.pool.prewarm(
+                    self.config.pool_buffers
+                )
+                breakdown.add(PHASE_PREP, prewarm_seconds)
             self._initialized = True
             self.init_breakdown = breakdown
         return breakdown
@@ -147,8 +156,10 @@ class PedalContext:
         """``PEDAL_finalize``: drain the pool, close the session."""
         if self._initialized:
             assert self.pool is not None
-            self.pool.drain()
-            self.session.close()
+            with device_span("pedal.finalize", self.device,
+                             device=self.device.name):
+                self.pool.drain()
+                self.session.close()
             self._initialized = False
         return
         yield  # pragma: no cover - generator marker
@@ -177,20 +188,34 @@ class PedalContext:
         scale = sim_in / real.original_bytes if real.original_bytes else 1.0
 
         breakdown = TimeBreakdown()
-        if dsg.algo is Algo.SZ3:
-            yield from self._sim_sz3(
-                Direction.COMPRESS, dsg, resolved, sim_in,
-                None if real.cengine_stage_bytes is None
-                else real.cengine_stage_bytes * scale,
-                breakdown,
-            )
-        else:
-            yield from self._sim_lossless(
-                Direction.COMPRESS, dsg, resolved, sim_in, breakdown
-            )
+        with device_span(
+            "pedal.compress", self.device,
+            device=self.device.name,
+            algo=dsg.algo.value,
+            engine=resolved.engine_for(Direction.COMPRESS),
+            direction=Direction.COMPRESS.value,
+            sim_bytes=sim_in,
+            actual_bytes=real.original_bytes,
+        ) as span:
+            breakdown.bind(span)
+            if dsg.algo is Algo.SZ3:
+                yield from self._sim_sz3(
+                    Direction.COMPRESS, dsg, resolved, sim_in,
+                    None if real.cengine_stage_bytes is None
+                    else real.cengine_stage_bytes * scale,
+                    breakdown,
+                )
+            else:
+                yield from self._sim_lossless(
+                    Direction.COMPRESS, dsg, resolved, sim_in, breakdown
+                )
 
         header = PedalHeader.for_algo(dsg.algo).encode()
         message = header + real.payload
+        metrics = get_metrics()
+        if metrics.recording:
+            metrics.inc(f"codec.{dsg.algo.value}.bytes_in", real.original_bytes)
+            metrics.inc(f"codec.{dsg.algo.value}.bytes_out", len(message))
         return CompressResult(
             message=message,
             design=dsg,
@@ -240,16 +265,30 @@ class PedalContext:
 
         dsg = _CD(algo, placement)
         resolved = resolve(self.device, dsg)
-        if algo is Algo.SZ3:
-            yield from self._sim_sz3(
-                Direction.DECOMPRESS, dsg, resolved, sim_out,
-                None if stage_bytes is None else stage_bytes * scale,
-                breakdown,
-            )
-        else:
-            yield from self._sim_lossless(
-                Direction.DECOMPRESS, dsg, resolved, sim_out, breakdown
-            )
+        with device_span(
+            "pedal.decompress", self.device,
+            device=self.device.name,
+            algo=algo.value,
+            engine=resolved.engine_for(Direction.DECOMPRESS),
+            direction=Direction.DECOMPRESS.value,
+            sim_bytes=sim_out,
+            actual_bytes=actual_out,
+        ) as span:
+            breakdown.bind(span)
+            if algo is Algo.SZ3:
+                yield from self._sim_sz3(
+                    Direction.DECOMPRESS, dsg, resolved, sim_out,
+                    None if stage_bytes is None else stage_bytes * scale,
+                    breakdown,
+                )
+            else:
+                yield from self._sim_lossless(
+                    Direction.DECOMPRESS, dsg, resolved, sim_out, breakdown
+                )
+        metrics = get_metrics()
+        if metrics.recording:
+            metrics.inc(f"codec.{algo.value}.bytes_in", len(payload))
+            metrics.inc(f"codec.{algo.value}.bytes_out", actual_out)
         return DecompressResult(
             data=data, algo=algo, resolved=resolved, breakdown=breakdown
         )

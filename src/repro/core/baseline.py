@@ -30,6 +30,7 @@ from repro.core.header import HEADER_SIZE, PedalHeader
 from repro.core.registry import ResolvedDesign, cengine_core_algo, resolve
 from repro.dpu.device import BlueFieldDPU
 from repro.dpu.specs import Algo, Direction
+from repro.obs import device_span, get_metrics
 from repro.sim import TimeBreakdown
 
 __all__ = ["NaiveCompressor"]
@@ -55,18 +56,24 @@ class NaiveCompressor:
         device = self.device
         uses_engine = resolved.engine_for(direction) == "cengine"
         if uses_engine:
-            breakdown.add(PHASE_INIT, device.cal.doca_init_time)
-            yield device.env.timeout(device.cal.doca_init_time)
+            with device_span("doca.init", device, device=device.name,
+                             per_op=True):
+                breakdown.add(PHASE_INIT, device.cal.doca_init_time)
+                yield device.env.timeout(device.cal.doca_init_time)
             # Inventory + source/destination buffers, allocated and
             # DMA-mapped from scratch for this one operation.
             prep = device.memory.doca_buffer_prep_time(int(2 * sim_bytes))
-            breakdown.add(PHASE_PREP, prep)
-            yield device.env.timeout(prep)
+            with device_span("buffer.prep", device, what="per_op_dma_map",
+                             bytes=int(2 * sim_bytes)):
+                breakdown.add(PHASE_PREP, prep)
+                yield device.env.timeout(prep)
         else:
             # SoC path: plain allocations for input staging + output.
             prep = device.memory.alloc_time(int(2 * sim_bytes))
-            breakdown.add(PHASE_PREP, prep)
-            yield device.env.timeout(prep)
+            with device_span("buffer.prep", device, what="per_op_alloc",
+                             bytes=int(2 * sim_bytes)):
+                breakdown.add(PHASE_PREP, prep)
+                yield device.env.timeout(prep)
 
     def _sim_codec(
         self,
@@ -144,20 +151,34 @@ class NaiveCompressor:
         scale = sim_in / real.original_bytes if real.original_bytes else 1.0
 
         breakdown = TimeBreakdown()
-        yield from self._naive_overheads(
-            resolved, Direction.COMPRESS, sim_in, breakdown
-        )
-        yield from self._sim_codec(
-            dsg,
-            resolved,
-            Direction.COMPRESS,
-            sim_in,
-            None
-            if real.cengine_stage_bytes is None
-            else real.cengine_stage_bytes * scale,
-            breakdown,
-        )
+        with device_span(
+            "naive.compress", self.device,
+            device=self.device.name,
+            algo=dsg.algo.value,
+            engine=resolved.engine_for(Direction.COMPRESS),
+            direction=Direction.COMPRESS.value,
+            sim_bytes=sim_in,
+            actual_bytes=real.original_bytes,
+        ) as span:
+            breakdown.bind(span)
+            yield from self._naive_overheads(
+                resolved, Direction.COMPRESS, sim_in, breakdown
+            )
+            yield from self._sim_codec(
+                dsg,
+                resolved,
+                Direction.COMPRESS,
+                sim_in,
+                None
+                if real.cengine_stage_bytes is None
+                else real.cengine_stage_bytes * scale,
+                breakdown,
+            )
         message = PedalHeader.for_algo(dsg.algo).encode() + real.payload
+        metrics = get_metrics()
+        if metrics.recording:
+            metrics.inc(f"codec.{dsg.algo.value}.bytes_in", real.original_bytes)
+            metrics.inc(f"codec.{dsg.algo.value}.bytes_out", len(message))
         return CompressResult(
             message=message,
             design=dsg,
@@ -192,17 +213,27 @@ class NaiveCompressor:
 
         dsg = CompressionDesign(algo, placement)
         resolved = resolve(self.device, dsg)
-        yield from self._naive_overheads(
-            resolved, Direction.DECOMPRESS, sim_out, breakdown
-        )
-        yield from self._sim_codec(
-            dsg,
-            resolved,
-            Direction.DECOMPRESS,
-            sim_out,
-            None if stage_bytes is None else stage_bytes * scale,
-            breakdown,
-        )
+        with device_span(
+            "naive.decompress", self.device,
+            device=self.device.name,
+            algo=algo.value,
+            engine=resolved.engine_for(Direction.DECOMPRESS),
+            direction=Direction.DECOMPRESS.value,
+            sim_bytes=sim_out,
+            actual_bytes=actual_out,
+        ) as span:
+            breakdown.bind(span)
+            yield from self._naive_overheads(
+                resolved, Direction.DECOMPRESS, sim_out, breakdown
+            )
+            yield from self._sim_codec(
+                dsg,
+                resolved,
+                Direction.DECOMPRESS,
+                sim_out,
+                None if stage_bytes is None else stage_bytes * scale,
+                breakdown,
+            )
         return DecompressResult(
             data=data, algo=algo, resolved=resolved, breakdown=breakdown
         )

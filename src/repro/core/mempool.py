@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Generator
 
 from repro.doca.buffers import BufInventory, DocaBuffer
+from repro.obs import device_span, get_metrics
 
 __all__ = ["MemoryPool", "PoolStats"]
 
@@ -56,22 +57,37 @@ class MemoryPool:
         Called from ``PEDAL_Init`` — this is where the Fig. 7 overhead
         moves to.
         """
-        total = 0.0
-        for _ in range(count):
-            buf = yield from self.inventory.map_buffer(self.buffer_bytes)
-            self._free.append(buf)
-            self._total += 1
-            total += buf.map_seconds
+        device = self.inventory.session.device
+        with device_span(
+            "buffer.prep", device, what="mempool_prewarm",
+            buffers=count, buffer_bytes=self.buffer_bytes,
+        ):
+            total = 0.0
+            for _ in range(count):
+                buf = yield from self.inventory.map_buffer(self.buffer_bytes)
+                self._free.append(buf)
+                self._total += 1
+                total += buf.map_seconds
         return total
 
     def acquire(self) -> Generator:
         """Take a pooled buffer (free if available, else grow)."""
+        metrics = get_metrics()
         if self._free:
             self.stats.hits += 1
+            if metrics.recording:
+                metrics.inc("mempool.hits")
             return self._free.pop()
         # Pool miss: map a fresh buffer at full cost.
         self.stats.misses += 1
-        buf = yield from self.inventory.map_buffer(self.buffer_bytes)
+        if metrics.recording:
+            metrics.inc("mempool.misses")
+        device = self.inventory.session.device
+        with device_span(
+            "buffer.prep", device, what="pool_miss_grow",
+            buffer_bytes=self.buffer_bytes,
+        ):
+            buf = yield from self.inventory.map_buffer(self.buffer_bytes)
         self.stats.grow_seconds += buf.map_seconds
         self._total += 1
         return buf

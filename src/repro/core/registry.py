@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from repro.core.designs import CompressionDesign, Placement
 from repro.dpu.device import BlueFieldDPU
 from repro.dpu.specs import Algo, Direction
+from repro.obs import get_metrics
 
 __all__ = ["ResolvedDesign", "resolve", "cengine_core_algo"]
 
@@ -79,9 +80,14 @@ def resolve(device: BlueFieldDPU, design: CompressionDesign) -> ResolvedDesign:
     for direction in (Direction.COMPRESS, Direction.DECOMPRESS):
         supported = device.cengine.supports(core, direction)
         engines[direction] = "cengine" if supported else "soc"
-    return ResolvedDesign(
+    resolved = ResolvedDesign(
         design=design,
         device_name=device.name,
         compress_engine=engines[Direction.COMPRESS],
         decompress_engine=engines[Direction.DECOMPRESS],
     )
+    if resolved.any_fallback:
+        metrics = get_metrics()
+        if metrics.recording:
+            metrics.inc("pedal.fallback_soc")
+    return resolved

@@ -8,6 +8,7 @@ from repro.doca.buffers import DocaBuffer
 from repro.doca.sdk import DocaSession
 from repro.dpu.specs import Algo, Direction
 from repro.errors import DocaBufferError
+from repro.obs import get_metrics
 
 __all__ = ["submit_job"]
 
@@ -35,5 +36,8 @@ def submit_job(
         raise DocaBufferError(
             f"job size {size} outside mapped buffer of {src.nbytes} bytes"
         )
+    metrics = get_metrics()
+    if metrics.recording:
+        metrics.inc(f"doca.jobs.{algo.value}.{direction.value}")
     seconds = yield from session.device.cengine.submit(algo, direction, size)
     return seconds

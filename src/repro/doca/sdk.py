@@ -7,6 +7,7 @@ from typing import Generator
 from repro.doca.buffers import BufInventory
 from repro.dpu.device import BlueFieldDPU
 from repro.errors import DocaNotInitializedError
+from repro.obs import device_span
 
 __all__ = ["DocaSession"]
 
@@ -33,7 +34,8 @@ class DocaSession:
         if self._open:
             return 0.0
         seconds = self.device.cal.doca_init_time
-        yield self.device.env.timeout(seconds)
+        with device_span("doca.init", self.device, device=self.device.name):
+            yield self.device.env.timeout(seconds)
         self._open = True
         self.init_seconds = seconds
         return seconds
@@ -46,7 +48,8 @@ class DocaSession:
         """
         self.require_open()
         seconds = self.device.cal.buffer_fixed_time
-        yield self.device.env.timeout(seconds)
+        with device_span("buffer.prep", self.device, what="inventory"):
+            yield self.device.env.timeout(seconds)
         return BufInventory(self), seconds
 
     def require_open(self) -> None:

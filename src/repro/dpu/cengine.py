@@ -6,16 +6,25 @@ generation (paper Table II).  Unsupported (algo, direction) submissions
 raise :class:`~repro.errors.DocaCapabilityError` — PEDAL's registry
 catches this class of condition *before* submission and falls back to
 the SoC (paper §III-D), but direct DOCA users hit the error.
+
+Each executed job emits a ``cengine.compress`` / ``cengine.decompress``
+tracing span and feeds the job counter plus queue-wait histogram when
+observability is enabled (see :mod:`repro.obs`).
 """
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import TYPE_CHECKING, Generator
 
 from repro.dpu.calibration import Calibration
 from repro.dpu.specs import Algo, Direction, DpuSpec
 from repro.errors import DocaCapabilityError
+from repro.obs import device_span, get_metrics
+from repro.obs.metrics import SIM_SECONDS_BUCKETS
 from repro.sim import Environment, Resource
+
+if TYPE_CHECKING:
+    from repro.dpu.device import BlueFieldDPU
 
 __all__ = ["CEngine"]
 
@@ -27,9 +36,17 @@ class CEngine:
         self.env = env
         self.spec = spec
         self.cal = cal
-        self.queue = Resource(env, capacity=1)
+        self.queue = Resource(env, capacity=1, obs_name="cengine")
         self.jobs_completed = 0
         self.busy_seconds = 0.0
+        # Back-reference set by the owning BlueFieldDPU so job spans land
+        # on the device's trace track (nested under PEDAL op spans).
+        self.owner: "BlueFieldDPU | None" = None
+
+    @property
+    def name(self) -> str:
+        """Track label when the engine is used without an owning device."""
+        return f"{self.spec.name} C-Engine"
 
     def supports(self, algo: Algo, direction: Direction) -> bool:
         """Native DOCA support for (algo, direction) on this device."""
@@ -53,12 +70,28 @@ class CEngine:
         wall time from the environment clock if they need it).
         """
         seconds = self.job_time(algo, direction, nbytes)  # may raise
-        req = self.queue.request()
-        yield req
-        try:
-            yield self.env.timeout(seconds)
-            self.jobs_completed += 1
-            self.busy_seconds += seconds
-        finally:
-            self.queue.release(req)
+        anchor = self.owner if self.owner is not None else self
+        with device_span(
+            f"cengine.{direction.value}",
+            anchor,
+            algo=algo.value,
+            bytes=nbytes,
+            device=self.spec.name,
+        ) as span:
+            req = self.queue.request()
+            yield req
+            wait = self.env.now - req.requested_at
+            metrics = get_metrics()
+            if metrics.recording:
+                metrics.inc("cengine.jobs")
+                metrics.inc(f"cengine.bytes.{direction.value}", float(nbytes))
+                metrics.observe("cengine.queue_wait_s", wait, SIM_SECONDS_BUCKETS)
+            if wait > 0:
+                span.set_attr("queue_wait_s", wait)
+            try:
+                yield self.env.timeout(seconds)
+                self.jobs_completed += 1
+                self.busy_seconds += seconds
+            finally:
+                self.queue.release(req)
         return seconds

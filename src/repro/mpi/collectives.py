@@ -15,6 +15,8 @@ from typing import TYPE_CHECKING, Any, Callable, Generator
 
 import numpy as np
 
+from repro.obs import device_span
+
 if TYPE_CHECKING:
     from repro.mpi.runtime import RankContext
 
@@ -85,12 +87,16 @@ def bcast(
             if nominal > BCAST_LONG_MSG_BYTES and ctx.size > 2
             else "binomial"
         )
-    if algorithm == "scatter_allgather":
-        result = yield from _bcast_scatter_allgather(ctx, data, root, sim_bytes)
-        return result
-    if algorithm != "binomial":
+    if algorithm not in ("binomial", "scatter_allgather"):
         raise ValueError(f"unknown bcast algorithm {algorithm!r}")
-    result = yield from _bcast_binomial(ctx, data, root, sim_bytes)
+    with device_span("mpi.bcast", ctx.device, rank=ctx.rank, root=root,
+                     algorithm=algorithm):
+        if algorithm == "scatter_allgather":
+            result = yield from _bcast_scatter_allgather(
+                ctx, data, root, sim_bytes
+            )
+        else:
+            result = yield from _bcast_binomial(ctx, data, root, sim_bytes)
     return result
 
 
@@ -161,14 +167,17 @@ def gather(
     ctx: "RankContext", data: Any, root: int = 0, sim_bytes: float | None = None
 ) -> Generator:
     """Linear gather; the root returns the rank-ordered list, others None."""
-    if ctx.rank == root:
-        out: list[Any] = [None] * ctx.size
-        out[root] = data
-        for _ in range(ctx.size - 1):
-            envlp_source, item = yield from ctx.recv_with_source(tag=_GATHER_TAG)
-            out[envlp_source] = item
-        return out
-    yield from ctx.send(root, data, tag=_GATHER_TAG, sim_bytes=sim_bytes)
+    with device_span("mpi.gather", ctx.device, rank=ctx.rank, root=root):
+        if ctx.rank == root:
+            out: list[Any] = [None] * ctx.size
+            out[root] = data
+            for _ in range(ctx.size - 1):
+                envlp_source, item = yield from ctx.recv_with_source(
+                    tag=_GATHER_TAG
+                )
+                out[envlp_source] = item
+            return out
+        yield from ctx.send(root, data, tag=_GATHER_TAG, sim_bytes=sim_bytes)
     return None
 
 
@@ -179,15 +188,16 @@ def scatter(
     sim_bytes: float | None = None,
 ) -> Generator:
     """Linear scatter of a root-side list; returns this rank's chunk."""
-    if ctx.rank == root:
-        assert chunks is not None and len(chunks) == ctx.size
-        for dst in range(ctx.size):
-            if dst != root:
-                yield from ctx.send(
-                    dst, chunks[dst], tag=_SCATTER_TAG, sim_bytes=sim_bytes
-                )
-        return chunks[root]
-    item = yield from ctx.recv(source=root, tag=_SCATTER_TAG)
+    with device_span("mpi.scatter", ctx.device, rank=ctx.rank, root=root):
+        if ctx.rank == root:
+            assert chunks is not None and len(chunks) == ctx.size
+            for dst in range(ctx.size):
+                if dst != root:
+                    yield from ctx.send(
+                        dst, chunks[dst], tag=_SCATTER_TAG, sim_bytes=sim_bytes
+                    )
+            return chunks[root]
+        item = yield from ctx.recv(source=root, tag=_SCATTER_TAG)
     return item
 
 
@@ -200,18 +210,20 @@ def allgather(
     size = ctx.size
     if size == 1:
         return [data]
-    collected: dict[int, Any] = {ctx.rank: data}
-    right = (ctx.rank + 1) % size
-    left = (ctx.rank - 1) % size
-    for step in range(size - 1):
-        send_idx = (ctx.rank - step) % size
-        recv_idx = (ctx.rank - step - 1) % size
-        req = isend(
-            ctx, right, collected[send_idx], tag=_ALLGATHER_TAG, sim_bytes=sim_bytes
-        )
-        chunk = yield from ctx.recv(source=left, tag=_ALLGATHER_TAG)
-        collected[recv_idx] = chunk
-        yield from req.wait()
+    with device_span("mpi.allgather", ctx.device, rank=ctx.rank):
+        collected: dict[int, Any] = {ctx.rank: data}
+        right = (ctx.rank + 1) % size
+        left = (ctx.rank - 1) % size
+        for step in range(size - 1):
+            send_idx = (ctx.rank - step) % size
+            recv_idx = (ctx.rank - step - 1) % size
+            req = isend(
+                ctx, right, collected[send_idx], tag=_ALLGATHER_TAG,
+                sim_bytes=sim_bytes,
+            )
+            chunk = yield from ctx.recv(source=left, tag=_ALLGATHER_TAG)
+            collected[recv_idx] = chunk
+            yield from req.wait()
     return [collected[i] for i in range(size)]
 
 
@@ -222,8 +234,9 @@ def allreduce(
     sim_bytes: float | None = None,
 ) -> Generator:
     """Reduce-then-broadcast allreduce (MPICH's small-communicator path)."""
-    reduced = yield from reduce(ctx, data, op, root=0, sim_bytes=sim_bytes)
-    result = yield from bcast(ctx, reduced, root=0, sim_bytes=sim_bytes)
+    with device_span("mpi.allreduce", ctx.device, rank=ctx.rank):
+        reduced = yield from reduce(ctx, data, op, root=0, sim_bytes=sim_bytes)
+        result = yield from bcast(ctx, reduced, root=0, sim_bytes=sim_bytes)
     return result
 
 
@@ -241,18 +254,20 @@ def alltoall(
     size = ctx.size
     if len(chunks) != size:
         raise ValueError(f"alltoall needs {size} chunks, got {len(chunks)}")
-    out: list[Any] = [None] * size
-    out[ctx.rank] = chunks[ctx.rank]
-    requests = []
-    for peer in range(size):
-        if peer != ctx.rank:
-            requests.append(
-                isend(ctx, peer, chunks[peer], tag=_ALLTOALL_TAG, sim_bytes=sim_bytes)
-            )
-    for _ in range(size - 1):
-        source, chunk = yield from ctx.recv_with_source(tag=_ALLTOALL_TAG)
-        out[source] = chunk
-    yield from waitall(ctx, requests)
+    with device_span("mpi.alltoall", ctx.device, rank=ctx.rank):
+        out: list[Any] = [None] * size
+        out[ctx.rank] = chunks[ctx.rank]
+        requests = []
+        for peer in range(size):
+            if peer != ctx.rank:
+                requests.append(
+                    isend(ctx, peer, chunks[peer], tag=_ALLTOALL_TAG,
+                          sim_bytes=sim_bytes)
+                )
+        for _ in range(size - 1):
+            source, chunk = yield from ctx.recv_with_source(tag=_ALLTOALL_TAG)
+            out[source] = chunk
+        yield from waitall(ctx, requests)
     return out
 
 
@@ -270,16 +285,19 @@ def reduce(
     size = ctx.size
     relative = (ctx.rank - root) % size
     value = data
-    mask = 1
-    while mask < size:
-        if relative & mask:
-            dst = (ctx.rank - mask) % size
-            yield from ctx.send(dst, value, tag=_REDUCE_TAG, sim_bytes=sim_bytes)
-            return None
-        src_rel = relative | mask
-        if src_rel < size:
-            src = (src_rel + root) % size
-            other = yield from ctx.recv(source=src, tag=_REDUCE_TAG)
-            value = op(value, other)
-        mask <<= 1
+    with device_span("mpi.reduce", ctx.device, rank=ctx.rank, root=root):
+        mask = 1
+        while mask < size:
+            if relative & mask:
+                dst = (ctx.rank - mask) % size
+                yield from ctx.send(
+                    dst, value, tag=_REDUCE_TAG, sim_bytes=sim_bytes
+                )
+                return None
+            src_rel = relative | mask
+            if src_rel < size:
+                src = (src_rel + root) % size
+                other = yield from ctx.recv(source=src, tag=_REDUCE_TAG)
+                value = op(value, other)
+            mask <<= 1
     return value

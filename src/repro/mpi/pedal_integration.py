@@ -28,6 +28,7 @@ from repro.core.designs import CompressionDesign, design as lookup_design
 from repro.core.header import HEADER_SIZE, PedalHeader
 from repro.dpu.device import BlueFieldDPU
 from repro.mpi.protocol import EAGER_THRESHOLD_BYTES, should_compress
+from repro.obs import get_metrics
 from repro.sim import TimeBreakdown
 
 __all__ = ["CommMode", "CommConfig", "CompressionLayer"]
@@ -109,12 +110,19 @@ class CompressionLayer:
             if cfg.mode is CommMode.RAW:
                 return data, sim_bytes, {"compressed": False, "raw": True}
             # PEDAL passthrough: header marks the message uncompressed.
+            metrics = get_metrics()
+            if metrics.recording:
+                metrics.inc("mpi.shim.passthrough")
             return (
                 (PedalHeader.passthrough(), data),
                 sim_bytes + HEADER_SIZE,
                 {"compressed": False, "raw": False},
             )
 
+        metrics = get_metrics()
+        if metrics.recording:
+            metrics.inc("mpi.shim.compressed")
+            metrics.inc("mpi.shim.sim_bytes_in", sim_bytes)
         t0 = self.device.env.now
         if cfg.mode is CommMode.PEDAL:
             assert self.pedal is not None
@@ -123,6 +131,8 @@ class CompressionLayer:
             assert self.naive is not None
             result = yield from self.naive.compress(data, dsg, sim_bytes)
         self.compress_seconds += self.device.env.now - t0
+        if metrics.recording:
+            metrics.inc("mpi.shim.sim_bytes_wire", result.sim_compressed_bytes)
         meta = {
             "compressed": True,
             "raw": False,

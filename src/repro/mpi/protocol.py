@@ -18,6 +18,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Any
 
+from repro.obs import get_metrics
+
 __all__ = [
     "EAGER_THRESHOLD_BYTES",
     "Protocol",
@@ -52,9 +54,19 @@ class Envelope:
 
 def protocol_for(wire_bytes: float, eager_threshold: int = EAGER_THRESHOLD_BYTES) -> Protocol:
     """Protocol selection by (possibly compressed) wire size."""
-    return Protocol.EAGER if wire_bytes <= eager_threshold else Protocol.RENDEZVOUS
+    proto = Protocol.EAGER if wire_bytes <= eager_threshold else Protocol.RENDEZVOUS
+    metrics = get_metrics()
+    if metrics.recording:
+        metrics.inc(f"mpi.protocol.{proto.value}")
+    return proto
 
 
 def should_compress(sim_bytes: float, rndv_threshold: int = EAGER_THRESHOLD_BYTES) -> bool:
     """PEDAL's rule: compress only messages on the rendezvous path."""
-    return sim_bytes > rndv_threshold
+    decision = sim_bytes > rndv_threshold
+    metrics = get_metrics()
+    if metrics.recording:
+        metrics.inc(
+            "pedal.compress_eligible" if decision else "pedal.compress_skipped"
+        )
+    return decision

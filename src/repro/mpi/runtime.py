@@ -21,6 +21,7 @@ from repro.mpi import collectives
 from repro.mpi.communicator import ANY_SOURCE, ANY_TAG, Communicator
 from repro.mpi.network import Fabric
 from repro.mpi.pedal_integration import CommConfig, CompressionLayer
+from repro.obs import device_span
 from repro.sim import Environment, Event, TimeBreakdown
 
 __all__ = ["RankContext", "MpiJobResult", "run_mpi"]
@@ -95,23 +96,40 @@ class RankContext:
     ) -> Generator:
         """MPI_Send through the compression shim."""
         nominal = _default_sim_bytes(data) if sim_bytes is None else float(sim_bytes)
-        payload, wire_bytes, meta = yield from self.layer.outbound(data, nominal)
-        yield from self.comm.send(self.rank, dest, tag, payload, wire_bytes, meta)
+        with device_span(
+            "mpi.send", self.device,
+            rank=self.rank, dest=dest, tag=tag, sim_bytes=nominal,
+        ) as span:
+            payload, wire_bytes, meta = yield from self.layer.outbound(data, nominal)
+            span.set_attr("wire_bytes", wire_bytes)
+            yield from self.comm.send(
+                self.rank, dest, tag, payload, wire_bytes, meta
+            )
 
     def recv(
         self, source: int = ANY_SOURCE, tag: int = ANY_TAG
     ) -> Generator:
         """MPI_Recv through the compression shim; returns the data."""
-        envlp = yield from self.comm.recv(self.rank, source, tag)
-        data = yield from self.layer.inbound(envlp.payload, envlp.meta)
+        with device_span(
+            "mpi.recv", self.device, rank=self.rank, source=source, tag=tag,
+        ) as span:
+            envlp = yield from self.comm.recv(self.rank, source, tag)
+            span.set_attr("protocol", envlp.protocol.value)
+            span.set_attr("wire_bytes", envlp.wire_bytes)
+            data = yield from self.layer.inbound(envlp.payload, envlp.meta)
         return data
 
     def recv_with_source(
         self, source: int = ANY_SOURCE, tag: int = ANY_TAG
     ) -> Generator:
         """Like :meth:`recv` but returns ``(source, data)`` (MPI_Status)."""
-        envlp = yield from self.comm.recv(self.rank, source, tag)
-        data = yield from self.layer.inbound(envlp.payload, envlp.meta)
+        with device_span(
+            "mpi.recv", self.device, rank=self.rank, source=source, tag=tag,
+        ) as span:
+            envlp = yield from self.comm.recv(self.rank, source, tag)
+            span.set_attr("protocol", envlp.protocol.value)
+            span.set_attr("wire_bytes", envlp.wire_bytes)
+            data = yield from self.layer.inbound(envlp.payload, envlp.meta)
         return envlp.source, data
 
     # -- non-blocking point-to-point ------------------------------------------

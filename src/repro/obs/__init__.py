@@ -1,0 +1,97 @@
+"""``repro.obs`` — observability for the PEDAL reproduction.
+
+Three independent, composable pieces, all defaulting to zero-overhead
+no-ops so the simulation's hot paths cost nothing unless a consumer
+opts in:
+
+* **span tracing** (:mod:`repro.obs.tracer`): nested, attributed spans
+  on both the simulated and the wall clock;
+* **metrics** (:mod:`repro.obs.metrics`): counters, gauges, and
+  fixed-bucket histograms (queue depths, mempool hit/miss, bytes per
+  codec, SoC fallbacks);
+* **export** (:mod:`repro.obs.export`): Chrome trace-event JSON
+  (open in Perfetto / ``chrome://tracing``) and a JSONL event log.
+
+Plus :mod:`repro.obs.logging`, the ``repro.*`` stdlib-logging helper
+(silent by default, ``REPRO_LOG=debug`` to enable).
+
+Typical use (also wired into ``python -m repro.bench --trace``)::
+
+    from repro import obs
+
+    with obs.tracing() as tr, obs.collecting() as m:
+        ...run simulation...
+    obs.write_chrome_trace(tr, "run.trace.json")
+    obs.write_jsonl(tr, "run.jsonl", metrics=m)
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    span_records,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics_json,
+)
+from repro.obs.logging import configure as configure_logging, get_logger
+from repro.obs.metrics import (
+    BYTES_BUCKETS,
+    NULL_METRICS,
+    QUEUE_DEPTH_BUCKETS,
+    SIM_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    collecting,
+    get_metrics,
+    set_metrics,
+)
+from repro.obs.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    Track,
+    device_span,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    # tracer
+    "Span",
+    "Track",
+    "Tracer",
+    "NullTracer",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "device_span",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "get_metrics",
+    "set_metrics",
+    "collecting",
+    "QUEUE_DEPTH_BUCKETS",
+    "SIM_SECONDS_BUCKETS",
+    "BYTES_BUCKETS",
+    # export
+    "chrome_trace_events",
+    "span_records",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics_json",
+    # logging
+    "get_logger",
+    "configure_logging",
+]

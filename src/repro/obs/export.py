@@ -1,0 +1,162 @@
+"""Trace/metric exporters: Chrome trace-event JSON and JSONL.
+
+``write_chrome_trace`` emits the Trace Event Format consumed by
+Perfetto and ``chrome://tracing``: one complete (``ph: "X"``) event per
+span, timestamped on the **simulated** clock in microseconds, with the
+wall-clock cost and span attributes carried in ``args``.  Tracks map to
+threads of a single synthetic process, named via ``M`` metadata events.
+
+``write_jsonl`` emits one self-describing JSON object per line (spans,
+then metric instruments) — the grep/pandas-friendly event log.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, IO
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "span_records",
+    "write_jsonl",
+    "write_metrics_json",
+]
+
+_PID = 1
+
+
+def _span_args(span: "Span") -> dict[str, Any]:
+    args: dict[str, Any] = {k: _jsonable(v) for k, v in span.attrs.items()}
+    args["wall_us"] = round(span.wall_duration * 1e6, 3)
+    if span.phases:
+        phases: dict[str, float] = {}
+        for phase, seconds in span.phases:
+            phases[phase] = phases.get(phase, 0.0) + seconds
+        args["phases_s"] = phases
+    return args
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def chrome_trace_events(tracer: "Tracer") -> list[dict[str, Any]]:
+    """All trace events (metadata first, then spans in creation order)."""
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": "repro-sim"},
+        }
+    ]
+    for track in tracer.tracks:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": _PID,
+                "tid": track.tid,
+                "args": {"name": track.name},
+            }
+        )
+    for span in tracer.spans:
+        events.append(
+            {
+                "name": span.name,
+                "cat": str(span.attrs.get("cat", "sim")),
+                "ph": "X",
+                "ts": span.sim_start * 1e6,
+                "dur": span.sim_duration * 1e6,
+                "pid": _PID,
+                "tid": span.track.tid,
+                "args": _span_args(span),
+            }
+        )
+    return events
+
+
+def write_chrome_trace(tracer: "Tracer", path: str) -> int:
+    """Write the Chrome trace file; returns the number of span events."""
+    events = chrome_trace_events(tracer)
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "simulated",
+            "sim_seconds_total": tracer.max_timestamp,
+        },
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=None, separators=(",", ":"))
+        fh.write("\n")
+    return len(tracer.spans)
+
+
+def span_records(tracer: "Tracer") -> list[dict[str, Any]]:
+    """JSONL-ready span dicts (creation order, parents by index)."""
+    records = []
+    for span in tracer.spans:
+        records.append(
+            {
+                "type": "span",
+                "index": span.index,
+                "name": span.name,
+                "track": span.track.name,
+                "parent": None if span.parent is None else span.parent.index,
+                "sim_start_s": span.sim_start,
+                "sim_dur_s": span.sim_duration,
+                "wall_dur_s": span.wall_duration,
+                "attrs": {k: _jsonable(v) for k, v in span.attrs.items()},
+                "phases": [[p, s] for p, s in span.phases],
+            }
+        )
+    return records
+
+
+def _metric_records(metrics: "MetricsRegistry") -> list[dict[str, Any]]:
+    snapshot = metrics.as_dict()
+    records: list[dict[str, Any]] = []
+    for name, value in snapshot["counters"].items():
+        records.append({"type": "counter", "name": name, "value": value})
+    for name, g in snapshot["gauges"].items():
+        records.append({"type": "gauge", "name": name, **g})
+    for name, h in snapshot["histograms"].items():
+        records.append({"type": "histogram", "name": name, **h})
+    return records
+
+
+def write_jsonl(tracer: "Tracer | None", path: str,
+                metrics: "MetricsRegistry | None" = None) -> int:
+    """Write spans (and optionally metrics) as JSON Lines; returns #lines."""
+    lines = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        if tracer is not None:
+            lines += _dump_lines(fh, span_records(tracer))
+        if metrics is not None:
+            lines += _dump_lines(fh, _metric_records(metrics))
+    return lines
+
+
+def _dump_lines(fh: IO[str], records: list[dict[str, Any]]) -> int:
+    for record in records:
+        fh.write(json.dumps(record, separators=(",", ":")))
+        fh.write("\n")
+    return len(records)
+
+
+def write_metrics_json(metrics: "MetricsRegistry", path: str) -> None:
+    """Write one pretty-printed JSON snapshot of the registry."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(metrics.as_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,74 @@
+"""Namespaced ``repro.*`` stdlib logging, silent by default.
+
+Every module logs through :func:`get_logger`, which hangs its logger
+off the shared ``repro`` root.  Out of the box the root carries a
+``NullHandler`` and propagation is off, so library users see nothing
+unless they opt in — either programmatically via :func:`configure` or
+by setting the ``REPRO_LOG`` environment variable (``debug``, ``info``,
+``warning``, ``error``) before the first log call.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+__all__ = ["get_logger", "configure", "ENV_VAR"]
+
+ENV_VAR = "REPRO_LOG"
+_ROOT_NAME = "repro"
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "warn": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+_configured = False
+
+
+def configure(level: "str | int | None" = None, *, force: bool = False,
+              stream=None) -> logging.Logger:
+    """Set up the ``repro`` root logger; idempotent unless ``force``.
+
+    ``level=None`` reads :data:`ENV_VAR`; an unset/empty variable keeps
+    the logger silent (``NullHandler`` only).
+    """
+    global _configured
+    root = logging.getLogger(_ROOT_NAME)
+    if _configured and not force:
+        return root
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    root.propagate = False
+
+    if level is None:
+        level = os.environ.get(ENV_VAR, "")
+    if isinstance(level, str):
+        resolved = _LEVELS.get(level.strip().lower())
+    else:
+        resolved = level
+    if resolved is None:
+        root.addHandler(logging.NullHandler())
+        root.setLevel(logging.WARNING)
+    else:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("[%(name)s] %(levelname)s %(message)s")
+        )
+        root.addHandler(handler)
+        root.setLevel(resolved)
+    _configured = True
+    return root
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` namespace (configured on first use)."""
+    configure()
+    if not name or name == _ROOT_NAME:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")

@@ -1,0 +1,236 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is deliberately simulation-friendly: every recorded value
+comes from the deterministic simulated world (queue depths, byte
+counts, simulated seconds), and histogram bucket boundaries are fixed
+at registration, so two runs of the same experiment produce identical
+metric dumps — no wall-clock randomness.
+
+Like the tracer, the module-level registry defaults to a no-op
+(:data:`NULL_METRICS`): instrumented hot paths pay a single attribute
+check and allocate nothing when collection is disabled.  Enable with
+:func:`set_metrics` or the :func:`collecting` context manager.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "get_metrics",
+    "set_metrics",
+    "collecting",
+    "QUEUE_DEPTH_BUCKETS",
+    "SIM_SECONDS_BUCKETS",
+    "BYTES_BUCKETS",
+]
+
+# Shared fixed boundaries (upper-inclusive bucket edges, +inf implied).
+QUEUE_DEPTH_BUCKETS: tuple[float, ...] = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+SIM_SECONDS_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+BYTES_BUCKETS: tuple[float, ...] = (
+    1024.0, 16384.0, 65536.0, 262144.0, 1048576.0, 16777216.0, 134217728.0,
+)
+
+
+class Counter:
+    """Monotonically increasing sum."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} increment {amount} < 0")
+        self.value += amount
+
+
+class Gauge:
+    """Last-set value, with observed min/max."""
+
+    __slots__ = ("name", "value", "min", "max", "updates")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.updates += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+
+class Histogram:
+    """Fixed-boundary histogram (cumulative-free, one count per bucket).
+
+    ``boundaries`` are upper-inclusive edges; values above the last edge
+    land in the implicit overflow bucket, so ``len(counts) ==
+    len(boundaries) + 1``.
+    """
+
+    __slots__ = ("name", "boundaries", "counts", "sum", "count")
+
+    def __init__(self, name: str, boundaries: Sequence[float]) -> None:
+        edges = tuple(float(b) for b in boundaries)
+        if not edges:
+            raise ValueError(f"histogram {name!r} needs at least one edge")
+        if any(b >= a for b, a in zip(edges, edges[1:])):
+            raise ValueError(f"histogram {name!r} edges must be increasing")
+        self.name = name
+        self.boundaries = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        idx = len(self.boundaries)
+        for i, edge in enumerate(self.boundaries):
+            if value <= edge:
+                idx = i
+                break
+        self.counts[idx] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Name-addressed instrument store with convenience recorders."""
+
+    recording = True
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- instrument accessors (create on first use) ------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str,
+                  boundaries: Sequence[float] = SIM_SECONDS_BUCKETS) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name, boundaries)
+        return h
+
+    # -- one-line recorders (the style instrumented code uses) -------------
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float,
+                boundaries: Sequence[float] = SIM_SECONDS_BUCKETS) -> None:
+        self.histogram(name, boundaries).observe(value)
+
+    # -- export ------------------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready snapshot of every instrument."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {
+                n: {
+                    "value": g.value,
+                    "min": None if g.updates == 0 else g.min,
+                    "max": None if g.updates == 0 else g.max,
+                    "updates": g.updates,
+                }
+                for n, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                n: {
+                    "boundaries": list(h.boundaries),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for n, h in sorted(self.histograms.items())
+            },
+        }
+
+
+class NullMetrics:
+    """Disabled registry: every recorder is a no-op."""
+
+    recording = False
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float,
+                boundaries: Sequence[float] = ()) -> None:
+        pass
+
+
+NULL_METRICS = NullMetrics()
+
+_current: "MetricsRegistry | NullMetrics" = NULL_METRICS
+
+
+def get_metrics() -> "MetricsRegistry | NullMetrics":
+    """The process-wide registry (no-op :data:`NULL_METRICS` by default)."""
+    return _current
+
+
+def set_metrics(registry: "MetricsRegistry | NullMetrics | None",
+                ) -> "MetricsRegistry | NullMetrics":
+    """Install ``registry`` globally (None resets); returns the previous."""
+    global _current
+    previous = _current
+    _current = NULL_METRICS if registry is None else registry
+    return previous
+
+
+class collecting:
+    """``with collecting(MetricsRegistry()) as m:`` — scoped installation."""
+
+    def __init__(self, registry: "MetricsRegistry | None" = None) -> None:
+        self.registry = registry or MetricsRegistry()
+        self._previous: "MetricsRegistry | NullMetrics | None" = None
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = set_metrics(self.registry)
+        return self.registry
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        set_metrics(self._previous)
+        return False

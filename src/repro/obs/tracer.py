@@ -1,0 +1,343 @@
+"""Dual-clock span tracing for the PEDAL simulation runtime.
+
+A :class:`Span` is a named, attributed interval recorded on *both*
+clocks of the reproduction (DESIGN.md, "two time domains"):
+
+* **simulated time** — read from the owning :class:`Environment`'s
+  ``now`` at span entry/exit, so a trace lays out exactly what the
+  discrete-event schedule decided (queueing on the C-Engine, MPI
+  rendezvous overlap, ...);
+* **wall-clock time** — ``time.perf_counter`` at the same two points,
+  so the real cost of the pure-Python codecs stays visible next to the
+  simulated one.
+
+Spans live on *tracks* (one per device/rank — the exporter maps tracks
+to Perfetto threads) and nest through a per-track stack: the innermost
+open span on the same track at entry becomes the parent.  Non-blocking
+MPI sends run as separate simulated processes on the same rank, so a
+span may close while a later sibling is still open; exit therefore
+removes the span from wherever it sits in the stack rather than
+requiring strict LIFO order.
+
+The module-level tracer defaults to :data:`NULL_TRACER`, whose
+``span()`` hands back one shared no-op span — the disabled path
+allocates nothing per operation and experiment timings are unaffected.
+Enable tracing with :func:`set_tracer` or the :func:`tracing` context
+manager.
+
+Timeline stitching: bench experiments build a fresh ``Environment``
+(clock starting at 0) per measured operation.  The tracer assigns each
+environment an offset equal to the largest timestamp recorded so far,
+concatenating the runs into one monotone timeline whose total length is
+the sum of the per-run simulated durations.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Iterator
+
+__all__ = [
+    "Span",
+    "Track",
+    "Tracer",
+    "NullTracer",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "device_span",
+]
+
+
+class Span:
+    """One recorded interval; also its own context manager."""
+
+    __slots__ = (
+        "name",
+        "env",
+        "track",
+        "parent",
+        "index",
+        "sim_start",
+        "sim_end",
+        "wall_start",
+        "wall_end",
+        "attrs",
+        "phases",
+    )
+
+    recording = True
+
+    def __init__(self, name: str, env: Any, track: "Track",
+                 attrs: "dict[str, Any] | None") -> None:
+        self.name = name
+        self.env = env
+        self.track = track
+        self.parent: "Span | None" = None
+        self.index = -1
+        self.sim_start = 0.0
+        self.sim_end: float | None = None
+        self.wall_start = 0.0
+        self.wall_end: float | None = None
+        self.attrs: dict[str, Any] = attrs or {}
+        # (phase, seconds) charges forwarded by a bound TimeBreakdown.
+        self.phases: list[tuple[str, float]] = []
+
+    # -- context manager ---------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        tracer = self.track.tracer
+        self.sim_start = tracer._stamp(self.env)
+        self.wall_start = perf_counter()
+        stack = self.track.stack
+        self.parent = stack[-1] if stack else None
+        stack.append(self)
+        self.index = len(tracer.spans)
+        tracer.spans.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self.track.tracer
+        self.sim_end = tracer._stamp(self.env)
+        self.wall_end = perf_counter()
+        stack = self.track.stack
+        # Usually LIFO; overlapping isend flows may exit out of order.
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:
+            try:
+                stack.remove(self)
+            except ValueError:
+                pass
+        return False
+
+    # -- recording ---------------------------------------------------------
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def phase(self, name: str, seconds: float) -> None:
+        """Record a phase-time charge (called by bound TimeBreakdowns)."""
+        self.phases.append((name, seconds))
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.sim_end is not None
+
+    @property
+    def sim_duration(self) -> float:
+        end = self.sim_start if self.sim_end is None else self.sim_end
+        return end - self.sim_start
+
+    @property
+    def wall_duration(self) -> float:
+        end = self.wall_start if self.wall_end is None else self.wall_end
+        return end - self.wall_start
+
+    def is_descendant_of(self, other: "Span") -> bool:
+        node = self.parent
+        while node is not None:
+            if node is other:
+                return True
+            node = node.parent
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Span({self.name!r}, track={self.track.name!r}, "
+            f"sim=[{self.sim_start:.6g}, {self.sim_end}], attrs={self.attrs})"
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing span: the disabled-tracing fast path."""
+
+    __slots__ = ()
+
+    recording = False
+    name = ""
+    parent = None
+    attrs: dict = {}
+    phases: list = []
+    sim_start = 0.0
+    sim_end = 0.0
+    sim_duration = 0.0
+    wall_duration = 0.0
+    finished = True
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+    def phase(self, name: str, seconds: float) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Track:
+    """One timeline lane (exported as a Perfetto thread)."""
+
+    __slots__ = ("tracer", "name", "tid", "stack")
+
+    def __init__(self, tracer: "Tracer", name: str, tid: int) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.tid = tid
+        self.stack: list[Span] = []
+
+
+class Tracer:
+    """Span recorder; spans are kept in creation order."""
+
+    recording = True
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.tracks: list[Track] = []
+        self._tracks_by_key: dict[int, Track] = {}
+        self._labels_used: dict[str, int] = {}
+        self._env_offsets: dict[int, float] = {}
+        # Strong references pin ids so CPython cannot reuse them for new
+        # environments/track keys while this tracer is alive.
+        self._pinned: list[Any] = []
+        self._clock_max = 0.0
+        self._default_track: Track | None = None
+
+    # -- clocks ------------------------------------------------------------
+
+    def _stamp(self, env: Any) -> float:
+        """Absolute sim timestamp of ``env.now`` on the stitched timeline."""
+        if env is None:
+            return self._clock_max
+        key = id(env)
+        offset = self._env_offsets.get(key)
+        if offset is None:
+            offset = self._clock_max
+            self._env_offsets[key] = offset
+            self._pinned.append(env)
+        ts = offset + env.now
+        if ts > self._clock_max:
+            self._clock_max = ts
+        return ts
+
+    @property
+    def max_timestamp(self) -> float:
+        """Largest sim timestamp recorded (the stitched-timeline length)."""
+        return self._clock_max
+
+    # -- tracks ------------------------------------------------------------
+
+    def track_for(self, key: Any, label: str) -> Track:
+        """The track for ``key`` (any object), created+labelled on first use."""
+        track = self._tracks_by_key.get(id(key))
+        if track is None:
+            n = self._labels_used.get(label, 0)
+            self._labels_used[label] = n + 1
+            name = label if n == 0 else f"{label} #{n + 1}"
+            track = Track(self, name, tid=len(self.tracks) + 1)
+            self.tracks.append(track)
+            self._tracks_by_key[id(key)] = track
+            self._pinned.append(key)
+        return track
+
+    def _default(self) -> Track:
+        if self._default_track is None:
+            self._default_track = self.track_for(self, "main")
+        return self._default_track
+
+    # -- spans -------------------------------------------------------------
+
+    def span(self, name: str, env: Any = None, track: "Track | None" = None,
+             *, attrs: "dict[str, Any] | None" = None) -> Span:
+        """A new span (enter it with ``with``); ``env`` supplies sim time."""
+        return Span(name, env, track or self._default(), attrs)
+
+    def subtree(self, root: Span) -> Iterator[Span]:
+        """``root`` and every recorded descendant, in creation order."""
+        for span in self.spans:
+            if span is root or span.is_descendant_of(root):
+                yield span
+
+    def find(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+
+class NullTracer:
+    """Disabled tracer: every call is a no-op returning shared objects."""
+
+    recording = False
+
+    def span(self, name: str, env: Any = None, track: Any = None,
+             *, attrs: "dict | None" = None) -> _NullSpan:
+        return NULL_SPAN
+
+    def track_for(self, key: Any, label: str) -> None:
+        return None
+
+    @property
+    def spans(self) -> list:
+        return []
+
+    @property
+    def max_timestamp(self) -> float:
+        return 0.0
+
+
+NULL_TRACER = NullTracer()
+
+_current: "Tracer | NullTracer" = NULL_TRACER
+
+
+def get_tracer() -> "Tracer | NullTracer":
+    """The process-wide tracer (the no-op :data:`NULL_TRACER` by default)."""
+    return _current
+
+
+def set_tracer(tracer: "Tracer | NullTracer | None") -> "Tracer | NullTracer":
+    """Install ``tracer`` globally (None resets); returns the previous one."""
+    global _current
+    previous = _current
+    _current = NULL_TRACER if tracer is None else tracer
+    return previous
+
+
+class tracing:
+    """``with tracing(Tracer()) as tr:`` — scoped tracer installation."""
+
+    def __init__(self, tracer: "Tracer | None" = None) -> None:
+        self.tracer = tracer or Tracer()
+        self._previous: "Tracer | NullTracer | None" = None
+
+    def __enter__(self) -> Tracer:
+        self._previous = set_tracer(self.tracer)
+        return self.tracer
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        set_tracer(self._previous)
+        return False
+
+
+def device_span(name: str, device: Any, /, **attrs: Any):
+    """Span on ``device``'s track (any object with ``.env`` and ``.name``).
+
+    The single instrumentation entry point used across the runtime:
+    resolves the current tracer, keys the track by the device object
+    (each DPU — hence each MPI rank — gets its own timeline lane), and
+    collapses to :data:`NULL_SPAN` when tracing is disabled.
+    """
+    tracer = _current
+    if not tracer.recording:
+        return NULL_SPAN
+    track = tracer.track_for(device, device.name)
+    return tracer.span(name, device.env, track=track, attrs=attrs)

@@ -14,6 +14,7 @@ from collections import deque
 from typing import Any
 
 from repro.errors import SimulationError
+from repro.obs.metrics import QUEUE_DEPTH_BUCKETS, get_metrics
 from repro.sim.engine import Environment, Event
 
 __all__ = ["Resource", "Store"]
@@ -22,11 +23,14 @@ __all__ = ["Resource", "Store"]
 class Request(Event):
     """Grant event for one unit of a :class:`Resource`."""
 
-    __slots__ = ("resource",)
+    __slots__ = ("resource", "requested_at")
 
     def __init__(self, env: Environment, resource: "Resource") -> None:
         super().__init__(env)
         self.resource = resource
+        # Sim time of the request, so holders can derive queueing delay
+        # (granted_at - requested_at) without extra bookkeeping.
+        self.requested_at = env.now
 
 
 class Resource:
@@ -42,11 +46,14 @@ class Resource:
             resource.release(req)
     """
 
-    def __init__(self, env: Environment, capacity: int = 1) -> None:
+    def __init__(self, env: Environment, capacity: int = 1,
+                 obs_name: "str | None" = None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.env = env
         self.capacity = capacity
+        # Metric prefix for queue-depth observations (None = unobserved).
+        self.obs_name = obs_name
         self._holders: set[Request] = set()
         self._waiting: deque[Request] = deque()
 
@@ -66,6 +73,14 @@ class Resource:
             req.succeed()
         else:
             self._waiting.append(req)
+        if self.obs_name is not None:
+            metrics = get_metrics()
+            if metrics.recording:
+                metrics.observe(
+                    f"{self.obs_name}.queue_depth",
+                    float(len(self._waiting)),
+                    QUEUE_DEPTH_BUCKETS,
+                )
         return req
 
     def release(self, req: Request) -> None:

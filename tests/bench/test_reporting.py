@@ -1,6 +1,11 @@
 """Text rendering of experiment tables."""
 
-from repro.bench.reporting import format_ratio, format_seconds, format_table
+from repro.bench.reporting import (
+    format_bytes,
+    format_ratio,
+    format_seconds,
+    format_table,
+)
 
 
 class TestFormatSeconds:
@@ -12,6 +17,34 @@ class TestFormatSeconds:
 
     def test_seconds(self):
         assert format_seconds(3.21) == "3.21 s"
+
+    def test_zero_is_seconds_not_microseconds(self):
+        assert format_seconds(0.0) == "0 s"
+
+    def test_large_values_keep_whole_seconds(self):
+        # %.3g would render 1234.5 as "1.23e+03 s", losing whole seconds.
+        assert format_seconds(1234.5) == "1234.5 s"
+        assert format_seconds(1000.0) == "1000.0 s"
+
+    def test_just_below_threshold_keeps_sig_digits(self):
+        assert format_seconds(999.0) == "999 s"
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(0) == "0 B"
+        assert format_bytes(512) == "512 B"
+
+    def test_binary_units(self):
+        assert format_bytes(1024) == "1 KiB"
+        assert format_bytes(96 * 1024) == "96 KiB"
+        assert format_bytes(1536) == "1.5 KiB"
+        assert format_bytes(1 << 20) == "1 MiB"
+        assert format_bytes(1 << 30) == "1 GiB"
+        assert format_bytes(1 << 40) == "1 TiB"
+
+    def test_huge_values_stay_in_tib(self):
+        assert format_bytes(1 << 50) == "1.02e+03 TiB"
 
 
 def test_format_ratio():

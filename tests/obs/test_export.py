@@ -1,0 +1,126 @@
+"""Exporters: Chrome trace-event schema and the JSONL event log."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    chrome_trace_events,
+    device_span,
+    span_records,
+    tracing,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics_json,
+)
+from repro.sim import Environment
+
+
+class FakeDevice:
+    def __init__(self, env, name="bf2"):
+        self.env = env
+        self.name = name
+
+
+def sleeper(env, seconds):
+    yield env.timeout(seconds)
+
+
+def record_sample_trace():
+    with tracing() as tr:
+        env = Environment()
+        dev = FakeDevice(env)
+        with device_span("pedal.compress", dev, algo="deflate",
+                         bytes=4096) as outer:
+            env.run(until=env.process(sleeper(env, 1.0)))
+            with device_span("cengine.compress", dev):
+                env.run(until=env.process(sleeper(env, 2.0)))
+            outer.phase("compression", 2.0)
+    return tr
+
+
+class TestChromeTraceSchema:
+    def test_every_event_has_required_keys(self):
+        events = chrome_trace_events(record_sample_trace())
+        assert events, "no events emitted"
+        for event in events:
+            for key in ("name", "ph", "ts", "pid", "tid"):
+                assert key in event, f"{event['ph']} event missing {key}"
+
+    def test_span_events_are_complete_events_on_sim_clock(self):
+        tr = record_sample_trace()
+        spans = [e for e in chrome_trace_events(tr) if e["ph"] == "X"]
+        assert len(spans) == 2
+        outer, inner = spans
+        assert outer["name"] == "pedal.compress"
+        assert outer["ts"] == pytest.approx(0.0)
+        assert outer["dur"] == pytest.approx(3.0e6)  # sim micros
+        assert inner["ts"] == pytest.approx(1.0e6)
+        assert inner["dur"] == pytest.approx(2.0e6)
+        assert outer["tid"] == inner["tid"]
+        assert outer["args"]["algo"] == "deflate"
+        assert outer["args"]["phases_s"] == {"compression": 2.0}
+        assert "wall_us" in outer["args"]
+
+    def test_metadata_events_name_process_and_tracks(self):
+        events = chrome_trace_events(record_sample_trace())
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["name"]: e["args"]["name"] for e in meta}
+        assert names["process_name"] == "repro-sim"
+        assert names["thread_name"] == "bf2"
+
+    def test_write_chrome_trace_file(self, tmp_path):
+        tr = record_sample_trace()
+        path = tmp_path / "out.trace.json"
+        n = write_chrome_trace(tr, str(path))
+        assert n == 2
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["otherData"]["clock"] == "simulated"
+        assert doc["otherData"]["sim_seconds_total"] == pytest.approx(3.0)
+
+    def test_non_json_attr_values_stringified(self):
+        with tracing() as tr:
+            env = Environment()
+            dev = FakeDevice(env)
+            with device_span("op", dev, weird=object()):
+                pass
+        events = chrome_trace_events(tr)
+        args = [e for e in events if e["ph"] == "X"][0]["args"]
+        assert isinstance(args["weird"], str)
+        json.dumps(events)
+
+
+class TestJsonl:
+    def test_span_records_reference_parents_by_index(self):
+        tr = record_sample_trace()
+        records = span_records(tr)
+        assert [r["name"] for r in records] == [
+            "pedal.compress", "cengine.compress",
+        ]
+        assert records[0]["parent"] is None
+        assert records[1]["parent"] == records[0]["index"]
+        assert records[1]["sim_dur_s"] == pytest.approx(2.0)
+
+    def test_write_jsonl_with_metrics(self, tmp_path):
+        tr = record_sample_trace()
+        metrics = MetricsRegistry()
+        metrics.inc("jobs", 2)
+        metrics.set_gauge("depth", 1.0)
+        metrics.observe("wait", 0.5, (1.0,))
+        path = tmp_path / "out.jsonl"
+        n = write_jsonl(tr, str(path), metrics=metrics)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert len(lines) == n == 5  # 2 spans + counter + gauge + histogram
+        assert {l["type"] for l in lines} == {
+            "span", "counter", "gauge", "histogram",
+        }
+
+    def test_write_metrics_json(self, tmp_path):
+        metrics = MetricsRegistry()
+        metrics.inc("a", 3)
+        path = tmp_path / "m.json"
+        write_metrics_json(metrics, str(path))
+        doc = json.loads(path.read_text())
+        assert doc["counters"] == {"a": 3.0}

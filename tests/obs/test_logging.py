@@ -1,0 +1,64 @@
+"""repro.obs.logging: silent default, REPRO_LOG opt-in."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.logging import ENV_VAR, configure, get_logger
+
+
+@pytest.fixture(autouse=True)
+def restore_logging(monkeypatch):
+    """Each test reconfigures; put the silent default back afterwards."""
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    yield
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    configure(force=True)
+
+
+def test_logger_names_are_namespaced():
+    assert get_logger("bench").name == "repro.bench"
+    assert get_logger("repro.bench").name == "repro.bench"
+    assert get_logger().name == "repro"
+    assert get_logger("repro").name == "repro"
+
+
+def test_silent_by_default():
+    root = configure(force=True)
+    assert not root.propagate
+    assert all(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+
+def test_env_var_enables_output():
+    stream = io.StringIO()
+    import os
+
+    os.environ[ENV_VAR] = "debug"
+    try:
+        root = configure(force=True, stream=stream)
+    finally:
+        del os.environ[ENV_VAR]
+    assert root.level == logging.DEBUG
+    get_logger("bench").debug("hello %s", "world")
+    assert "[repro.bench] DEBUG hello world" in stream.getvalue()
+
+
+def test_explicit_level_beats_env(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "error")
+    stream = io.StringIO()
+    root = configure("info", force=True, stream=stream)
+    assert root.level == logging.INFO
+
+
+def test_unknown_level_stays_silent(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "nonsense")
+    root = configure(force=True)
+    assert all(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+
+def test_configure_idempotent_without_force():
+    first = configure(force=True)
+    handlers = list(first.handlers)
+    second = configure("debug")  # ignored: already configured
+    assert second.handlers == handlers

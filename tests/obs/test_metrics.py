@@ -1,0 +1,126 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms."""
+
+import pytest
+
+from repro.obs import (
+    NULL_METRICS,
+    Histogram,
+    MetricsRegistry,
+    QUEUE_DEPTH_BUCKETS,
+    collecting,
+    get_metrics,
+    set_metrics,
+)
+
+
+class TestCounter:
+    def test_inc_defaults_to_one(self):
+        m = MetricsRegistry()
+        m.inc("jobs")
+        m.inc("jobs")
+        m.inc("jobs", 3.0)
+        assert m.counter("jobs").value == 5.0
+
+    def test_negative_increment_rejected(self):
+        m = MetricsRegistry()
+        with pytest.raises(ValueError):
+            m.inc("jobs", -1.0)
+
+
+class TestGauge:
+    def test_tracks_min_max_updates(self):
+        m = MetricsRegistry()
+        m.set_gauge("depth", 3.0)
+        m.set_gauge("depth", 1.0)
+        m.set_gauge("depth", 7.0)
+        g = m.gauge("depth")
+        assert g.value == 7.0
+        assert g.min == 1.0
+        assert g.max == 7.0
+        assert g.updates == 3
+
+
+class TestHistogram:
+    def test_upper_inclusive_edges_and_overflow(self):
+        h = Histogram("h", (1.0, 2.0, 4.0))
+        assert len(h.counts) == 4  # 3 edges + overflow
+        for value in (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 100.0):
+            h.observe(value)
+        # <=1: 0.5, 1.0 | <=2: 1.5, 2.0 | <=4: 3.0, 4.0 | overflow: 100.0
+        assert h.counts == [2, 2, 2, 1]
+        assert h.count == 7
+        assert h.sum == pytest.approx(112.0)
+        assert h.mean == pytest.approx(16.0)
+
+    def test_edges_must_be_increasing(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", (1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("bad", ())
+
+    def test_boundaries_fixed_at_registration(self):
+        m = MetricsRegistry()
+        m.observe("q", 0.0, QUEUE_DEPTH_BUCKETS)
+        # A later observe with different boundaries reuses the original.
+        m.observe("q", 5.0, (100.0,))
+        h = m.histogram("q")
+        assert h.boundaries == QUEUE_DEPTH_BUCKETS
+        assert h.count == 2
+
+    def test_empty_histogram_mean_zero(self):
+        assert Histogram("h", (1.0,)).mean == 0.0
+
+
+class TestRegistry:
+    def test_as_dict_snapshot_sorted_and_json_ready(self):
+        import json
+
+        m = MetricsRegistry()
+        m.inc("b.counter")
+        m.inc("a.counter", 2.0)
+        m.set_gauge("g", 4.0)
+        m.observe("h", 0.5, (1.0,))
+        snap = m.as_dict()
+        assert list(snap["counters"]) == ["a.counter", "b.counter"]
+        assert snap["gauges"]["g"] == {
+            "value": 4.0, "min": 4.0, "max": 4.0, "updates": 1,
+        }
+        assert snap["histograms"]["h"]["counts"] == [1, 0]
+        json.dumps(snap)  # must be serialisable as-is
+
+    def test_determinism_identical_runs_identical_dumps(self):
+        def run():
+            m = MetricsRegistry()
+            for depth in (0, 1, 1, 3, 9):
+                m.observe("q", float(depth), QUEUE_DEPTH_BUCKETS)
+            m.inc("jobs", 5)
+            return m.as_dict()
+
+        assert run() == run()
+
+
+class TestNoOpDefault:
+    def test_default_is_null_singleton(self):
+        assert get_metrics() is NULL_METRICS
+        assert not get_metrics().recording
+
+    def test_null_recorders_are_inert(self):
+        NULL_METRICS.inc("x")
+        NULL_METRICS.set_gauge("x", 1.0)
+        NULL_METRICS.observe("x", 1.0)
+
+    def test_collecting_scopes_installation(self):
+        with collecting() as m:
+            assert get_metrics() is m
+            m.inc("inside")
+        assert get_metrics() is NULL_METRICS
+        assert m.counter("inside").value == 1.0
+
+    def test_set_metrics_returns_previous(self):
+        m = MetricsRegistry()
+        prev = set_metrics(m)
+        try:
+            assert get_metrics() is m
+        finally:
+            set_metrics(prev)
+        assert get_metrics() is NULL_METRICS

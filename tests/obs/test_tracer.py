@@ -1,0 +1,182 @@
+"""Span tracer: nesting, ordering determinism, and the no-op fast path."""
+
+import pytest
+
+from repro.obs import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Tracer,
+    device_span,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+from repro.sim import Environment
+
+
+class FakeDevice:
+    """Minimal device shape for device_span: .env and .name."""
+
+    def __init__(self, env, name="dev0"):
+        self.env = env
+        self.name = name
+
+
+def sleeper(env, seconds):
+    yield env.timeout(seconds)
+
+
+class TestNoOpDefault:
+    def test_default_tracer_is_the_null_singleton(self):
+        assert get_tracer() is NULL_TRACER
+        assert not get_tracer().recording
+
+    def test_disabled_span_is_the_shared_singleton(self):
+        env = Environment()
+        dev = FakeDevice(env)
+        assert device_span("x", dev) is NULL_SPAN
+        assert device_span("y", dev, a=1) is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as span:
+            span.set_attr("k", "v")
+            span.phase("compression", 1.0)
+        assert span.attrs == {}
+        assert span.phases == []
+        assert span.sim_duration == 0.0
+
+    def test_set_tracer_returns_previous(self):
+        tr = Tracer()
+        prev = set_tracer(tr)
+        try:
+            assert get_tracer() is tr
+        finally:
+            set_tracer(prev)
+        assert get_tracer() is NULL_TRACER
+
+
+class TestNesting:
+    def test_parent_from_track_stack(self):
+        env = Environment()
+        dev = FakeDevice(env)
+        with tracing() as tr:
+            with device_span("outer", dev) as outer:
+                env.run(until=env.process(sleeper(env, 1.0)))
+                with device_span("inner", dev) as inner:
+                    env.run(until=env.process(sleeper(env, 2.0)))
+        assert inner.parent is outer
+        assert outer.parent is None
+        assert inner.is_descendant_of(outer)
+        assert not outer.is_descendant_of(inner)
+        assert list(tr.subtree(outer)) == [outer, inner]
+
+    def test_sibling_spans_do_not_nest(self):
+        env = Environment()
+        dev = FakeDevice(env)
+        with tracing():
+            with device_span("a", dev) as a:
+                pass
+            with device_span("b", dev) as b:
+                pass
+        assert b.parent is None
+        assert not b.is_descendant_of(a)
+
+    def test_separate_devices_get_separate_tracks(self):
+        env = Environment()
+        d0 = FakeDevice(env, "bf2")
+        d1 = FakeDevice(env, "bf3")
+        with tracing() as tr:
+            with device_span("a", d0) as a:
+                with device_span("b", d1) as b:
+                    pass
+        # Different tracks: no stack relationship, distinct tids.
+        assert b.parent is None
+        assert a.track is not b.track
+        assert a.track.tid != b.track.tid
+        assert {t.name for t in tr.tracks} == {"bf2", "bf3"}
+
+    def test_duplicate_labels_are_uniquified(self):
+        env = Environment()
+        d0 = FakeDevice(env, "bf2")
+        d1 = FakeDevice(env, "bf2")
+        with tracing() as tr:
+            tr.track_for(d0, d0.name)
+            tr.track_for(d1, d1.name)
+        assert [t.name for t in tr.tracks] == ["bf2", "bf2 #2"]
+
+    def test_out_of_order_exit_tolerated(self):
+        """Overlapping isend-style spans may close before a later sibling."""
+        env = Environment()
+        dev = FakeDevice(env)
+        with tracing():
+            first = device_span("first", dev).__enter__()
+            second = device_span("second", dev).__enter__()
+            first.__exit__(None, None, None)   # not LIFO
+            second.__exit__(None, None, None)
+        assert second.parent is first
+        assert first.finished and second.finished
+
+
+class TestClocks:
+    def test_sim_duration_tracks_environment(self):
+        env = Environment()
+        dev = FakeDevice(env)
+        with tracing():
+            with device_span("op", dev) as span:
+                env.run(until=env.process(sleeper(env, 3.5)))
+        assert span.sim_duration == pytest.approx(3.5)
+        assert span.wall_duration >= 0.0
+
+    def test_fresh_environments_stitch_into_one_timeline(self):
+        with tracing() as tr:
+            for seconds in (1.0, 2.0, 4.0):
+                env = Environment()
+                dev = FakeDevice(env)
+                with device_span("run", dev):
+                    env.run(until=env.process(sleeper(env, seconds)))
+        assert tr.max_timestamp == pytest.approx(7.0)
+        starts = [s.sim_start for s in tr.spans]
+        assert starts == sorted(starts)
+        assert starts == pytest.approx([0.0, 1.0, 3.0])
+
+    def test_determinism_same_run_same_spans(self):
+        def run_once():
+            with tracing() as tr:
+                env = Environment()
+                dev = FakeDevice(env)
+                with device_span("outer", dev, bytes=128):
+                    env.run(until=env.process(sleeper(env, 1.0)))
+                    with device_span("inner", dev):
+                        env.run(until=env.process(sleeper(env, 0.5)))
+            return [
+                (s.name, s.sim_start, s.sim_end,
+                 None if s.parent is None else s.parent.index)
+                for s in tr.spans
+            ]
+
+        assert run_once() == run_once()
+
+
+class TestAttrs:
+    def test_attrs_and_phases_recorded(self):
+        env = Environment()
+        dev = FakeDevice(env)
+        with tracing():
+            with device_span("op", dev, algo="deflate", bytes=4096) as span:
+                span.set_attr("engine", "cengine")
+                span.phase("compression", 0.25)
+                span.phase("compression", 0.25)
+        assert span.attrs == {"algo": "deflate", "bytes": 4096,
+                              "engine": "cengine"}
+        assert span.phases == [("compression", 0.25), ("compression", 0.25)]
+
+    def test_find_by_name(self):
+        env = Environment()
+        dev = FakeDevice(env)
+        with tracing() as tr:
+            with device_span("op", dev):
+                pass
+            with device_span("op", dev):
+                pass
+        assert len(tr.find("op")) == 2
+        assert tr.find("missing") == []
