@@ -14,6 +14,15 @@ JSONL event log.  ``--metrics`` dumps the counters/gauges/histograms
 collected during the run.  ``--json`` writes the experiment grids in
 machine-readable form instead of scraping stdout.
 
+``--faults`` runs every requested experiment under a deterministic
+fault-injection plan (see :mod:`repro.faults`), e.g.::
+
+    python -m repro.bench fig7 --faults seed=42,engine_fail=1.0 --metrics m.json
+
+Retries/fallbacks show up in the metrics dump under ``faults.*`` and
+the compressed artifacts stay byte-identical (persistent engine
+failures escalate to the SoC pipeline).
+
 Progress lines go through the ``repro.bench`` logger — silent unless
 ``REPRO_LOG=info`` (or ``debug``) is set.
 """
@@ -27,6 +36,7 @@ import time
 
 from repro import obs
 from repro.bench.harness import run_experiment
+from repro.faults import FaultPlan, parse_fault_spec, set_fault_plan
 
 _ALL = ["table4", "table5", "fig7", "fig8", "fig9", "fig10", "fig11"]
 
@@ -73,7 +83,19 @@ def main(argv: "list[str] | None" = None) -> int:
         default=None,
         help="write experiment rows + metadata as JSON to PATH",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "run under a deterministic fault plan, e.g. "
+            "'seed=42,engine_fail=0.5,corrupt_output=0.1' "
+            "(keys: FaultConfig fields)"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    fault_config = parse_fault_spec(args.faults) if args.faults else None
 
     names: list[str] = []
     for name in args.experiments:
@@ -86,6 +108,13 @@ def main(argv: "list[str] | None" = None) -> int:
     metrics = obs.MetricsRegistry() if args.metrics else None
     prev_tracer = obs.set_tracer(tracer) if tracer is not None else None
     prev_metrics = obs.set_metrics(metrics) if metrics is not None else None
+    prev_plan = (
+        set_fault_plan(FaultPlan(fault_config))
+        if fault_config is not None
+        else None
+    )
+    if fault_config is not None:
+        log.info("fault plan active: %s", args.faults)
 
     results = []
     try:
@@ -104,6 +133,8 @@ def main(argv: "list[str] | None" = None) -> int:
             obs.set_tracer(prev_tracer)
         if metrics is not None:
             obs.set_metrics(prev_metrics)
+        if fault_config is not None:
+            set_fault_plan(prev_plan)
 
     if tracer is not None and args.trace:
         n = obs.write_chrome_trace(tracer, args.trace)
@@ -118,7 +149,7 @@ def main(argv: "list[str] | None" = None) -> int:
         payload = {
             "generator": "repro.bench",
             "experiments": [result.as_dict() for result in results],
-            "args": {"actual_bytes": args.actual_bytes},
+            "args": {"actual_bytes": args.actual_bytes, "faults": args.faults},
         }
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2)

@@ -30,7 +30,13 @@ from repro.core.registry import ResolvedDesign, cengine_core_algo, resolve
 from repro.doca.sdk import DocaSession
 from repro.dpu.device import BlueFieldDPU
 from repro.dpu.specs import Algo, Direction
-from repro.errors import PedalNotInitializedError
+from repro.errors import DocaInitError, PedalNotInitializedError
+from repro.faults.policy import (
+    EngineFallback,
+    RetryPolicy,
+    backoff_wait,
+    engine_job_with_retry,
+)
 from repro.obs import device_span, get_metrics
 from repro.sim import TimeBreakdown
 
@@ -61,6 +67,9 @@ class PedalConfig:
     # Pool sizing: buffers pre-mapped at PEDAL_init (paper §III-C).
     pool_buffers: int = 4
     max_message_bytes: int = 128 << 20
+    # Engine-job retry budget + backoff; past it, jobs escalate to the
+    # SoC pipeline (runtime mirror of the capability fallback).
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
 
 @dataclass
@@ -110,10 +119,18 @@ class PedalContext:
         self.pool: MemoryPool | None = None
         self.init_breakdown: TimeBreakdown | None = None
         self._initialized = False
+        # Cleared when DOCA bring-up fails past the retry budget; every
+        # design then resolves to the SoC (runtime capability fallback).
+        self._engine_available = True
 
     @property
     def is_initialized(self) -> bool:
         return self._initialized
+
+    @property
+    def engine_available(self) -> bool:
+        """False once DOCA init gave up and the context runs SoC-only."""
+        return self._engine_available
 
     def _require_init(self) -> None:
         if not self._initialized:
@@ -130,24 +147,56 @@ class PedalContext:
 
         Returns the initialization :class:`TimeBreakdown`.  Integrated
         into ``MPI_Init`` by the MPICH co-design (paper §IV).
+
+        DOCA bring-up failures (injected by :mod:`repro.faults`) are
+        retried under the configured :class:`RetryPolicy`; if every
+        attempt fails the context comes up *SoC-only* — initialization
+        still succeeds, but every design resolves to the SoC until a
+        fresh context is created (counted as ``faults.fallbacks``).
         """
         breakdown = TimeBreakdown()
         if not self._initialized:
+            policy = self.config.retry
+            metrics = get_metrics()
             with device_span(
                 "pedal.init", self.device,
                 device=self.device.name,
                 pool_buffers=self.config.pool_buffers,
             ) as span:
                 breakdown.bind(span)
-                init_seconds = yield from self.session.open()
-                breakdown.add(PHASE_INIT, init_seconds)
-                inventory, inv_seconds = yield from self.session.create_inventory()
-                breakdown.add(PHASE_PREP, inv_seconds)
-                self.pool = MemoryPool(inventory, self.config.max_message_bytes)
-                prewarm_seconds = yield from self.pool.prewarm(
-                    self.config.pool_buffers
-                )
-                breakdown.add(PHASE_PREP, prewarm_seconds)
+                attempts = 0
+                while True:
+                    attempts += 1
+                    try:
+                        init_seconds = yield from self.session.open()
+                    except DocaInitError as exc:
+                        breakdown.add(PHASE_INIT, exc.sim_seconds)
+                        if metrics.recording:
+                            metrics.inc("faults.retries")
+                        if attempts >= policy.max_attempts:
+                            self._engine_available = False
+                            span.set_attr("engine_available", False)
+                            if metrics.recording:
+                                metrics.inc("faults.fallbacks")
+                                metrics.inc("faults.init_giveups")
+                            break
+                        yield from backoff_wait(
+                            self.device, policy, attempts, breakdown
+                        )
+                        continue
+                    breakdown.add(PHASE_INIT, init_seconds)
+                    inventory, inv_seconds = (
+                        yield from self.session.create_inventory()
+                    )
+                    breakdown.add(PHASE_PREP, inv_seconds)
+                    self.pool = MemoryPool(
+                        inventory, self.config.max_message_bytes
+                    )
+                    prewarm_seconds = yield from self.pool.prewarm(
+                        self.config.pool_buffers
+                    )
+                    breakdown.add(PHASE_PREP, prewarm_seconds)
+                    break
             self._initialized = True
             self.init_breakdown = breakdown
         return breakdown
@@ -155,12 +204,13 @@ class PedalContext:
     def finalize(self) -> Generator:
         """``PEDAL_finalize``: drain the pool, close the session."""
         if self._initialized:
-            assert self.pool is not None
             with device_span("pedal.finalize", self.device,
                              device=self.device.name):
-                self.pool.drain()
+                if self.pool is not None:  # absent on an SoC-only context
+                    self.pool.drain()
                 self.session.close()
             self._initialized = False
+            self._engine_available = True
         return
         yield  # pragma: no cover - generator marker
 
@@ -182,7 +232,8 @@ class PedalContext:
         """
         self._require_init()
         dsg = lookup_design(design)
-        resolved = resolve(self.device, dsg)
+        resolved = resolve(self.device, dsg,
+                           force_soc=not self._engine_available)
         real = real_compress(dsg, data, self.config.codecs)
         sim_in = float(real.original_bytes if sim_bytes is None else sim_bytes)
         scale = sim_in / real.original_bytes if real.original_bytes else 1.0
@@ -205,13 +256,15 @@ class PedalContext:
                     else real.cengine_stage_bytes * scale,
                     breakdown,
                 )
+                payload = real.payload
             else:
-                yield from self._sim_lossless(
-                    Direction.COMPRESS, dsg, resolved, sim_in, breakdown
+                payload = yield from self._sim_lossless(
+                    Direction.COMPRESS, dsg, resolved, sim_in, breakdown,
+                    payload=real.payload,
                 )
 
         header = PedalHeader.for_algo(dsg.algo).encode()
-        message = header + real.payload
+        message = header + payload
         metrics = get_metrics()
         if metrics.recording:
             metrics.inc(f"codec.{dsg.algo.value}.bytes_in", real.original_bytes)
@@ -264,7 +317,8 @@ class PedalContext:
         from repro.core.designs import CompressionDesign as _CD
 
         dsg = _CD(algo, placement)
-        resolved = resolve(self.device, dsg)
+        resolved = resolve(self.device, dsg,
+                           force_soc=not self._engine_available)
         with device_span(
             "pedal.decompress", self.device,
             device=self.device.name,
@@ -282,9 +336,12 @@ class PedalContext:
                     breakdown,
                 )
             else:
-                yield from self._sim_lossless(
-                    Direction.DECOMPRESS, dsg, resolved, sim_out, breakdown
+                out = yield from self._sim_lossless(
+                    Direction.DECOMPRESS, dsg, resolved, sim_out, breakdown,
+                    payload=data if isinstance(data, bytes) else None,
                 )
+                if out is not None:
+                    data = out
         metrics = get_metrics()
         if metrics.recording:
             metrics.inc(f"codec.{algo.value}.bytes_in", len(payload))
@@ -304,8 +361,14 @@ class PedalContext:
         resolved: ResolvedDesign,
         sim_bytes: float,
         breakdown: TimeBreakdown,
+        payload: "bytes | None" = None,
     ) -> Generator:
-        """Charge hardware for a DEFLATE/zlib/LZ4 op under ``resolved``."""
+        """Charge hardware for a DEFLATE/zlib/LZ4 op under ``resolved``.
+
+        Returns ``payload`` — normally unchanged; under fault injection
+        the engine path verifies it against corruption and, on
+        persistent failure, escalates to the SoC pipeline.
+        """
         device = self.device
         soc = device.soc
         phase = PHASE_COMP if direction is Direction.COMPRESS else PHASE_DECOMP
@@ -317,22 +380,13 @@ class PedalContext:
             seconds = soc.codec_time(dsg.algo, direction, sim_bytes)
             yield from soc.run(seconds)
             breakdown.add(phase, seconds)
-            return
+            return payload
 
         if engine == "soc":
-            # C-Engine design redirected to the SoC (Table III gap):
-            # PEDAL's fallback runs the engine-shaped pipeline on cores —
-            # for zlib that is DEFLATE + separate checksum/header work,
-            # slightly slower than the integrated SoC zlib path.
-            core = cengine_core_algo(dsg.algo)
-            seconds = soc.codec_time(core, direction, sim_bytes)
-            yield from soc.run(seconds)
-            breakdown.add(phase, seconds)
-            if dsg.algo is Algo.ZLIB:
-                check = soc.checksum_time(sim_bytes)
-                yield from soc.run(check)
-                breakdown.add(PHASE_HEADER, check)
-            return
+            yield from self._soc_fallback_pipeline(
+                direction, dsg, sim_bytes, breakdown, phase
+            )
+            return payload
 
         # True C-Engine execution with pooled, pre-mapped buffers.  The
         # path is zero-copy in both directions: senders produce into a
@@ -343,14 +397,48 @@ class PedalContext:
         core = cengine_core_algo(dsg.algo)
         buf = yield from self.pool.acquire()
         try:
-            seconds = yield from device.cengine.submit(core, direction, sim_bytes)
-            breakdown.add(phase, seconds)
+            try:
+                payload = yield from engine_job_with_retry(
+                    device, core, direction, sim_bytes,
+                    self.config.retry, breakdown, phase, payload=payload,
+                )
+            except EngineFallback:
+                metrics = get_metrics()
+                if metrics.recording:
+                    metrics.inc("faults.fallbacks")
+                yield from self._soc_fallback_pipeline(
+                    direction, dsg, sim_bytes, breakdown, phase
+                )
+                return payload
             if dsg.algo is Algo.ZLIB:
                 check = soc.checksum_time(sim_bytes)
                 yield from soc.run(check)
                 breakdown.add(PHASE_HEADER, check)
         finally:
             self.pool.release(buf)
+        return payload
+
+    def _soc_fallback_pipeline(
+        self,
+        direction: Direction,
+        dsg: CompressionDesign,
+        sim_bytes: float,
+        breakdown: TimeBreakdown,
+        phase: str,
+    ) -> Generator:
+        """C-Engine design redirected to the SoC (Table III gap or a
+        runtime escalation): the engine-shaped pipeline runs on cores —
+        for zlib that is DEFLATE + separate checksum/header work,
+        slightly slower than the integrated SoC zlib path."""
+        soc = self.device.soc
+        core = cengine_core_algo(dsg.algo)
+        seconds = soc.codec_time(core, direction, sim_bytes)
+        yield from soc.run(seconds)
+        breakdown.add(phase, seconds)
+        if dsg.algo is Algo.ZLIB:
+            check = soc.checksum_time(sim_bytes)
+            yield from soc.run(check)
+            breakdown.add(PHASE_HEADER, check)
 
     def _sim_sz3(
         self,
@@ -393,9 +481,16 @@ class PedalContext:
             assert self.pool is not None
             buf = yield from self.pool.acquire()
             try:
-                seconds = yield from device.cengine.submit(
-                    Algo.DEFLATE, direction, stage_bytes
+                yield from engine_job_with_retry(
+                    device, Algo.DEFLATE, direction, stage_bytes,
+                    self.config.retry, breakdown, "lossless_stage",
                 )
+            except EngineFallback:
+                metrics = get_metrics()
+                if metrics.recording:
+                    metrics.inc("faults.fallbacks")
+                seconds = stage_bytes / cal.sz3_backend_deflate_throughput
+                yield from soc.run(seconds)
                 breakdown.add("lossless_stage", seconds)
             finally:
                 self.pool.release(buf)

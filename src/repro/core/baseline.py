@@ -9,6 +9,13 @@ DOCA but still allocate their working buffers per call.
 
 The same real codecs produce the same real bytes as PEDAL — only the
 simulated-time accounting differs.
+
+Fault response mirrors :class:`~repro.core.api.PedalContext`: injected
+DOCA init failures and engine job failures are retried under the
+:class:`~repro.faults.RetryPolicy` and escalate to the SoC pipeline for
+the current operation once the budget is exhausted — but, true to the
+naive flow, nothing is remembered across operations (the next op pays
+full DOCA init and may fail all over again).
 """
 
 from __future__ import annotations
@@ -30,6 +37,13 @@ from repro.core.header import HEADER_SIZE, PedalHeader
 from repro.core.registry import ResolvedDesign, cengine_core_algo, resolve
 from repro.dpu.device import BlueFieldDPU
 from repro.dpu.specs import Algo, Direction
+from repro.faults.plan import get_fault_plan
+from repro.faults.policy import (
+    EngineFallback,
+    RetryPolicy,
+    backoff_wait,
+    engine_job_with_retry,
+)
 from repro.obs import device_span, get_metrics
 from repro.sim import TimeBreakdown
 
@@ -39,27 +53,58 @@ __all__ = ["NaiveCompressor"]
 class NaiveCompressor:
     """Per-operation (PEDAL-less) compression on one device."""
 
-    def __init__(self, device: BlueFieldDPU, codecs: CodecConfig | None = None) -> None:
+    def __init__(self, device: BlueFieldDPU, codecs: CodecConfig | None = None,
+                 retry: RetryPolicy | None = None) -> None:
         self.device = device
         self.codecs = codecs or CodecConfig()
+        self.retry = retry or RetryPolicy()
 
     # -- simulated-time helpers ------------------------------------------
 
     def _naive_overheads(
         self,
+        dsg: CompressionDesign,
         resolved: ResolvedDesign,
         direction: Direction,
         sim_bytes: float,
         breakdown: TimeBreakdown,
     ) -> Generator:
-        """Per-op setup: DOCA init (if the engine is used) + buffers."""
+        """Per-op setup: DOCA init (if the engine is used) + buffers.
+
+        Returns the (possibly re-resolved) design: injected DOCA init
+        failures are retried under the policy and, past the budget,
+        this *operation* is forced onto the SoC pipeline.
+        """
         device = self.device
         uses_engine = resolved.engine_for(direction) == "cengine"
         if uses_engine:
-            with device_span("doca.init", device, device=device.name,
-                             per_op=True):
-                breakdown.add(PHASE_INIT, device.cal.doca_init_time)
-                yield device.env.timeout(device.cal.doca_init_time)
+            plan = get_fault_plan()
+            metrics = get_metrics()
+            attempts = 0
+            while True:
+                attempts += 1
+                fail = plan.active and plan.session_init(
+                    device.name, device.env.now
+                )
+                with device_span("doca.init", device, device=device.name,
+                                 per_op=True) as span:
+                    if fail:
+                        span.set_attr("fault", "init_fail")
+                    breakdown.add(PHASE_INIT, device.cal.doca_init_time)
+                    yield device.env.timeout(device.cal.doca_init_time)
+                if not fail:
+                    break
+                if metrics.recording:
+                    metrics.inc("faults.retries")
+                if attempts >= self.retry.max_attempts:
+                    if metrics.recording:
+                        metrics.inc("faults.fallbacks")
+                        metrics.inc("faults.init_giveups")
+                    resolved = resolve(device, dsg, force_soc=True)
+                    uses_engine = False
+                    break
+                yield from backoff_wait(device, self.retry, attempts, breakdown)
+        if uses_engine:
             # Inventory + source/destination buffers, allocated and
             # DMA-mapped from scratch for this one operation.
             prep = device.memory.doca_buffer_prep_time(int(2 * sim_bytes))
@@ -74,6 +119,27 @@ class NaiveCompressor:
                              bytes=int(2 * sim_bytes)):
                 breakdown.add(PHASE_PREP, prep)
                 yield device.env.timeout(prep)
+        return resolved
+
+    def _soc_fallback_pipeline(
+        self,
+        dsg: CompressionDesign,
+        direction: Direction,
+        sim_bytes: float,
+        breakdown: TimeBreakdown,
+        phase: str,
+    ) -> Generator:
+        """Engine-shaped pipeline on SoC cores (capability gap or a
+        runtime escalation past the retry budget)."""
+        soc = self.device.soc
+        core = cengine_core_algo(dsg.algo)
+        seconds = soc.codec_time(core, direction, sim_bytes)
+        yield from soc.run(seconds)
+        breakdown.add(phase, seconds)
+        if dsg.algo is Algo.ZLIB:
+            check = soc.checksum_time(sim_bytes)
+            yield from soc.run(check)
+            breakdown.add(PHASE_HEADER, check)
 
     def _sim_codec(
         self,
@@ -83,7 +149,10 @@ class NaiveCompressor:
         sim_bytes: float,
         sim_stage_bytes: float | None,
         breakdown: TimeBreakdown,
+        payload: "bytes | None" = None,
     ) -> Generator:
+        """Charge the codec op; returns ``payload`` (engine jobs may
+        verify it against injected corruption, see :mod:`repro.faults`)."""
         device = self.device
         soc = device.soc
         cal = device.cal
@@ -95,7 +164,7 @@ class NaiveCompressor:
             if dsg.placement is Placement.SOC:
                 yield from soc.run(total)
                 breakdown.add(phase, total)
-                return
+                return payload
             entropy = (1.0 - cal.sz3_lossless_fraction) * total
             yield from soc.run(entropy)
             breakdown.add(phase, entropy)
@@ -103,37 +172,50 @@ class NaiveCompressor:
                 sim_stage_bytes if sim_stage_bytes is not None else sim_bytes / 3.0
             )
             if engine == "cengine":
-                seconds = yield from device.cengine.submit(
-                    Algo.DEFLATE, direction, stage
-                )
-            else:
-                seconds = stage / cal.sz3_backend_deflate_throughput
-                yield from soc.run(seconds)
+                try:
+                    yield from engine_job_with_retry(
+                        device, Algo.DEFLATE, direction, stage,
+                        self.retry, breakdown, "lossless_stage",
+                    )
+                    return payload
+                except EngineFallback:
+                    metrics = get_metrics()
+                    if metrics.recording:
+                        metrics.inc("faults.fallbacks")
+            seconds = stage / cal.sz3_backend_deflate_throughput
+            yield from soc.run(seconds)
             breakdown.add("lossless_stage", seconds)
-            return
+            return payload
 
         if engine == "cengine":
             core = cengine_core_algo(dsg.algo)
-            seconds = yield from device.cengine.submit(core, direction, sim_bytes)
-            breakdown.add(phase, seconds)
+            try:
+                payload = yield from engine_job_with_retry(
+                    device, core, direction, sim_bytes,
+                    self.retry, breakdown, phase, payload=payload,
+                )
+            except EngineFallback:
+                metrics = get_metrics()
+                if metrics.recording:
+                    metrics.inc("faults.fallbacks")
+                yield from self._soc_fallback_pipeline(
+                    dsg, direction, sim_bytes, breakdown, phase
+                )
+                return payload
             if dsg.algo is Algo.ZLIB:
                 check = soc.checksum_time(sim_bytes)
                 yield from soc.run(check)
                 breakdown.add(PHASE_HEADER, check)
         elif dsg.placement is Placement.CENGINE:
             # Requested C-Engine but unsupported: SoC fallback pipeline.
-            core = cengine_core_algo(dsg.algo)
-            seconds = soc.codec_time(core, direction, sim_bytes)
-            yield from soc.run(seconds)
-            breakdown.add(phase, seconds)
-            if dsg.algo is Algo.ZLIB:
-                check = soc.checksum_time(sim_bytes)
-                yield from soc.run(check)
-                breakdown.add(PHASE_HEADER, check)
+            yield from self._soc_fallback_pipeline(
+                dsg, direction, sim_bytes, breakdown, phase
+            )
         else:
             seconds = soc.codec_time(dsg.algo, direction, sim_bytes)
             yield from soc.run(seconds)
             breakdown.add(phase, seconds)
+        return payload
 
     # -- public ops --------------------------------------------------------
 
@@ -161,10 +243,10 @@ class NaiveCompressor:
             actual_bytes=real.original_bytes,
         ) as span:
             breakdown.bind(span)
-            yield from self._naive_overheads(
-                resolved, Direction.COMPRESS, sim_in, breakdown
+            resolved = yield from self._naive_overheads(
+                dsg, resolved, Direction.COMPRESS, sim_in, breakdown
             )
-            yield from self._sim_codec(
+            payload = yield from self._sim_codec(
                 dsg,
                 resolved,
                 Direction.COMPRESS,
@@ -173,8 +255,9 @@ class NaiveCompressor:
                 if real.cengine_stage_bytes is None
                 else real.cengine_stage_bytes * scale,
                 breakdown,
+                payload=real.payload,
             )
-        message = PedalHeader.for_algo(dsg.algo).encode() + real.payload
+        message = PedalHeader.for_algo(dsg.algo).encode() + payload
         metrics = get_metrics()
         if metrics.recording:
             metrics.inc(f"codec.{dsg.algo.value}.bytes_in", real.original_bytes)
@@ -223,17 +306,20 @@ class NaiveCompressor:
             actual_bytes=actual_out,
         ) as span:
             breakdown.bind(span)
-            yield from self._naive_overheads(
-                resolved, Direction.DECOMPRESS, sim_out, breakdown
+            resolved = yield from self._naive_overheads(
+                dsg, resolved, Direction.DECOMPRESS, sim_out, breakdown
             )
-            yield from self._sim_codec(
+            out = yield from self._sim_codec(
                 dsg,
                 resolved,
                 Direction.DECOMPRESS,
                 sim_out,
                 None if stage_bytes is None else stage_bytes * scale,
                 breakdown,
+                payload=data if isinstance(data, bytes) else None,
             )
+            if out is not None:
+                data = out
         return DecompressResult(
             data=data, algo=algo, resolved=resolved, breakdown=breakdown
         )

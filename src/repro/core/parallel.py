@@ -128,6 +128,8 @@ class ParallelCompressor:
         if len(payload) < 8 or payload[:4] != _MAGIC:
             raise CorruptStreamError("not a PPAR container")
         (n_chunks,) = struct.unpack_from("<I", payload, 4)
+        if n_chunks < 1:
+            raise CorruptStreamError("PPAR container declares zero chunks")
         pos = 8
         if len(payload) < pos + 8 * n_chunks:
             raise CorruptStreamError("PPAR chunk table truncated")
@@ -135,10 +137,16 @@ class ParallelCompressor:
             struct.unpack_from("<Q", payload, pos + 8 * i)[0] for i in range(n_chunks)
         ]
         pos += 8 * n_chunks
+        # The chunk table must account for the payload *exactly*: a
+        # corrupted size field shows up as a short/overlong container
+        # here rather than as a mis-framed DEFLATE stream further down.
+        if sum(sizes) != len(payload) - pos:
+            raise CorruptStreamError(
+                f"PPAR chunk table claims {sum(sizes)} payload bytes, "
+                f"container carries {len(payload) - pos}"
+            )
         pieces = []
         for size in sizes:
-            if len(payload) < pos + size:
-                raise CorruptStreamError("PPAR chunk payload truncated")
             pieces.append(deflate_decompress(payload[pos : pos + size]))
             pos += size
         data = b"".join(pieces)

@@ -66,8 +66,19 @@ class ResolvedDesign:
         )
 
 
-def resolve(device: BlueFieldDPU, design: CompressionDesign) -> ResolvedDesign:
-    """Bind ``design`` to ``device``, applying Table III's fallbacks."""
+def resolve(
+    device: BlueFieldDPU,
+    design: CompressionDesign,
+    force_soc: bool = False,
+) -> ResolvedDesign:
+    """Bind ``design`` to ``device``, applying Table III's fallbacks.
+
+    ``force_soc`` routes both directions to the SoC regardless of the
+    capability matrix — the runtime escalation used when DOCA bring-up
+    failed past its retry budget (:mod:`repro.faults`), mirroring the
+    capability fallback for an engine that is *temporarily* unusable
+    rather than architecturally absent.
+    """
     if design.placement is Placement.SOC:
         return ResolvedDesign(
             design=design,
@@ -78,7 +89,7 @@ def resolve(device: BlueFieldDPU, design: CompressionDesign) -> ResolvedDesign:
     core = cengine_core_algo(design.algo)
     engines = {}
     for direction in (Direction.COMPRESS, Direction.DECOMPRESS):
-        supported = device.cengine.supports(core, direction)
+        supported = not force_soc and device.cengine.supports(core, direction)
         engines[direction] = "cengine" if supported else "soc"
     resolved = ResolvedDesign(
         design=design,

@@ -7,7 +7,7 @@ from typing import Generator
 from repro.doca.buffers import DocaBuffer
 from repro.doca.sdk import DocaSession
 from repro.dpu.specs import Algo, Direction
-from repro.errors import DocaBufferError
+from repro.errors import DocaBufferError, DocaTransientError
 from repro.obs import get_metrics
 
 __all__ = ["submit_job"]
@@ -27,6 +27,12 @@ def submit_job(
     duration.  Raises :class:`~repro.errors.DocaCapabilityError` when the
     device does not support (algo, direction) — callers such as PEDAL
     check :meth:`CEngine.supports` first and fall back to the SoC.
+
+    Under an installed fault plan (:mod:`repro.faults`) the engine may
+    raise :class:`~repro.errors.DocaJobError` or
+    :class:`~repro.errors.DocaTimeoutError`; direct DOCA users see the
+    raw error (counted as ``doca.job_errors``) — retry/fallback is the
+    PEDAL policy layer's job, not the SDK's.
     """
     session.require_open()
     if not src.is_live:
@@ -39,5 +45,10 @@ def submit_job(
     metrics = get_metrics()
     if metrics.recording:
         metrics.inc(f"doca.jobs.{algo.value}.{direction.value}")
-    seconds = yield from session.device.cengine.submit(algo, direction, size)
+    try:
+        seconds = yield from session.device.cengine.submit(algo, direction, size)
+    except DocaTransientError:
+        if metrics.recording:
+            metrics.inc("doca.job_errors")
+        raise
     return seconds

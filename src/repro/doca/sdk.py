@@ -6,7 +6,8 @@ from typing import Generator
 
 from repro.doca.buffers import BufInventory
 from repro.dpu.device import BlueFieldDPU
-from repro.errors import DocaNotInitializedError
+from repro.errors import DocaInitError, DocaNotInitializedError
+from repro.faults.plan import get_fault_plan
 from repro.obs import device_span
 
 __all__ = ["DocaSession"]
@@ -30,12 +31,29 @@ class DocaSession:
         return self._open
 
     def open(self) -> Generator:
-        """Initialise DOCA (simulated); returns the init duration."""
+        """Initialise DOCA (simulated); returns the init duration.
+
+        Under an installed fault plan bring-up may fail: the full init
+        time is still charged (the hardware walked the bring-up before
+        erroring) and :class:`~repro.errors.DocaInitError` is raised
+        with the session left closed, so callers can retry.
+        """
         if self._open:
             return 0.0
         seconds = self.device.cal.doca_init_time
-        with device_span("doca.init", self.device, device=self.device.name):
+        plan = get_fault_plan()
+        fail = plan.active and plan.session_init(
+            self.device.name, self.device.env.now
+        )
+        with device_span("doca.init", self.device, device=self.device.name) as span:
+            if fail:
+                span.set_attr("fault", "init_fail")
             yield self.device.env.timeout(seconds)
+        if fail:
+            raise DocaInitError(
+                f"DOCA bring-up failed on {self.device.name}",
+                sim_seconds=seconds,
+            )
         self._open = True
         self.init_seconds = seconds
         return seconds

@@ -10,6 +10,13 @@ the SoC (paper §III-D), but direct DOCA users hit the error.
 Each executed job emits a ``cengine.compress`` / ``cengine.decompress``
 tracing span and feeds the job counter plus queue-wait histogram when
 observability is enabled (see :mod:`repro.obs`).
+
+When a fault plan is installed (:mod:`repro.faults`), job execution
+consults it: a job may fail with a DOCA error code after burning part
+of its nominal time, stall — holding the engine ``stall_factor`` times
+longer before surfacing a timeout — or run degraded.  All of it is
+deterministic per (plan seed, device, algo, direction, sim time); with
+no plan (or zero probabilities) this path adds no simulation events.
 """
 
 from __future__ import annotations
@@ -18,7 +25,8 @@ from typing import TYPE_CHECKING, Generator
 
 from repro.dpu.calibration import Calibration
 from repro.dpu.specs import Algo, Direction, DpuSpec
-from repro.errors import DocaCapabilityError
+from repro.errors import DocaCapabilityError, DocaJobError, DocaTimeoutError
+from repro.faults.plan import KIND_DEGRADE, KIND_FAIL, KIND_STALL, get_fault_plan
 from repro.obs import device_span, get_metrics
 from repro.obs.metrics import SIM_SECONDS_BUCKETS
 from repro.sim import Environment, Resource
@@ -67,7 +75,12 @@ class CEngine:
         """Queue and execute one job; returns the job duration.
 
         The duration returned excludes queueing delay (callers measure
-        wall time from the environment clock if they need it).
+        wall time from the environment clock if they need it).  Under an
+        installed fault plan a job may instead raise
+        :class:`~repro.errors.DocaJobError` (engine error code) or
+        :class:`~repro.errors.DocaTimeoutError` (stall) — both carry the
+        sim seconds the engine was held so retry layers can account for
+        the wasted time.
         """
         seconds = self.job_time(algo, direction, nbytes)  # may raise
         anchor = self.owner if self.owner is not None else self
@@ -88,7 +101,35 @@ class CEngine:
                 metrics.observe("cengine.queue_wait_s", wait, SIM_SECONDS_BUCKETS)
             if wait > 0:
                 span.set_attr("queue_wait_s", wait)
+            plan = get_fault_plan()
+            decision = (
+                plan.engine_job(self.spec.name, algo.value, direction.value,
+                                self.env.now)
+                if plan.active
+                else None
+            )
             try:
+                if decision is not None and decision.is_fault:
+                    span.set_attr("fault", decision.kind)
+                    if decision.kind == KIND_FAIL:
+                        held = seconds * plan.config.fail_latency_fraction
+                        yield self.env.timeout(held)
+                        self.busy_seconds += held
+                        raise DocaJobError(
+                            f"{self.spec.name} C-Engine job failed",
+                            code=decision.code, sim_seconds=held,
+                        )
+                    if decision.kind == KIND_STALL:
+                        held = seconds * decision.factor
+                        yield self.env.timeout(held)
+                        self.busy_seconds += held
+                        raise DocaTimeoutError(
+                            f"{self.spec.name} C-Engine job stalled "
+                            f"({decision.factor:g}x past nominal)",
+                            sim_seconds=held,
+                        )
+                    assert decision.kind == KIND_DEGRADE
+                    seconds *= decision.factor
                 yield self.env.timeout(seconds)
                 self.jobs_completed += 1
                 self.busy_seconds += seconds

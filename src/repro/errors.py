@@ -69,6 +69,36 @@ class DocaBufferError(DocaError):
     """Invalid buffer handle, exhausted inventory, or bad mapping."""
 
 
+class DocaTransientError(DocaError):
+    """A retryable DOCA failure (the job may succeed if resubmitted).
+
+    ``sim_seconds`` records how long the failing operation occupied the
+    hardware before the error surfaced, so retry layers can charge the
+    wasted time to the right breakdown phase.
+    """
+
+    def __init__(self, message: str, sim_seconds: float = 0.0) -> None:
+        super().__init__(message)
+        self.sim_seconds = sim_seconds
+
+
+class DocaJobError(DocaTransientError):
+    """A submitted C-Engine job completed with a DOCA error code."""
+
+    def __init__(self, message: str, code: int = 1,
+                 sim_seconds: float = 0.0) -> None:
+        super().__init__(f"{message} (DOCA_ERROR {code})", sim_seconds)
+        self.code = code
+
+
+class DocaTimeoutError(DocaTransientError):
+    """A C-Engine job stalled past the caller's completion deadline."""
+
+
+class DocaInitError(DocaTransientError):
+    """DOCA device/context/workq bring-up failed."""
+
+
 # ---------------------------------------------------------------------------
 # PEDAL core errors
 # ---------------------------------------------------------------------------

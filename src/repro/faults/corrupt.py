@@ -1,0 +1,52 @@
+"""Deterministic buffer-corruption primitives.
+
+Models what a misbehaving DMA engine hands back: either a few flipped
+bits somewhere in the output buffer, or a short write (truncation).
+Every choice is driven by caller-supplied deterministic bits, so the
+same plan state always produces the same damage.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["corrupt_buffer", "flip_bits", "truncate"]
+
+
+def flip_bits(payload: bytes, positions: "list[int]") -> bytes:
+    """Flip one bit at each absolute bit position (mod stream length)."""
+    if not payload:
+        return payload
+    out = bytearray(payload)
+    total_bits = len(out) * 8
+    for pos in positions:
+        pos %= total_bits
+        out[pos // 8] ^= 1 << (pos % 8)
+    return bytes(out)
+
+
+def truncate(payload: bytes, keep: int) -> bytes:
+    """Short-write: keep only the first ``keep`` bytes (at least one lost)."""
+    keep = max(0, min(keep, len(payload) - 1))
+    return payload[:keep]
+
+
+def corrupt_buffer(payload: bytes, bits: Callable[[str], int],
+                   max_bits: int = 8) -> bytes:
+    """Damage ``payload`` deterministically.
+
+    ``bits(tag)`` must return a 64-bit integer that is a pure function
+    of the fault plan's state and ``tag``.  Half the time the buffer
+    gets 1..``max_bits`` bit flips; the other half it is truncated.
+    The result is guaranteed to differ from the input.
+    """
+    if not payload:
+        return payload
+    if len(payload) > 1 and bits("mode") % 2:
+        return truncate(payload, bits("keep") % len(payload))
+    n_flips = 1 + bits("nflips") % max_bits
+    # Deduplicate positions: flipping the same bit twice would cancel.
+    positions = sorted(
+        {bits(f"bit{i}") % (len(payload) * 8) for i in range(n_flips)}
+    )
+    return flip_bits(payload, positions)

@@ -1,0 +1,308 @@
+"""Deterministic, seeded fault plans for the DOCA/C-Engine path.
+
+A :class:`FaultPlan` decides, per injection site, whether a simulated
+hardware operation misbehaves.  Decisions are pure functions of the
+plan's seed, the site name, a per-site draw counter, and the *simulated*
+clock — never the wall clock — so two runs of the same experiment under
+the same plan produce identical faults, traces, and outputs.
+
+Fault kinds (paper §III-D treats the C-Engine as an unreliable
+capability; this module makes the failure half of that story testable):
+
+``engine_fail``
+    A submitted job completes with a DOCA error code
+    (:class:`~repro.errors.DocaJobError`) after occupying the engine for
+    a fraction of its nominal duration.
+``engine_stall``
+    The job holds the engine ``stall_factor`` times longer than nominal
+    and then surfaces as :class:`~repro.errors.DocaTimeoutError`.
+``engine_degrade``
+    The job completes, but ``degrade_factor`` times slower.
+``corrupt_output``
+    The job "completes" but the returned buffer is corrupted (bit flips
+    or truncation); the caller's checksum layer detects the damage.
+``init_fail``
+    DOCA session bring-up fails (:class:`~repro.errors.DocaInitError`).
+
+The module-level plan mirrors the :mod:`repro.obs` idiom: a no-op
+:data:`NULL_PLAN` by default, installed globally with
+:func:`set_fault_plan` or scoped with :func:`injecting`.  With no plan
+installed — or a plan whose probabilities are all zero — every hook is
+a provable no-op: no extra simulation events, draws that change
+nothing, identical sim-time and bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields, replace
+
+from repro.obs.metrics import get_metrics
+
+__all__ = [
+    "FaultConfig",
+    "FaultDecision",
+    "FaultPlan",
+    "NullFaultPlan",
+    "NO_FAULT",
+    "NULL_PLAN",
+    "get_fault_plan",
+    "set_fault_plan",
+    "injecting",
+    "parse_fault_spec",
+]
+
+# Decision kinds for engine jobs.
+KIND_NONE = "none"
+KIND_FAIL = "fail"
+KIND_STALL = "stall"
+KIND_DEGRADE = "degrade"
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Probabilities and severity knobs of one fault plan.
+
+    Probabilities are per-event: each engine job draws once against
+    ``engine_fail``/``engine_stall``/``engine_degrade`` (mutually
+    exclusive, so their sum must be <= 1), each engine job output draws
+    independently against ``corrupt_output``, and each session bring-up
+    draws against ``init_fail``.
+    """
+
+    seed: int = 0
+    engine_fail: float = 0.0
+    engine_stall: float = 0.0
+    engine_degrade: float = 0.0
+    corrupt_output: float = 0.0
+    init_fail: float = 0.0
+    # Severity knobs.
+    stall_factor: float = 8.0       # stalled job holds the engine N x longer
+    degrade_factor: float = 4.0     # degraded job runs N x slower
+    fail_latency_fraction: float = 0.5  # engine time burned before a failure
+    max_corrupt_bits: int = 8       # bit flips per corruption event
+
+    def __post_init__(self) -> None:
+        for name in ("engine_fail", "engine_stall", "engine_degrade",
+                     "corrupt_output", "init_fail"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} probability {p} outside [0, 1]")
+        if self.engine_fail + self.engine_stall + self.engine_degrade > 1.0:
+            raise ValueError(
+                "engine_fail + engine_stall + engine_degrade must be <= 1"
+            )
+        if self.stall_factor < 1.0 or self.degrade_factor < 1.0:
+            raise ValueError("stall_factor and degrade_factor must be >= 1")
+        if not 0.0 <= self.fail_latency_fraction <= 1.0:
+            raise ValueError("fail_latency_fraction outside [0, 1]")
+        if self.max_corrupt_bits < 1:
+            raise ValueError("max_corrupt_bits must be >= 1")
+
+    @property
+    def any_nonzero(self) -> bool:
+        return any(
+            getattr(self, name) > 0.0
+            for name in ("engine_fail", "engine_stall", "engine_degrade",
+                         "corrupt_output", "init_fail")
+        )
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """Outcome of one engine-job draw."""
+
+    kind: str = KIND_NONE  # none | fail | stall | degrade
+    factor: float = 1.0    # time multiplier for stall/degrade
+    code: int = 0          # DOCA error code for fail
+
+    @property
+    def is_fault(self) -> bool:
+        return self.kind != KIND_NONE
+
+
+NO_FAULT = FaultDecision()
+
+
+class FaultPlan:
+    """Seeded fault decisions, deterministic per (seed, site, draw#, sim time)."""
+
+    active = True
+
+    def __init__(self, config: "FaultConfig | None" = None, **kwargs) -> None:
+        if config is None:
+            config = FaultConfig(**kwargs)
+        elif kwargs:
+            config = replace(config, **kwargs)
+        self.config = config
+        self._counters: dict[str, int] = {}
+
+    # -- deterministic randomness ------------------------------------------
+
+    def _draw(self, site: str, now: float) -> float:
+        """One uniform draw in [0, 1) for ``site`` at sim time ``now``.
+
+        Hash-derived (BLAKE2b) rather than a shared stream so the value
+        depends only on the plan seed, the site, the per-site draw
+        counter, and the simulated clock — insertion of draws at one
+        site can never perturb another site's sequence.
+        """
+        n = self._counters.get(site, 0) + 1
+        self._counters[site] = n
+        return self._bits(site, now, n, "p") / float(1 << 64)
+
+    def _bits(self, site: str, now: float, n: int, tag: str) -> int:
+        key = f"{self.config.seed}|{site}|{n}|{float(now).hex()}|{tag}"
+        digest = hashlib.blake2b(key.encode("ascii"), digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+
+    # -- injection sites ----------------------------------------------------
+
+    def engine_job(self, device: str, algo: str, direction: str,
+                   now: float) -> FaultDecision:
+        """Decide the fate of one C-Engine job submission."""
+        cfg = self.config
+        if not (cfg.engine_fail or cfg.engine_stall or cfg.engine_degrade):
+            return NO_FAULT
+        site = f"cengine.{device}.{algo}.{direction}"
+        u = self._draw(site, now)
+        if u < cfg.engine_fail:
+            decision = FaultDecision(KIND_FAIL, 1.0,
+                                     code=1 + self._bits(site, now,
+                                                         self._counters[site],
+                                                         "code") % 7)
+        elif u < cfg.engine_fail + cfg.engine_stall:
+            decision = FaultDecision(KIND_STALL, cfg.stall_factor)
+        elif u < cfg.engine_fail + cfg.engine_stall + cfg.engine_degrade:
+            decision = FaultDecision(KIND_DEGRADE, cfg.degrade_factor)
+        else:
+            return NO_FAULT
+        metrics = get_metrics()
+        if metrics.recording:
+            metrics.inc(f"faults.injected.engine_{decision.kind}")
+        return decision
+
+    def session_init(self, device: str, now: float) -> bool:
+        """True when this DOCA session bring-up should fail."""
+        if self.config.init_fail <= 0.0:
+            return False
+        failed = self._draw(f"doca.init.{device}", now) < self.config.init_fail
+        if failed:
+            metrics = get_metrics()
+            if metrics.recording:
+                metrics.inc("faults.injected.init_fail")
+        return failed
+
+    def corrupt_engine_output(self, site: str, payload: bytes,
+                              now: float) -> "tuple[bytes, bool]":
+        """Maybe corrupt an engine job's returned buffer.
+
+        Returns ``(payload', corrupted)``.  Corruption is bit flips or
+        truncation, chosen and placed deterministically.
+        """
+        cfg = self.config
+        if cfg.corrupt_output <= 0.0 or not payload:
+            return payload, False
+        full_site = f"corrupt.{site}"
+        if self._draw(full_site, now) >= cfg.corrupt_output:
+            return payload, False
+        from repro.faults.corrupt import corrupt_buffer
+
+        n = self._counters[full_site]
+        damaged = corrupt_buffer(
+            payload,
+            lambda tag: self._bits(full_site, now, n, tag),
+            max_bits=cfg.max_corrupt_bits,
+        )
+        metrics = get_metrics()
+        if metrics.recording:
+            metrics.inc("faults.injected.corrupt_output")
+        return damaged, True
+
+
+class NullFaultPlan:
+    """Disabled plan: every site reports "no fault" without drawing."""
+
+    active = False
+
+    def engine_job(self, device: str, algo: str, direction: str,
+                   now: float) -> FaultDecision:
+        return NO_FAULT
+
+    def session_init(self, device: str, now: float) -> bool:
+        return False
+
+    def corrupt_engine_output(self, site: str, payload: bytes,
+                              now: float) -> "tuple[bytes, bool]":
+        return payload, False
+
+
+NULL_PLAN = NullFaultPlan()
+
+_current: "FaultPlan | NullFaultPlan" = NULL_PLAN
+
+
+def get_fault_plan() -> "FaultPlan | NullFaultPlan":
+    """The process-wide plan (no-op :data:`NULL_PLAN` by default)."""
+    return _current
+
+
+def set_fault_plan(plan: "FaultPlan | NullFaultPlan | None",
+                   ) -> "FaultPlan | NullFaultPlan":
+    """Install ``plan`` globally (None resets); returns the previous."""
+    global _current
+    previous = _current
+    _current = NULL_PLAN if plan is None else plan
+    return previous
+
+
+class injecting:
+    """``with injecting(FaultPlan(seed=7, engine_fail=0.5)):`` — scoped."""
+
+    def __init__(self, plan: "FaultPlan | FaultConfig | None" = None,
+                 **kwargs) -> None:
+        if isinstance(plan, FaultConfig):
+            plan = FaultPlan(plan)
+        self.plan = plan if plan is not None else FaultPlan(**kwargs)
+        self._previous: "FaultPlan | NullFaultPlan | None" = None
+
+    def __enter__(self) -> FaultPlan:
+        self._previous = set_fault_plan(self.plan)
+        return self.plan
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        set_fault_plan(self._previous)
+        return False
+
+
+_FLOAT_FIELDS = {
+    f.name for f in fields(FaultConfig) if f.type in ("float", float)
+}
+
+
+def parse_fault_spec(spec: str) -> FaultConfig:
+    """Parse ``"seed=42,engine_fail=1.0,stall_factor=16"`` into a config.
+
+    The bench CLI's ``--faults`` flag uses this format; unknown keys and
+    malformed values raise :class:`ValueError` with the offending token.
+    """
+    kwargs: dict[str, "int | float"] = {}
+    names = {f.name for f in fields(FaultConfig)}
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        key, sep, value = token.partition("=")
+        key = key.strip()
+        if not sep or key not in names:
+            raise ValueError(
+                f"bad fault spec token {token!r}; known keys: {sorted(names)}"
+            )
+        try:
+            kwargs[key] = (float(value) if key in _FLOAT_FIELDS
+                           else int(value))
+        except ValueError:
+            raise ValueError(
+                f"bad fault spec value for {key!r}: {value!r}"
+            ) from None
+    return FaultConfig(**kwargs)

@@ -37,6 +37,7 @@ from repro.obs.metrics import (
     BYTES_BUCKETS,
     NULL_METRICS,
     QUEUE_DEPTH_BUCKETS,
+    RETRY_ATTEMPT_BUCKETS,
     SIM_SECONDS_BUCKETS,
     Counter,
     Gauge,
@@ -85,6 +86,7 @@ __all__ = [
     "QUEUE_DEPTH_BUCKETS",
     "SIM_SECONDS_BUCKETS",
     "BYTES_BUCKETS",
+    "RETRY_ATTEMPT_BUCKETS",
     # export
     "chrome_trace_events",
     "span_records",

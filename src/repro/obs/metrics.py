@@ -30,6 +30,7 @@ __all__ = [
     "QUEUE_DEPTH_BUCKETS",
     "SIM_SECONDS_BUCKETS",
     "BYTES_BUCKETS",
+    "RETRY_ATTEMPT_BUCKETS",
 ]
 
 # Shared fixed boundaries (upper-inclusive bucket edges, +inf implied).
@@ -40,6 +41,8 @@ SIM_SECONDS_BUCKETS: tuple[float, ...] = (
 BYTES_BUCKETS: tuple[float, ...] = (
     1024.0, 16384.0, 65536.0, 262144.0, 1048576.0, 16777216.0, 134217728.0,
 )
+# Failed-attempt counts per operation (fault-injection retry layer).
+RETRY_ATTEMPT_BUCKETS: tuple[float, ...] = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0)
 
 
 class Counter:

@@ -104,3 +104,97 @@ def test_sz3_corruption_never_crashes(values, index):
         # ValueError covers pathological reshape sizes from corrupted
         # shape fields caught by numpy before our own checks.
         pass
+
+
+# -- systematic (exhaustive, non-hypothesis) sweeps -------------------------
+#
+# The hypothesis suites sample the corruption space; these sweeps cover
+# it exhaustively on small valid streams: *every* prefix truncation and
+# *every* single-bit flip.  Truncation must always fail cleanly (or,
+# for raw formats, return bytes); a bit flip in a checksummed format
+# must never be silently wrong.
+
+from repro.algorithms.deflate import DeflateConfig  # noqa: E402
+from repro.algorithms.gzip_format import gzip_compress  # noqa: E402
+from repro.algorithms.lz4 import lz4_block_compress, lz4_compress  # noqa: E402
+from repro.algorithms.sz3 import SZ3Config, sz3_compress  # noqa: E402
+from repro.algorithms.zlib_format import zlib_compress  # noqa: E402
+from repro.algorithms.zstdlite import zstdlite_compress  # noqa: E402
+
+_SWEEP_PAYLOAD = b"abcabcabc-0123456789-the quick brown fox" * 3
+
+ENCODERS = {
+    "deflate": deflate_compress,
+    "zlib": zlib_compress,
+    "gzip": gzip_compress,
+    "lz4_block": lz4_block_compress,
+    "lz4_frame": lz4_compress,
+    "zstdlite": zstdlite_compress,
+}
+
+# Formats whose wire checksum must catch (or survive) any single flip.
+CHECKSUMMED = {
+    "zlib": zlib_compress,
+    "gzip": gzip_compress,
+    "lz4_frame": lz4_compress,
+    "zstdlite": zstdlite_compress,
+}
+
+
+@pytest.mark.parametrize("name", sorted(ENCODERS))
+def test_every_truncation_fails_cleanly(name):
+    """Chop the stream at every possible length: no hangs, no junk
+    exceptions — a ReproError or (for raw formats) some bytes."""
+    stream = ENCODERS[name](_SWEEP_PAYLOAD)
+    decoder = DECODERS[name]
+    for keep in range(len(stream)):
+        try:
+            out = decoder(stream[:keep])
+        except ReproError:
+            continue
+        # Raw formats may decode a prefix; it must never exceed the
+        # original (max_output bounds any run-length explosion).
+        assert len(out) <= len(_SWEEP_PAYLOAD) + 64, keep
+
+
+@pytest.mark.parametrize("name", sorted(CHECKSUMMED))
+def test_every_single_bitflip_detected_or_harmless(name):
+    """Flip each bit of a checksummed stream in turn: decode must raise
+    a ReproError or return the exact original payload (a flip in a
+    non-load-bearing header bit) — silent corruption is the one
+    forbidden outcome."""
+    stream = ENCODERS[name](_SWEEP_PAYLOAD)
+    decoder = DECODERS[name]
+    for position in range(len(stream) * 8):
+        mutated = bytearray(stream)
+        mutated[position // 8] ^= 1 << (position % 8)
+        try:
+            out = decoder(bytes(mutated))
+        except ReproError:
+            continue
+        assert out == _SWEEP_PAYLOAD, f"silent corruption at bit {position}"
+
+
+def test_sz3_every_truncation_fails_cleanly():
+    field = np.sin(np.linspace(0, 8, 300)).astype(np.float32)
+    stream = sz3_compress(field, SZ3Config(error_bound=1e-3))
+    for keep in range(len(stream)):
+        try:
+            out = sz3_decompress(stream[:keep])
+            assert isinstance(out, np.ndarray)
+        except (ReproError, ValueError):
+            continue
+
+
+@pytest.mark.parametrize("strategy", ["fixed", "dynamic", "stored"])
+def test_deflate_truncation_per_block_type(strategy):
+    """Truncation coverage for each DEFLATE block coding separately —
+    stored, fixed, and dynamic blocks take different decoder paths."""
+    stream = deflate_compress(_SWEEP_PAYLOAD, DeflateConfig(strategy=strategy))
+    for keep in range(len(stream)):
+        try:
+            out = deflate_decompress(stream[:keep],
+                                     max_output=len(_SWEEP_PAYLOAD) * 4)
+        except ReproError:
+            continue
+        assert len(out) <= len(_SWEEP_PAYLOAD) * 4

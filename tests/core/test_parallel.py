@@ -36,6 +36,70 @@ class TestRoundtrip:
             run_sim(env, pc.decompress(comp.payload[: len(comp.payload) // 2]))
 
 
+class TestContainerValidation:
+    """The chunk table must exactly account for the payload bytes —
+    regression tests for the size-field validation."""
+
+    def _container(self, env, bf2, run_sim, text_payload):
+        pc = ParallelCompressor(bf2, ParallelConfig(n_chunks=4))
+        comp = run_sim(env, pc.compress(text_payload))
+        return pc, bytearray(comp.payload)
+
+    def test_zero_chunks_rejected(self, env, bf2, run_sim):
+        import struct
+
+        blob = b"PPAR" + struct.pack("<I", 0)
+        with pytest.raises(CorruptStreamError, match="zero chunks"):
+            run_sim(env, ParallelCompressor(bf2).decompress(blob))
+
+    def test_huge_chunk_count_rejected_without_blowup(self, env, bf2, run_sim):
+        import struct
+
+        blob = b"PPAR" + struct.pack("<I", 0xFFFFFFFF) + b"\x00" * 64
+        with pytest.raises(CorruptStreamError):
+            run_sim(env, ParallelCompressor(bf2).decompress(blob))
+
+    def test_inflated_size_field_rejected(self, env, bf2, run_sim,
+                                          text_payload):
+        import struct
+
+        pc, blob = self._container(env, bf2, run_sim, text_payload)
+        (size0,) = struct.unpack_from("<Q", blob, 8)
+        struct.pack_into("<Q", blob, 8, size0 + 1)
+        with pytest.raises(CorruptStreamError, match="chunk table claims"):
+            run_sim(env, pc.decompress(bytes(blob)))
+
+    def test_deflated_size_field_rejected(self, env, bf2, run_sim,
+                                          text_payload):
+        import struct
+
+        pc, blob = self._container(env, bf2, run_sim, text_payload)
+        (size0,) = struct.unpack_from("<Q", blob, 8)
+        struct.pack_into("<Q", blob, 8, size0 - 1)
+        with pytest.raises(CorruptStreamError, match="chunk table claims"):
+            run_sim(env, pc.decompress(bytes(blob)))
+
+    def test_trailing_garbage_rejected(self, env, bf2, run_sim, text_payload):
+        pc, blob = self._container(env, bf2, run_sim, text_payload)
+        with pytest.raises(CorruptStreamError, match="chunk table claims"):
+            run_sim(env, pc.decompress(bytes(blob) + b"\x00"))
+
+    def test_overflowing_size_field_rejected(self, env, bf2, run_sim,
+                                             text_payload):
+        import struct
+
+        pc, blob = self._container(env, bf2, run_sim, text_payload)
+        struct.pack_into("<Q", blob, 8, 1 << 60)
+        with pytest.raises(CorruptStreamError):
+            run_sim(env, pc.decompress(bytes(blob)))
+
+    def test_valid_container_still_accepted(self, env, bf2, run_sim,
+                                            text_payload):
+        pc, blob = self._container(env, bf2, run_sim, text_payload)
+        dec = run_sim(env, pc.decompress(bytes(blob)))
+        assert dec.payload == text_payload
+
+
 class TestRatioTrade:
     def test_chunking_costs_some_ratio(self, env, bf2, run_sim):
         # Realistic corpus: cross-chunk match loss is bounded by the

@@ -1,0 +1,32 @@
+"""Fault-suite fixtures: never leak a plan or metrics across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.faults import NULL_PLAN, set_fault_plan
+
+
+@pytest.fixture(autouse=True)
+def _no_plan_leak():
+    previous = set_fault_plan(NULL_PLAN)
+    yield
+    set_fault_plan(previous)
+
+
+@pytest.fixture
+def metrics():
+    """A recording registry installed for the duration of the test."""
+    registry = obs.MetricsRegistry()
+    previous = obs.set_metrics(registry)
+    yield registry
+    obs.set_metrics(previous)
+
+
+def counters(registry, prefix="faults"):
+    return {
+        k: v
+        for k, v in registry.as_dict()["counters"].items()
+        if k.startswith(prefix)
+    }

@@ -1,0 +1,79 @@
+"""``python -m repro.bench --faults``: the Fig. 7 acceptance scenario.
+
+A full fig7 regeneration with engine failure probability 1.0 must
+complete via SoC fallback, leave nonzero ``faults.*`` counters, report
+the same compression artifacts as a clean run (only timing columns may
+differ), and restore the no-op plan afterwards.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import main
+from repro.faults import NULL_PLAN, get_fault_plan
+
+
+@pytest.fixture(scope="module")
+def faulted_fig7(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("cli_faults")
+    metrics = tmp / "m.json"
+    out = tmp / "rows.json"
+    clean_out = tmp / "rows_clean.json"
+    rc = main([
+        "fig7",
+        "--actual-bytes", "4096",
+        "--faults", "seed=42,engine_fail=1.0",
+        "--metrics", str(metrics),
+        "--json", str(out),
+    ])
+    assert rc == 0
+    rc = main(["fig7", "--actual-bytes", "4096", "--json", str(clean_out)])
+    assert rc == 0
+    return (
+        json.loads(metrics.read_text()),
+        json.loads(out.read_text()),
+        json.loads(clean_out.read_text()),
+    )
+
+
+class TestFaultedFig7:
+    def test_fallbacks_counted(self, faulted_fig7):
+        metrics, _, _ = faulted_fig7
+        counters = metrics["counters"]
+        assert counters["faults.fallbacks"] > 0
+        assert counters["faults.injected.engine_fail"] > 0
+        assert counters["faults.retries"] >= counters["faults.fallbacks"]
+
+    def test_attempt_histogram_recorded(self, faulted_fig7):
+        metrics, _, _ = faulted_fig7
+        assert "faults.attempts" in metrics["histograms"]
+
+    def test_spec_recorded_in_json(self, faulted_fig7):
+        _, rows, clean = faulted_fig7
+        assert rows["args"]["faults"] == "seed=42,engine_fail=1.0"
+        assert clean["args"]["faults"] is None
+
+    def test_artifacts_match_clean_run(self, faulted_fig7):
+        """Fig. 7 rows under total engine failure differ from a clean
+        run only in timing columns — sizes/ratios/identity are equal."""
+        _, rows, clean = faulted_fig7
+        timing = {"compression_s", "decompression_s", "total_s",
+                  "overhead_frac", "doca_init_s", "buffer_prep_s"}
+        for faulted_exp, clean_exp in zip(rows["experiments"],
+                                          clean["experiments"]):
+            for rf, rc_ in zip(faulted_exp["rows"], clean_exp["rows"]):
+                assert set(rf) == set(rc_)
+                for key in rf:
+                    if key not in timing:
+                        assert rf[key] == rc_[key], key
+
+    def test_plan_restored_after_run(self, faulted_fig7):
+        assert get_fault_plan() is NULL_PLAN
+
+
+def test_bad_spec_raises_before_running(tmp_path):
+    with pytest.raises(ValueError, match="bogus"):
+        main(["fig7", "--faults", "bogus=1"])

@@ -1,0 +1,227 @@
+"""FaultPlan unit behaviour: determinism, rates, corruption, parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    FaultConfig,
+    FaultDecision,
+    FaultPlan,
+    NO_FAULT,
+    NULL_PLAN,
+    get_fault_plan,
+    injecting,
+    parse_fault_spec,
+    set_fault_plan,
+)
+from repro.faults.corrupt import corrupt_buffer, flip_bits, truncate
+from repro.faults.plan import KIND_DEGRADE, KIND_FAIL, KIND_NONE, KIND_STALL
+
+
+class TestFaultConfig:
+    def test_defaults_are_inert(self):
+        assert not FaultConfig().any_nonzero
+
+    def test_any_nonzero(self):
+        assert FaultConfig(engine_fail=0.1).any_nonzero
+        assert FaultConfig(init_fail=1.0).any_nonzero
+        assert FaultConfig(corrupt_output=0.5).any_nonzero
+
+    @pytest.mark.parametrize("field", [
+        "engine_fail", "engine_stall", "engine_degrade",
+        "corrupt_output", "init_fail",
+    ])
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_probability_bounds(self, field, bad):
+        with pytest.raises(ValueError):
+            FaultConfig(**{field: bad})
+
+    def test_engine_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            FaultConfig(engine_fail=0.5, engine_stall=0.4, engine_degrade=0.2)
+        # Exactly 1.0 is allowed.
+        FaultConfig(engine_fail=0.5, engine_stall=0.3, engine_degrade=0.2)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"stall_factor": 0.5},
+        {"degrade_factor": 0.0},
+        {"fail_latency_fraction": 1.5},
+        {"max_corrupt_bits": 0},
+    ])
+    def test_severity_knob_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultConfig(**kwargs)
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        a = FaultPlan(seed=7, engine_fail=0.5)
+        b = FaultPlan(seed=7, engine_fail=0.5)
+        da = [a.engine_job("bf2", "deflate", "compress", t / 10) for t in range(50)]
+        db = [b.engine_job("bf2", "deflate", "compress", t / 10) for t in range(50)]
+        assert da == db
+
+    def test_different_seed_different_draws(self):
+        a = FaultPlan(seed=1, engine_fail=0.5)
+        b = FaultPlan(seed=2, engine_fail=0.5)
+        da = [a.engine_job("bf2", "deflate", "compress", t / 10) for t in range(50)]
+        db = [b.engine_job("bf2", "deflate", "compress", t / 10) for t in range(50)]
+        assert da != db
+
+    def test_sites_independent(self):
+        """Draws at one site never perturb another site's sequence."""
+        a = FaultPlan(seed=3, engine_fail=0.5)
+        b = FaultPlan(seed=3, engine_fail=0.5)
+        seq_a = [a.engine_job("bf2", "deflate", "compress", float(t))
+                 for t in range(20)]
+        # Interleave draws at an unrelated site on plan b only.
+        seq_b = []
+        for t in range(20):
+            b.engine_job("bf3", "lz4", "decompress", float(t))
+            seq_b.append(b.engine_job("bf2", "deflate", "compress", float(t)))
+        assert seq_a == seq_b
+
+    def test_corruption_deterministic(self):
+        payload = bytes(range(256)) * 4
+        a = FaultPlan(seed=11, corrupt_output=1.0)
+        b = FaultPlan(seed=11, corrupt_output=1.0)
+        assert (a.corrupt_engine_output("s", payload, 1.5)
+                == b.corrupt_engine_output("s", payload, 1.5))
+
+
+class TestEngineJobDecisions:
+    def test_zero_probability_never_faults(self):
+        plan = FaultPlan(seed=5)
+        for t in range(100):
+            assert plan.engine_job("bf2", "deflate", "compress",
+                                   float(t)) is NO_FAULT
+
+    def test_certain_failure(self):
+        plan = FaultPlan(seed=5, engine_fail=1.0)
+        for t in range(20):
+            d = plan.engine_job("bf2", "deflate", "compress", float(t))
+            assert d.kind == KIND_FAIL
+            assert 1 <= d.code <= 7
+
+    def test_certain_stall_carries_factor(self):
+        plan = FaultPlan(seed=5, engine_stall=1.0, stall_factor=16.0)
+        d = plan.engine_job("bf2", "deflate", "compress", 0.0)
+        assert d.kind == KIND_STALL and d.factor == 16.0
+
+    def test_certain_degrade_carries_factor(self):
+        plan = FaultPlan(seed=5, engine_degrade=1.0, degrade_factor=3.0)
+        d = plan.engine_job("bf2", "deflate", "compress", 0.0)
+        assert d.kind == KIND_DEGRADE and d.factor == 3.0
+
+    def test_mixed_rates_roughly_partition(self):
+        plan = FaultPlan(seed=5, engine_fail=0.3, engine_stall=0.3,
+                         engine_degrade=0.3)
+        kinds = [plan.engine_job("bf2", "deflate", "compress", float(t)).kind
+                 for t in range(600)]
+        for kind in (KIND_FAIL, KIND_STALL, KIND_DEGRADE):
+            frac = kinds.count(kind) / len(kinds)
+            assert 0.2 < frac < 0.4, (kind, frac)
+        assert 0.02 < kinds.count(KIND_NONE) / len(kinds) < 0.2
+
+    def test_init_fail_rate(self):
+        plan = FaultPlan(seed=5, init_fail=1.0)
+        assert plan.session_init("bf2", 0.0)
+        assert not FaultPlan(seed=5).session_init("bf2", 0.0)
+
+
+class TestCorruption:
+    def test_corrupt_output_always_differs(self):
+        payload = b"a compressed payload of reasonable length" * 8
+        plan = FaultPlan(seed=1, corrupt_output=1.0)
+        for t in range(50):
+            damaged, corrupted = plan.corrupt_engine_output(
+                "site", payload, float(t))
+            assert corrupted
+            assert damaged != payload
+
+    def test_empty_payload_never_corrupted(self):
+        plan = FaultPlan(seed=1, corrupt_output=1.0)
+        assert plan.corrupt_engine_output("site", b"", 0.0) == (b"", False)
+
+    def test_flip_bits(self):
+        out = flip_bits(b"\x00\x00", [0, 15])
+        assert out == b"\x01\x80"
+
+    def test_truncate_loses_at_least_one_byte(self):
+        assert len(truncate(b"abcdef", 6)) < 6
+        assert truncate(b"abcdef", 3) == b"abc"
+
+    def test_corrupt_buffer_deterministic_and_differs(self):
+        payload = bytes(range(200))
+        fn = lambda tag: int.from_bytes(tag.encode()[:4].ljust(4, b"x"), "big")
+        a = corrupt_buffer(payload, fn, max_bits=8)
+        b = corrupt_buffer(payload, fn, max_bits=8)
+        assert a == b
+        assert a != payload
+
+
+class TestGlobalPlan:
+    def test_default_is_null_plan(self):
+        assert get_fault_plan() is NULL_PLAN
+        assert not NULL_PLAN.active
+
+    def test_null_plan_is_inert(self):
+        assert NULL_PLAN.engine_job("d", "a", "c", 0.0) is NO_FAULT
+        assert not NULL_PLAN.session_init("d", 0.0)
+        assert NULL_PLAN.corrupt_engine_output("s", b"xy", 0.0) == (b"xy", False)
+
+    def test_set_and_reset(self):
+        plan = FaultPlan(seed=1)
+        previous = set_fault_plan(plan)
+        assert get_fault_plan() is plan
+        set_fault_plan(None)
+        assert get_fault_plan() is NULL_PLAN
+        set_fault_plan(previous)
+
+    def test_injecting_scopes_plan(self):
+        with injecting(seed=4, engine_fail=1.0) as plan:
+            assert get_fault_plan() is plan
+            assert plan.config.engine_fail == 1.0
+        assert get_fault_plan() is NULL_PLAN
+
+    def test_injecting_accepts_config(self):
+        cfg = FaultConfig(seed=9, init_fail=0.5)
+        with injecting(cfg) as plan:
+            assert plan.config is cfg
+
+    def test_injecting_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with injecting(seed=4):
+                raise RuntimeError("boom")
+        assert get_fault_plan() is NULL_PLAN
+
+
+class TestParseFaultSpec:
+    def test_round_trip(self):
+        cfg = parse_fault_spec("seed=42,engine_fail=1.0,stall_factor=16")
+        assert cfg == FaultConfig(seed=42, engine_fail=1.0, stall_factor=16.0)
+
+    def test_empty_tokens_skipped(self):
+        assert parse_fault_spec("seed=1,,") == FaultConfig(seed=1)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="nope"):
+            parse_fault_spec("nope=1")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ValueError):
+            parse_fault_spec("seed")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ValueError, match="engine_fail"):
+            parse_fault_spec("engine_fail=lots")
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            parse_fault_spec("engine_fail=2.0")
+
+
+def test_decision_is_fault():
+    assert not FaultDecision().is_fault
+    assert FaultDecision(KIND_FAIL).is_fault

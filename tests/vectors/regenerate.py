@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Regenerate the golden compressed-vector corpus.
+
+Run from the repository root after an *intentional* wire-format change::
+
+    PYTHONPATH=src python tests/vectors/regenerate.py
+
+Rewrites ``<case>.in`` / ``<case>.<codec>.bin`` pairs and
+``manifest.json`` (sha256 of every artifact).  The loader test
+(:mod:`tests.vectors.test_golden_vectors`) fails when current encoder
+output drifts from these files — an unintentional format change shows
+up as a diff here before it ever corrupts someone's stored data.
+
+Inputs are generated from fixed seeds, so regeneration only changes
+the ``.bin`` side unless the corpus definition itself is edited.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.algorithms.deflate import deflate_compress
+from repro.algorithms.gzip_format import gzip_compress
+from repro.algorithms.lz4 import lz4_block_compress, lz4_compress
+from repro.algorithms.sz3 import SZ3Config, sz3_compress
+from repro.algorithms.zlib_format import zlib_compress
+from repro.algorithms.zstdlite import zstdlite_compress
+
+VECTOR_DIR = Path(__file__).resolve().parent
+
+BYTE_CODECS = {
+    "deflate": deflate_compress,
+    "zlib": zlib_compress,
+    "gzip": gzip_compress,
+    "lz4b": lz4_block_compress,
+    "lz4f": lz4_compress,
+    "zstdlite": zstdlite_compress,
+}
+
+SZ3_ERROR_BOUND = 1e-3
+
+
+def byte_inputs() -> "dict[str, bytes]":
+    rng = np.random.default_rng(20260806)
+    return {
+        "text": b"PEDAL offloads compression to the BlueField C-Engine. " * 20,
+        "runs": b"\x00" * 600 + b"\x7f" * 600 + b"ab" * 150,
+        "ramp": (np.arange(1200) % 251).astype(np.uint8).tobytes(),
+        "noise": rng.bytes(900),
+    }
+
+
+def sz3_input() -> np.ndarray:
+    t = np.linspace(0.0, 12.0, 1500)
+    return (np.sin(t) + 0.25 * np.sin(6.3 * t)).astype(np.float32)
+
+
+def main() -> None:
+    manifest: dict = {
+        "format_version": 1,
+        "sz3_error_bound": SZ3_ERROR_BOUND,
+        "cases": {},
+    }
+    for case, payload in byte_inputs().items():
+        (VECTOR_DIR / f"{case}.in").write_bytes(payload)
+        entry = {
+            "input_sha256": hashlib.sha256(payload).hexdigest(),
+            "input_bytes": len(payload),
+            "artifacts": {},
+        }
+        for codec, compress in BYTE_CODECS.items():
+            blob = compress(payload)
+            (VECTOR_DIR / f"{case}.{codec}.bin").write_bytes(blob)
+            entry["artifacts"][codec] = {
+                "sha256": hashlib.sha256(blob).hexdigest(),
+                "bytes": len(blob),
+            }
+        manifest["cases"][case] = entry
+
+    field = sz3_input()
+    (VECTOR_DIR / "field.f32.in").write_bytes(field.tobytes())
+    blob = sz3_compress(field, SZ3Config(error_bound=SZ3_ERROR_BOUND))
+    (VECTOR_DIR / "field.sz3.bin").write_bytes(blob)
+    manifest["cases"]["field"] = {
+        "input_sha256": hashlib.sha256(field.tobytes()).hexdigest(),
+        "input_bytes": field.nbytes,
+        "dtype": "float32",
+        "artifacts": {
+            "sz3": {
+                "sha256": hashlib.sha256(blob).hexdigest(),
+                "bytes": len(blob),
+            }
+        },
+    }
+
+    out = VECTOR_DIR / "manifest.json"
+    out.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    total = sum(
+        len(a["artifacts"]) for a in manifest["cases"].values()
+    )
+    print(f"wrote {total} artifacts + manifest to {VECTOR_DIR}")
+
+
+if __name__ == "__main__":
+    main()
