@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Regenerate ``BENCH_PR3.json`` — the deterministic perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/regress.py            # write + gate
+    PYTHONPATH=src python benchmarks/regress.py --check    # gate only
+
+All numbers are simulated clock readings, so the file is bit-for-bit
+reproducible on any machine; ``tests/bench/test_regression_gates.py``
+enforces both the headline bands and exact agreement with this file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench import regress  # noqa: E402
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(__file__), "..", regress.DEFAULT_REPORT_PATH
+        ),
+        help="report path (default: BENCH_PR3.json at the repo root)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate the freshly collected numbers without writing the file",
+    )
+    args = parser.parse_args(argv)
+
+    report = regress.collect()
+    violations = regress.gate(report)
+    for key, value in sorted(report["headlines"].items()):
+        print(f"  {key:<40s} {value:10.4f}")
+    if violations:
+        print("REGRESSION GATE FAILED:")
+        for v in violations:
+            print(f"  - {v}")
+        return 1
+    if not args.check:
+        regress.write_report(report, os.path.normpath(args.out))
+        print(f"wrote {os.path.normpath(args.out)}")
+    print("regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

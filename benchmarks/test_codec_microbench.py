@@ -3,6 +3,9 @@
 These measure the *Python implementation's* real speed (pytest-benchmark
 statistics), which is orthogonal to the simulated DPU times: useful for
 tracking regressions in the pure-algorithm layer.
+
+``--repro-bytes`` sets the payload size (default 64 KiB), so
+``pytest benchmarks --repro-bytes=4096`` is uniformly fast.
 """
 
 import pytest
@@ -14,17 +17,22 @@ from repro.algorithms.zlib_format import zlib_compress
 from repro.algorithms.zstdlite import zstdlite_compress
 from repro.datasets import get_dataset
 
-PAYLOAD_BYTES = 64 * 1024
+DEFAULT_PAYLOAD_BYTES = 64 * 1024
 
 
 @pytest.fixture(scope="module")
-def text():
-    return get_dataset("silesia/samba").generate(PAYLOAD_BYTES)
+def payload_bytes(actual_bytes):
+    return DEFAULT_PAYLOAD_BYTES if actual_bytes is None else actual_bytes
 
 
 @pytest.fixture(scope="module")
-def floats():
-    return get_dataset("exaalt-dataset1").generate(PAYLOAD_BYTES)
+def text(payload_bytes):
+    return get_dataset("silesia/samba").generate(payload_bytes)
+
+
+@pytest.fixture(scope="module")
+def floats(payload_bytes):
+    return get_dataset("exaalt-dataset1").generate(payload_bytes)
 
 
 class TestLosslessCompress:

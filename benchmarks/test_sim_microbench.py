@@ -2,10 +2,24 @@
 
 Tracks the DES kernel's event throughput and the cost of a full
 simulated MPI exchange — the fixed overhead every experiment pays.
+
+The event/resource churn counts are payload-independent (they measure
+the kernel, not codec work); the MPI exchange honors ``--repro-bytes``
+for its real payload so ``pytest benchmarks --repro-bytes=4096`` stays
+uniformly fast.
 """
+
+import pytest
 
 from repro.mpi import CommConfig, CommMode, run_mpi
 from repro.sim import Environment, Resource
+
+DEFAULT_PAYLOAD_BYTES = 100000
+
+
+@pytest.fixture
+def payload_bytes(actual_bytes):
+    return DEFAULT_PAYLOAD_BYTES if actual_bytes is None else actual_bytes
 
 
 def _event_churn(n_events: int) -> float:
@@ -47,8 +61,8 @@ def test_resource_throughput(benchmark):
     assert benchmark(_resource_churn, 2000) == 2000
 
 
-def _pingpong_once() -> float:
-    payload = b"z" * 100000
+def _pingpong_once(n_bytes: int = DEFAULT_PAYLOAD_BYTES) -> float:
+    payload = b"z" * n_bytes
 
     def program(ctx):
         if ctx.rank == 0:
@@ -62,5 +76,5 @@ def _pingpong_once() -> float:
     return run_mpi(program, 2, "bf2", cfg).returns[0]
 
 
-def test_simulated_mpi_exchange(benchmark):
-    assert benchmark(_pingpong_once) > 0
+def test_simulated_mpi_exchange(benchmark, payload_bytes):
+    assert benchmark(_pingpong_once, payload_bytes) > 0

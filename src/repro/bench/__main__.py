@@ -38,7 +38,7 @@ from repro import obs
 from repro.bench.harness import run_experiment
 from repro.faults import FaultPlan, parse_fault_spec, set_fault_plan
 
-_ALL = ["table4", "table5", "fig7", "fig8", "fig9", "fig10", "fig11"]
+_ALL = ["table4", "table5", "fig7", "fig8", "fig9", "fig10", "fig11", "sched"]
 
 log = obs.get_logger("bench")
 
@@ -58,6 +58,15 @@ def main(argv: "list[str] | None" = None) -> int:
         type=int,
         default=None,
         help="synthetic payload budget per dataset (default per experiment)",
+    )
+    parser.add_argument(
+        "--pipeline-depth",
+        type=int,
+        default=None,
+        help=(
+            "C-Engine work-queue depth for the 'sched' experiment "
+            "(1 = serial; default measures depths 1, 2, 4)"
+        ),
     )
     parser.add_argument(
         "--trace",
@@ -122,6 +131,8 @@ def main(argv: "list[str] | None" = None) -> int:
             kwargs = {}
             if args.actual_bytes is not None:
                 kwargs["actual_bytes"] = args.actual_bytes
+            if name == "sched" and args.pipeline_depth is not None:
+                kwargs["pipeline_depths"] = (1, args.pipeline_depth)
             started = time.time()
             result = run_experiment(name, **kwargs)
             results.append(result)

@@ -6,6 +6,7 @@ from repro.bench.experiments import (  # noqa: F401
     fig9_lossy_breakdown,
     fig10_pt2pt,
     fig11_bcast,
+    sched_pipeline,
     table4_datasets,
     table5_ratios,
 )
@@ -16,6 +17,7 @@ __all__ = [
     "fig9_lossy_breakdown",
     "fig10_pt2pt",
     "fig11_bcast",
+    "sched_pipeline",
     "table4_datasets",
     "table5_ratios",
 ]

@@ -1,0 +1,183 @@
+"""Deterministic perf-regression harness (``BENCH_PR3.json``).
+
+The simulation is fully deterministic: every sim-clock number below is
+a pure function of the cost model and the scheduler, independent of the
+host machine and of the *actual* payload size (the real codec bytes
+only affect ratios, which this harness deliberately excludes).  That
+makes an exact trajectory file possible: ``benchmarks/regress.py``
+writes the headline numbers to ``BENCH_PR3.json`` at the repo root, and
+``tests/bench/test_regression_gates.py`` re-runs the same experiments
+and asserts (a) the recorded values are *bit-for-bit reproduced* and
+(b) the headline bands the reproduction stands on still hold:
+
+* PEDAL beats the naive per-message flow by a wide factor (Fig. 7);
+* the BF3 C-Engine beats BF2's on DEFLATE decompression (Fig. 8);
+* the pipelined work queue (depth >= 2) beats serial submission on
+  every engine-capable PPAR grid point, with the queue actually
+  reaching its configured depth.
+
+Future PRs that change the cost model or the scheduler must regenerate
+the file (``python benchmarks/regress.py``) — the diff then *is* the
+perf trajectory, reviewed like any other artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro import obs
+from repro.bench.harness import run_naive_roundtrip, run_pedal_roundtrip
+from repro.core.parallel import ParallelCompressor, ParallelConfig
+from repro.datasets import get_dataset
+from repro.dpu.device import make_device
+from repro.dpu.specs import Direction
+from repro.sim import Environment
+
+__all__ = ["collect", "gate", "write_report", "load_report",
+           "BANDS", "DEFAULT_REPORT_PATH", "SCHEMA"]
+
+SCHEMA = 1
+DEFAULT_REPORT_PATH = "BENCH_PR3.json"
+
+# Small real payloads: the sim-clock headlines are independent of the
+# actual byte budget, so the harness stays fast.
+_ACTUAL_BYTES = 8 * 1024
+_NOMINAL = 48.85e6
+_ROUNDTRIP_DATASET = "silesia/xml"   # the paper's 5.1 MB grid point
+_PPAR_DATASET = "silesia/mozilla"
+_PPAR_CHUNKS = 8
+_PPAR_DEPTH = 2
+
+# Headline bands: (floor, ceiling) — None = unbounded on that side.
+# Floors are deliberately loose versions of the paper's factors; the
+# exact-trajectory check in the gate test is the tight screw.
+BANDS: dict[str, tuple[float | None, float | None]] = {
+    # Fig. 7: DOCA init + buffer prep dominate the naive flow.
+    "pedal_vs_naive_deflate_xml": (5.0, None),
+    # Fig. 8: the BF3 engine generation is faster at decompression.
+    "bf3_vs_bf2_engine_decompress": (1.0, None),
+    # Tentpole: pipelining must strictly beat serial submission.
+    "pipelined_vs_serial_bf2_compress": (1.0, None),
+    "pipelined_vs_serial_bf2_decompress": (1.0, None),
+    "pipelined_vs_serial_bf3_decompress": (1.0, None),
+    # The bounded queue actually fills to its configured depth.
+    "sched_occupancy_max": (float(_PPAR_DEPTH), None),
+}
+
+
+def _ppar_run(device_kind: str, direction: Direction, depth: int,
+              actual_bytes: int, container: bytes | None = None):
+    env = Environment()
+    device = make_device(env, device_kind)
+    pc = ParallelCompressor(
+        device, ParallelConfig(n_chunks=_PPAR_CHUNKS, pipeline_depth=depth)
+    )
+    if direction is Direction.COMPRESS:
+        payload = get_dataset(_PPAR_DATASET).generate(actual_bytes)
+        proc = env.process(pc.compress(payload, _NOMINAL))
+    else:
+        proc = env.process(pc.decompress(container, _NOMINAL))
+    return env.run(until=proc)
+
+
+def collect(actual_bytes: int = _ACTUAL_BYTES) -> dict[str, Any]:
+    """Run the regression experiments; returns the report dict."""
+    headlines: dict[str, float] = {}
+    rows: dict[str, Any] = {}
+
+    # -- PEDAL vs naive (Fig. 7 factor) --------------------------------
+    pedal = run_pedal_roundtrip(
+        "bf2", "C-Engine_DEFLATE", _ROUNDTRIP_DATASET, actual_bytes=actual_bytes
+    )
+    naive = run_naive_roundtrip(
+        "bf2", "C-Engine_DEFLATE", _ROUNDTRIP_DATASET, actual_bytes=actual_bytes
+    )
+    pedal_total = pedal.compress_seconds + pedal.decompress_seconds
+    naive_total = naive.compress_seconds + naive.decompress_seconds
+    headlines["pedal_vs_naive_deflate_xml"] = naive_total / pedal_total
+    rows["roundtrip_bf2_pedal_s"] = pedal_total
+    rows["roundtrip_bf2_naive_s"] = naive_total
+
+    # -- BF2 vs BF3 engine direction (Fig. 8) --------------------------
+    bf3 = run_pedal_roundtrip(
+        "bf3", "C-Engine_DEFLATE", _ROUNDTRIP_DATASET, actual_bytes=actual_bytes
+    )
+    headlines["bf3_vs_bf2_engine_decompress"] = (
+        pedal.decompress_seconds / bf3.decompress_seconds
+    )
+    rows["decompress_bf2_engine_s"] = pedal.decompress_seconds
+    rows["decompress_bf3_engine_s"] = bf3.decompress_seconds
+
+    # -- pipelined vs serial work queue (tentpole) ---------------------
+    container = _ppar_run(
+        "bf2", Direction.COMPRESS, 1, actual_bytes
+    ).payload
+    grid = [
+        ("bf2", Direction.COMPRESS),
+        ("bf2", Direction.DECOMPRESS),
+        ("bf3", Direction.DECOMPRESS),
+    ]
+    occupancy_max = 0.0
+    for device_kind, direction in grid:
+        serial = _ppar_run(device_kind, direction, 1, actual_bytes,
+                           container=container)
+        metrics = obs.MetricsRegistry()
+        prev = obs.set_metrics(metrics)
+        try:
+            piped = _ppar_run(device_kind, direction, _PPAR_DEPTH,
+                              actual_bytes, container=container)
+        finally:
+            obs.set_metrics(prev)
+        occupancy_max = max(
+            occupancy_max, metrics.gauge("sched.occupancy").max
+        )
+        key = f"pipelined_vs_serial_{device_kind}_{direction.value}"
+        headlines[key] = serial.sim_seconds / piped.sim_seconds
+        rows[f"ppar_{device_kind}_{direction.value}_serial_s"] = serial.sim_seconds
+        rows[f"ppar_{device_kind}_{direction.value}_depth{_PPAR_DEPTH}_s"] = (
+            piped.sim_seconds
+        )
+    headlines["sched_occupancy_max"] = occupancy_max
+
+    return {
+        "schema": SCHEMA,
+        "generator": "repro.bench.regress",
+        "config": {
+            "actual_bytes": actual_bytes,
+            "nominal_bytes": _NOMINAL,
+            "ppar_chunks": _PPAR_CHUNKS,
+            "ppar_depth": _PPAR_DEPTH,
+            "roundtrip_dataset": _ROUNDTRIP_DATASET,
+            "ppar_dataset": _PPAR_DATASET,
+        },
+        "headlines": headlines,
+        "rows": rows,
+    }
+
+
+def gate(report: dict[str, Any]) -> list[str]:
+    """Check every headline band; returns the list of violations."""
+    violations = []
+    headlines = report.get("headlines", {})
+    for key, (floor, ceiling) in BANDS.items():
+        if key not in headlines:
+            violations.append(f"{key}: missing from report")
+            continue
+        value = headlines[key]
+        if floor is not None and value < floor:
+            violations.append(f"{key}: {value:.6g} below floor {floor:.6g}")
+        if ceiling is not None and value > ceiling:
+            violations.append(f"{key}: {value:.6g} above ceiling {ceiling:.6g}")
+    return violations
+
+
+def write_report(report: dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path: str) -> dict[str, Any]:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)

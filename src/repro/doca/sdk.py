@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Generator, Iterable
 
 from repro.doca.buffers import BufInventory
 from repro.dpu.device import BlueFieldDPU
@@ -69,6 +69,43 @@ class DocaSession:
         with device_span("buffer.prep", self.device, what="inventory"):
             yield self.device.env.timeout(seconds)
         return BufInventory(self), seconds
+
+    def submit_many(
+        self,
+        jobs: Iterable,
+        depth: int = 2,
+        config=None,
+    ) -> Generator:
+        """Batch-submit jobs through a pipelined work queue.
+
+        ``jobs`` is an iterable of :class:`~repro.sched.EngineJob` (or
+        ``(algo, direction, nbytes)`` tuples).  The jobs flow through a
+        bounded-depth pipeline (:class:`~repro.sched.PipelineScheduler`)
+        that overlaps buffer mapping, C-Engine execution, and result
+        drain across consecutive jobs; ``depth`` bounds how many are in
+        flight at once.  Returns the :class:`~repro.sched.JobOutcome`
+        list in submission order.
+
+        SDK semantics are preserved: a job the capability matrix
+        rejects raises :class:`~repro.errors.DocaCapabilityError` up
+        front, and a job that exhausts its retry budget under an
+        installed fault plan surfaces the final DOCA error — SoC
+        fallback is the PEDAL policy layer's job.  Pass a
+        :class:`~repro.sched.SchedConfig` as ``config`` to override
+        (e.g. ``soc_fallback=True``).
+        """
+        from repro.sched import EngineJob, PipelineScheduler, SchedConfig
+
+        self.require_open()
+        if config is None:
+            config = SchedConfig(depth=depth, soc_fallback=False)
+        specs = [
+            job if isinstance(job, EngineJob) else EngineJob(*job)
+            for job in jobs
+        ]
+        scheduler = PipelineScheduler(self.device, config)
+        outcomes = yield from scheduler.submit_many(specs)
+        return outcomes
 
     def require_open(self) -> None:
         if not self._open:

@@ -6,26 +6,40 @@ that process completes; ``test`` polls without blocking.  Compression
 happens inside the spawned flow exactly as in the blocking path, so a
 rank can overlap codec/communication work across several in-flight
 messages (the C-Engine and SoC resources arbitrate contention).
+
+Requests are not limited to sends and receives: :func:`icompress`
+starts the PEDAL compression shim as its own in-flight operation (the
+prepared wire payload is the request's value, ready for
+:meth:`~repro.mpi.runtime.RankContext.send_prepared`), and
+:func:`from_ticket` wraps a pipelined C-Engine job
+(:class:`~repro.sched.JobTicket`) so ``waitall`` can await compression
+jobs and communication side by side.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator, Iterable
 
-from repro.sim.engine import Process
+from repro.sim.engine import Event
 
 if TYPE_CHECKING:
     from repro.mpi.runtime import RankContext
+    from repro.sched import JobTicket
 
-__all__ = ["Request", "waitall"]
+__all__ = ["Request", "waitall", "icompress", "from_ticket"]
 
 
 class Request:
-    """Handle to an in-flight non-blocking operation."""
+    """Handle to an in-flight non-blocking operation.
+
+    Wraps any simulation event — usually the :class:`~repro.sim.Process`
+    of a spawned send/receive flow, but equally an in-flight compression
+    (see :func:`icompress` / :func:`from_ticket`).
+    """
 
     __slots__ = ("_proc",)
 
-    def __init__(self, proc: Process) -> None:
+    def __init__(self, proc: Event) -> None:
         self._proc = proc
 
     @property
@@ -34,8 +48,10 @@ class Request:
         return self._proc.processed
 
     def wait(self) -> Generator:
-        """Block until completion; returns the received data (irecv)
-        or None (isend)."""
+        """Block until completion; returns the operation's value (the
+        received data for irecv, the prepared payload for icompress,
+        the :class:`~repro.sched.JobOutcome` for a pipeline ticket,
+        None for isend)."""
         value = yield self._proc
         return value
 
@@ -61,6 +77,37 @@ def irecv(ctx: "RankContext", source: int = -1, tag: int = -1) -> Request:
         ctx.recv(source=source, tag=tag), name=f"irecv:{ctx.rank}<-{source}"
     )
     return Request(proc)
+
+
+def icompress(
+    ctx: "RankContext", data: Any, sim_bytes: float | None = None
+) -> Request:
+    """Start the outbound compression shim as an in-flight operation.
+
+    The rank keeps computing (or communicating) while the codec work
+    runs; ``wait`` returns the prepared ``(payload, wire_bytes, meta)``
+    triple, which :meth:`~repro.mpi.runtime.RankContext.send_prepared`
+    puts on the wire without recompressing — the compress-ahead overlap
+    the pipelined C-Engine work queue exists for.
+    """
+    from repro.mpi.runtime import _default_sim_bytes
+
+    nominal = _default_sim_bytes(data) if sim_bytes is None else float(sim_bytes)
+    proc = ctx.env.process(
+        ctx.layer.outbound(data, nominal), name=f"icompress:{ctx.rank}"
+    )
+    return Request(proc)
+
+
+def from_ticket(ticket: "JobTicket") -> Request:
+    """Wrap a pipelined C-Engine job as an MPI request.
+
+    Lets a rank await in-flight work-queue jobs
+    (:meth:`~repro.sched.PipelineScheduler.submit`) with the same
+    ``wait``/``waitall`` machinery as sends and receives; the request's
+    value is the job's :class:`~repro.sched.JobOutcome`.
+    """
+    return Request(ticket.event)
 
 
 def waitall(ctx: "RankContext", requests: Iterable[Request]) -> Generator:

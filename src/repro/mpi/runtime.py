@@ -106,6 +106,26 @@ class RankContext:
                 self.rank, dest, tag, payload, wire_bytes, meta
             )
 
+    def send_prepared(
+        self, dest: int, prepared: tuple, tag: int = 0
+    ) -> Generator:
+        """Send a payload already prepared by :meth:`icompress`.
+
+        ``prepared`` is the ``(payload, wire_bytes, meta)`` triple an
+        :func:`~repro.mpi.nonblocking.icompress` request resolved to;
+        only the wire transfer is charged here — the codec work already
+        happened in flight.
+        """
+        payload, wire_bytes, meta = prepared
+        with device_span(
+            "mpi.send", self.device,
+            rank=self.rank, dest=dest, tag=tag, wire_bytes=wire_bytes,
+            prepared=True,
+        ):
+            yield from self.comm.send(
+                self.rank, dest, tag, payload, wire_bytes, meta
+            )
+
     def recv(
         self, source: int = ANY_SOURCE, tag: int = ANY_TAG
     ) -> Generator:
@@ -151,6 +171,13 @@ class RankContext:
         from repro.mpi.nonblocking import irecv
 
         return irecv(self, source=source, tag=tag)
+
+    def icompress(self, data: Any, sim_bytes: float | None = None):
+        """Start outbound compression in flight; returns a Request whose
+        value feeds :meth:`send_prepared`."""
+        from repro.mpi.nonblocking import icompress
+
+        return icompress(self, data, sim_bytes=sim_bytes)
 
     def waitall(self, requests) -> Generator:
         """MPI_Waitall over Request handles; returns their values."""

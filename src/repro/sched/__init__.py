@@ -1,0 +1,32 @@
+"""``repro.sched`` — pipelined C-Engine work-queue scheduling.
+
+The paper's PEDAL library hides DOCA overhead by keeping the C-Engine
+busy: jobs sit in a work queue and their three stages — buffer mapping
+(DMA registration), engine execution, and result drain/CRC verify —
+overlap across jobs.  :class:`PipelineScheduler` reproduces that design
+on the DES kernel with a bounded-depth slot queue and a double-buffered
+ring of DMA-mapped buffers, so a stream of chunk jobs saturates the
+engine instead of paying ``map + exec + drain`` serially per chunk.
+
+Public API
+----------
+:class:`SchedConfig`, :class:`EngineJob`, :class:`JobOutcome`,
+:class:`JobTicket`, :class:`PipelineScheduler` from
+:mod:`repro.sched.pipeline`.
+"""
+
+from repro.sched.pipeline import (
+    EngineJob,
+    JobOutcome,
+    JobTicket,
+    PipelineScheduler,
+    SchedConfig,
+)
+
+__all__ = [
+    "EngineJob",
+    "JobOutcome",
+    "JobTicket",
+    "PipelineScheduler",
+    "SchedConfig",
+]

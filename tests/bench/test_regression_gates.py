@@ -1,0 +1,90 @@
+"""Regression gates over the committed perf trajectory (BENCH_PR3.json).
+
+Two layers of protection:
+
+* **Bands** — the headline ratios the reproduction stands on (PEDAL
+  beats naive, BF3 engine beats BF2 on decompress, pipelined beats
+  serial, the work queue reaches its depth) must hold both in the
+  committed file and when recomputed from scratch.
+* **Exact trajectory** — the sim clock is deterministic, so a fresh
+  :func:`repro.bench.regress.collect` must reproduce the committed
+  numbers bit-for-bit.  Any cost-model or scheduler change shows up as
+  a diff here and requires regenerating the file
+  (``python benchmarks/regress.py``) in the same PR.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench import regress
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+REPORT_PATH = REPO_ROOT / regress.DEFAULT_REPORT_PATH
+
+
+@pytest.fixture(scope="module")
+def fresh_report():
+    return regress.collect()
+
+
+@pytest.fixture(scope="module")
+def committed_report():
+    if not REPORT_PATH.exists():
+        pytest.fail(
+            f"{regress.DEFAULT_REPORT_PATH} missing — regenerate it with "
+            f"'python benchmarks/regress.py'"
+        )
+    return regress.load_report(REPORT_PATH)
+
+
+def test_fresh_numbers_pass_bands(fresh_report):
+    assert regress.gate(fresh_report) == []
+
+
+def test_committed_report_passes_bands(committed_report):
+    assert regress.gate(committed_report) == []
+
+
+def test_committed_report_schema(committed_report):
+    assert committed_report["schema"] == regress.SCHEMA
+    assert set(regress.BANDS) <= set(committed_report["headlines"])
+
+
+def test_trajectory_is_reproduced_exactly(fresh_report, committed_report):
+    """The sim clock is deterministic: recomputed headlines and raw
+    sim-second rows must match the committed file bit-for-bit."""
+    for key, recorded in committed_report["headlines"].items():
+        assert fresh_report["headlines"][key] == pytest.approx(
+            recorded, rel=1e-12, abs=0.0
+        ), f"headline {key} drifted — regenerate BENCH_PR3.json"
+    for key, recorded in committed_report["rows"].items():
+        assert fresh_report["rows"][key] == pytest.approx(
+            recorded, rel=1e-12, abs=0.0
+        ), f"row {key} drifted — regenerate BENCH_PR3.json"
+
+
+def test_pipelined_strictly_beats_serial(fresh_report):
+    """Tentpole acceptance: >=8-chunk PPAR at depth>=2 is strictly
+    faster than serial on every engine-capable grid point."""
+    rows = fresh_report["rows"]
+    for device, direction in (
+        ("bf2", "compress"), ("bf2", "decompress"), ("bf3", "decompress")
+    ):
+        serial = rows[f"ppar_{device}_{direction}_serial_s"]
+        piped = rows[f"ppar_{device}_{direction}_depth2_s"]
+        assert piped < serial
+
+
+def test_gate_reports_violations():
+    bad = {"headlines": {key: -1.0 for key in regress.BANDS}}
+    violations = regress.gate(bad)
+    assert len(violations) == len(regress.BANDS)
+    assert all("below floor" in v for v in violations)
+
+
+def test_gate_reports_missing_headline():
+    violations = regress.gate({"headlines": {}})
+    assert all("missing" in v for v in violations)

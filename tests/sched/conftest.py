@@ -1,0 +1,37 @@
+"""Fixtures for the work-queue scheduler suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dpu.specs import Algo, Direction
+from repro.faults import NULL_PLAN, set_fault_plan
+from repro.sched import EngineJob
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_faults():
+    """Every test starts from (and restores) the no-fault plan."""
+    previous = set_fault_plan(NULL_PLAN)
+    yield
+    set_fault_plan(previous)
+
+
+@pytest.fixture
+def make_jobs():
+    """Build n DEFLATE compress jobs with distinct payloads and tags."""
+
+    def _make(n: int, sim_bytes: float = 1e6,
+              direction: Direction = Direction.COMPRESS):
+        return [
+            EngineJob(
+                Algo.DEFLATE,
+                direction,
+                sim_bytes,
+                payload=bytes([i % 251]) * 64,
+                tag=f"job-{i}",
+            )
+            for i in range(n)
+        ]
+
+    return _make

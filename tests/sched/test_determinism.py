@@ -1,0 +1,99 @@
+"""Determinism under interleaving: same seed, same simulated history."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.core.parallel import ParallelCompressor, ParallelConfig
+from repro.dpu import make_device
+from repro.faults import FaultPlan, set_fault_plan
+from repro.sched import PipelineScheduler, SchedConfig
+from repro.sim import Environment
+
+_NOMINAL = 48.85e6
+
+
+def _traced_parallel_run(seed, payload, depth=2, fault_kwargs=None):
+    """One pipelined compress under a seeded fault plan, spans recorded."""
+    plan = FaultPlan(seed=seed, **(fault_kwargs or {}))
+    tracer = obs.Tracer()
+    prev_tracer = obs.set_tracer(tracer)
+    prev_plan = set_fault_plan(plan)
+    try:
+        env = Environment()
+        device = make_device(env, "bf2")
+        pc = ParallelCompressor(
+            device, ParallelConfig(n_chunks=8, pipeline_depth=depth)
+        )
+        proc = env.process(pc.compress(payload, _NOMINAL))
+        result = env.run(until=proc)
+    finally:
+        set_fault_plan(prev_plan)
+        obs.set_tracer(prev_tracer)
+    trace = [
+        (s.name, s.sim_start, s.sim_end, tuple(sorted(s.attrs.items())))
+        for s in tracer.spans
+    ]
+    return result, trace
+
+
+class TestSameSeedSameHistory:
+    def test_identical_span_trace_fault_free(self, text_payload):
+        r1, t1 = _traced_parallel_run(0, text_payload)
+        r2, t2 = _traced_parallel_run(0, text_payload)
+        assert t1 == t2
+        assert r1.payload == r2.payload
+        assert r1.sim_seconds == r2.sim_seconds
+
+    def test_identical_span_trace_under_faults(self, text_payload):
+        kwargs = {"engine_fail": 0.4, "corrupt_output": 0.3}
+        r1, t1 = _traced_parallel_run(7, text_payload, fault_kwargs=kwargs)
+        r2, t2 = _traced_parallel_run(7, text_payload, fault_kwargs=kwargs)
+        assert len(t1) > 0
+        assert t1 == t2
+        assert r1.payload == r2.payload
+
+    def test_different_seeds_may_diverge_in_time_not_bytes(self, text_payload):
+        kwargs = {"engine_fail": 0.5}
+        ra, _ = _traced_parallel_run(1, text_payload, fault_kwargs=kwargs)
+        rb, _ = _traced_parallel_run(2, text_payload, fault_kwargs=kwargs)
+        # Different fault histories, identical artifact bytes.
+        assert ra.payload == rb.payload
+
+
+class TestSchedulerTraceShape:
+    def test_stage_spans_emitted_per_job(self, bf2, make_jobs):
+        tracer = obs.Tracer()
+        prev = obs.set_tracer(tracer)
+        try:
+            sched = PipelineScheduler(bf2, SchedConfig(depth=2))
+            proc = bf2.env.process(sched.submit_many(make_jobs(5)))
+            bf2.env.run(until=proc)
+        finally:
+            obs.set_tracer(prev)
+        names = [s.name for s in tracer.spans]
+        assert names.count("sched.map") == 5
+        assert names.count("sched.exec") == 5
+        assert names.count("sched.drain") == 5
+
+    def test_exec_stages_overlap_map_stages(self, bf2, make_jobs):
+        """Pipelining is visible in the trace: some job's map stage
+        starts while another job's exec stage is still running."""
+        tracer = obs.Tracer()
+        prev = obs.set_tracer(tracer)
+        try:
+            sched = PipelineScheduler(bf2, SchedConfig(depth=2))
+            proc = bf2.env.process(
+                sched.submit_many(make_jobs(6, sim_bytes=6e6))
+            )
+            bf2.env.run(until=proc)
+        finally:
+            obs.set_tracer(prev)
+        execs = [s for s in tracer.spans if s.name == "sched.exec"]
+        maps = [s for s in tracer.spans if s.name == "sched.map"]
+        overlaps = any(
+            m.sim_start < e.sim_end and e.sim_start < m.sim_end
+            and m.attrs.get("job") != e.attrs.get("job")
+            for e in execs
+            for m in maps
+        )
+        assert overlaps
