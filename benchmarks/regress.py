@@ -1,14 +1,18 @@
 #!/usr/bin/env python
-"""Regenerate ``BENCH_PR3.json`` — the deterministic perf trajectory.
+"""Regenerate the deterministic perf trajectories.
+
+``BENCH_PR3.json`` carries the core-runtime headlines (PEDAL vs naive,
+BF-3 vs BF-2 engine, pipelined vs serial work queue); ``BENCH_PR4.json``
+carries the serving-layer offered-load vs goodput/p99 curves.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/regress.py            # write + gate
     PYTHONPATH=src python benchmarks/regress.py --check    # gate only
 
-All numbers are simulated clock readings, so the file is bit-for-bit
+All numbers are simulated clock readings, so the files are bit-for-bit
 reproducible on any machine; ``tests/bench/test_regression_gates.py``
-enforces both the headline bands and exact agreement with this file.
+enforces both the headline bands and exact agreement with these files.
 """
 
 from __future__ import annotations
@@ -24,32 +28,41 @@ from repro.bench import regress  # noqa: E402
 
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    repo_root = os.path.join(os.path.dirname(__file__), "..")
     parser.add_argument(
         "--out",
-        default=os.path.join(
-            os.path.dirname(__file__), "..", regress.DEFAULT_REPORT_PATH
-        ),
-        help="report path (default: BENCH_PR3.json at the repo root)",
+        default=os.path.join(repo_root, regress.DEFAULT_REPORT_PATH),
+        help="core report path (default: BENCH_PR3.json at the repo root)",
+    )
+    parser.add_argument(
+        "--serve-out",
+        default=os.path.join(repo_root, regress.DEFAULT_SERVE_REPORT_PATH),
+        help="serve report path (default: BENCH_PR4.json at the repo root)",
     )
     parser.add_argument(
         "--check",
         action="store_true",
-        help="gate the freshly collected numbers without writing the file",
+        help="gate the freshly collected numbers without writing the files",
     )
     args = parser.parse_args(argv)
 
-    report = regress.collect()
-    violations = regress.gate(report)
-    for key, value in sorted(report["headlines"].items()):
-        print(f"  {key:<40s} {value:10.4f}")
+    violations = []
+    for label, collect, gate, out in (
+        ("core", regress.collect, regress.gate, args.out),
+        ("serve", regress.collect_serve, regress.gate_serve, args.serve_out),
+    ):
+        report = collect()
+        violations += gate(report)
+        for key, value in sorted(report["headlines"].items()):
+            print(f"  {key:<48s} {value:12.6g}")
+        if not violations and not args.check:
+            regress.write_report(report, os.path.normpath(out))
+            print(f"wrote {os.path.normpath(out)}")
     if violations:
         print("REGRESSION GATE FAILED:")
         for v in violations:
             print(f"  - {v}")
         return 1
-    if not args.check:
-        regress.write_report(report, os.path.normpath(args.out))
-        print(f"wrote {os.path.normpath(args.out)}")
     print("regression gate passed")
     return 0
 

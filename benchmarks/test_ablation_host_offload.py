@@ -59,3 +59,50 @@ def test_host_offload_crossover(benchmark):
     )
     predicted = engine.predicted_crossover_bytes("C-Engine_DEFLATE")
     assert SIZES[0] < predicted < SIZES[-1]
+
+
+def _zlib_roundtrips():
+    """HOST_ONLY zlib compress+decompress breakdowns across the sweep."""
+    from repro.host.offload import PHASE_HEADER
+
+    env = Environment()
+    engine = HostOffloadEngine(
+        HostNode(env, HOST_XEON), make_device(env, "bf2"), PCIE_GEN4_X16
+    )
+    env.run(until=env.process(engine.init()))
+    payload = get_dataset("silesia/mozilla").generate(48 * 1024)
+
+    rows = []
+    for nominal in SIZES:
+        proc = env.process(
+            engine.compress(payload, "SoC_zlib", OffloadPath.HOST_ONLY, nominal)
+        )
+        comp = env.run(until=proc)
+        proc = env.process(
+            engine.decompress(comp.message, OffloadPath.HOST_ONLY, nominal)
+        )
+        _, dec_breakdown = env.run(until=proc)
+        rows.append(
+            (
+                nominal,
+                comp.breakdown.get(PHASE_HEADER),
+                dec_breakdown.get(PHASE_HEADER),
+                comp.sim_seconds,
+            )
+        )
+    return rows
+
+
+def test_host_zlib_checksum_symmetry(benchmark):
+    """The zlib adler32/header charge is visible, direction-symmetric,
+    and linear in the nominal size at every grid point."""
+    rows = benchmark.pedantic(_zlib_roundtrips, rounds=1, iterations=1)
+    for nominal, comp_header, dec_header, total in rows:
+        assert comp_header > 0
+        assert abs(comp_header - dec_header) <= 1e-15 * max(comp_header, 1.0)
+        assert comp_header < total  # a component, never the whole bill
+    # Linear scaling with nominal bytes across the sweep.
+    base_nominal, base_header = rows[0][0], rows[0][1]
+    for nominal, comp_header, _, _ in rows[1:]:
+        expected = base_header * (nominal / base_nominal)
+        assert abs(comp_header - expected) <= 1e-9 * expected

@@ -22,6 +22,7 @@ Subpackages
 ``repro.core``        the PEDAL library itself,
 ``repro.mpi``         simulated MPICH with the PEDAL shim,
 ``repro.host``        host-offload deployment scenario (paper §VI),
+``repro.serve``       multi-DPU serving gateway (batching + backpressure),
 ``repro.datasets``    synthetic Table IV corpora,
 ``repro.bench``       experiment harness for every table/figure.
 """
@@ -34,6 +35,7 @@ from repro.core import ALL_DESIGNS, CompressionDesign, PedalContext, design
 from repro.dpu import BLUEFIELD2, BLUEFIELD3, make_device
 from repro.errors import ReproError
 from repro.mpi import CommConfig, CommMode, RankContext, run_mpi
+from repro.serve import ServeConfig, ServeGateway, ServeRequest
 from repro.sim import Environment
 
 __version__ = "1.0.0"
@@ -50,6 +52,9 @@ __all__ = [
     "RankContext",
     "ReproError",
     "SZ3Config",
+    "ServeConfig",
+    "ServeGateway",
+    "ServeRequest",
     "__version__",
     "deflate_compress",
     "deflate_decompress",

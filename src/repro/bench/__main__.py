@@ -38,7 +38,8 @@ from repro import obs
 from repro.bench.harness import run_experiment
 from repro.faults import FaultPlan, parse_fault_spec, set_fault_plan
 
-_ALL = ["table4", "table5", "fig7", "fig8", "fig9", "fig10", "fig11", "sched"]
+_ALL = ["table4", "table5", "fig7", "fig8", "fig9", "fig10", "fig11", "sched",
+        "serve"]
 
 log = obs.get_logger("bench")
 

@@ -1,4 +1,4 @@
-"""Deterministic perf-regression harness (``BENCH_PR3.json``).
+"""Deterministic perf-regression harness (``BENCH_PR3.json`` / ``BENCH_PR4.json``).
 
 The simulation is fully deterministic: every sim-clock number below is
 a pure function of the cost model and the scheduler, independent of the
@@ -16,8 +16,15 @@ and asserts (a) the recorded values are *bit-for-bit reproduced* and
   every engine-capable PPAR grid point, with the queue actually
   reaching its configured depth.
 
+A second report, ``BENCH_PR4.json``, records the serving-layer
+trajectory (:mod:`repro.serve`): offered-load vs goodput/p99 curves for
+the batched and unbatched gateway over a mixed BF-2/BF-3 fleet, gated
+on the serving headlines (batching beats unbatched goodput at
+saturating load; admission keeps peak pending <= ``max_pending`` even
+at >2x overload; the capability router beats round-robin).
+
 Future PRs that change the cost model or the scheduler must regenerate
-the file (``python benchmarks/regress.py``) — the diff then *is* the
+the files (``python benchmarks/regress.py``) — the diff then *is* the
 perf trajectory, reviewed like any other artifact.
 """
 
@@ -34,11 +41,14 @@ from repro.dpu.device import make_device
 from repro.dpu.specs import Direction
 from repro.sim import Environment
 
-__all__ = ["collect", "gate", "write_report", "load_report",
-           "BANDS", "DEFAULT_REPORT_PATH", "SCHEMA"]
+__all__ = ["collect", "collect_serve", "gate", "gate_serve", "write_report",
+           "load_report", "BANDS", "SERVE_BANDS", "DEFAULT_REPORT_PATH",
+           "DEFAULT_SERVE_REPORT_PATH", "SCHEMA", "SERVE_SCHEMA"]
 
 SCHEMA = 1
 DEFAULT_REPORT_PATH = "BENCH_PR3.json"
+SERVE_SCHEMA = 1
+DEFAULT_SERVE_REPORT_PATH = "BENCH_PR4.json"
 
 # Small real payloads: the sim-clock headlines are independent of the
 # actual byte budget, so the harness stays fast.
@@ -63,6 +73,26 @@ BANDS: dict[str, tuple[float | None, float | None]] = {
     "pipelined_vs_serial_bf3_decompress": (1.0, None),
     # The bounded queue actually fills to its configured depth.
     "sched_occupancy_max": (float(_PPAR_DEPTH), None),
+}
+
+
+# Serving-layer sweep (BENCH_PR4.json).  The top rate is >2x the
+# unbatched fleet's engine capacity (~7.3k req/s on two BF-2s), so it
+# doubles as the overload point for the bounded-queue gate.
+_SERVE_LOADS_REQ_S = (2_000, 6_000, 12_000, 24_000)
+_SERVE_BATCH_MSGS = 8
+_SERVE_MAX_PENDING = 64
+
+SERVE_BANDS: dict[str, tuple[float | None, float | None]] = {
+    # Batching amortizes the per-job engine overhead: at the unbatched
+    # saturation point it must deliver strictly more goodput.
+    "serve_batched_vs_unbatched_goodput_at_saturation": (1.0, None),
+    # Backpressure: pending requests stay bounded at >2x overload.
+    "serve_unbatched_peak_pending_overload": (None, float(_SERVE_MAX_PENDING)),
+    "serve_batched_peak_pending_overload": (None, float(_SERVE_MAX_PENDING)),
+    # Capability-aware routing keeps compress batches off BF-3's
+    # engine-less (SoC fallback) path.
+    "serve_capability_vs_round_robin_goodput": (1.0, None),
 }
 
 
@@ -156,11 +186,67 @@ def collect(actual_bytes: int = _ACTUAL_BYTES) -> dict[str, Any]:
     }
 
 
-def gate(report: dict[str, Any]) -> list[str]:
-    """Check every headline band; returns the list of violations."""
+def collect_serve(actual_bytes: int = 1024) -> dict[str, Any]:
+    """Run the serving-layer sweep; returns the BENCH_PR4 report dict.
+
+    Curves are full offered-load sweeps (goodput, p50/p99, shed and
+    peak-pending counts) for the batched and unbatched gateway; the
+    headlines condense them into the gated ratios.
+    """
+    from repro.bench.experiments.serve_gateway import run_serve_point
+
+    curves: dict[str, list[dict]] = {"unbatched": [], "batched": []}
+    for msgs, label in ((1, "unbatched"), (_SERVE_BATCH_MSGS, "batched")):
+        for load in _SERVE_LOADS_REQ_S:
+            curves[label].append(
+                run_serve_point(load, msgs, actual_bytes=actual_bytes,
+                                max_pending=_SERVE_MAX_PENDING)
+            )
+    top = max(_SERVE_LOADS_REQ_S)
+    round_robin = run_serve_point(
+        top, _SERVE_BATCH_MSGS, router="round_robin",
+        actual_bytes=actual_bytes, max_pending=_SERVE_MAX_PENDING,
+    )
+    at_top = {label: curves[label][-1] for label in curves}
+
+    headlines = {
+        "serve_batched_vs_unbatched_goodput_at_saturation": (
+            at_top["batched"]["goodput_bytes_s"]
+            / at_top["unbatched"]["goodput_bytes_s"]
+        ),
+        "serve_unbatched_peak_pending_overload": float(
+            at_top["unbatched"]["peak_pending"]
+        ),
+        "serve_batched_peak_pending_overload": float(
+            at_top["batched"]["peak_pending"]
+        ),
+        "serve_capability_vs_round_robin_goodput": (
+            at_top["batched"]["goodput_bytes_s"]
+            / round_robin["goodput_bytes_s"]
+        ),
+        "serve_unbatched_p99_overload_s": at_top["unbatched"]["p99_s"],
+        "serve_batched_p99_overload_s": at_top["batched"]["p99_s"],
+    }
+    return {
+        "schema": SERVE_SCHEMA,
+        "generator": "repro.bench.regress",
+        "config": {
+            "actual_bytes": actual_bytes,
+            "loads_req_s": list(_SERVE_LOADS_REQ_S),
+            "batch_msgs": _SERVE_BATCH_MSGS,
+            "max_pending": _SERVE_MAX_PENDING,
+        },
+        "curves": curves,
+        "round_robin_at_overload": round_robin,
+        "headlines": headlines,
+    }
+
+
+def _gate_bands(report: dict[str, Any],
+                bands: "dict[str, tuple[float | None, float | None]]") -> list[str]:
     violations = []
     headlines = report.get("headlines", {})
-    for key, (floor, ceiling) in BANDS.items():
+    for key, (floor, ceiling) in bands.items():
         if key not in headlines:
             violations.append(f"{key}: missing from report")
             continue
@@ -170,6 +256,16 @@ def gate(report: dict[str, Any]) -> list[str]:
         if ceiling is not None and value > ceiling:
             violations.append(f"{key}: {value:.6g} above ceiling {ceiling:.6g}")
     return violations
+
+
+def gate(report: dict[str, Any]) -> list[str]:
+    """Check every BENCH_PR3 headline band; returns the violations."""
+    return _gate_bands(report, BANDS)
+
+
+def gate_serve(report: dict[str, Any]) -> list[str]:
+    """Check every BENCH_PR4 headline band; returns the violations."""
+    return _gate_bands(report, SERVE_BANDS)
 
 
 def write_report(report: dict[str, Any], path: str) -> None:

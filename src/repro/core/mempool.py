@@ -7,6 +7,16 @@ mapping.  Acquiring a pooled buffer is free in simulated time; if the
 pool is exhausted (more concurrent messages than buffers) the pool
 grows, paying the full map cost for the new buffer — a *pool miss*,
 counted in the statistics.
+
+The pool enforces the acquire/release lifecycle: every buffer handed
+out is tracked in an *outstanding* set until it comes back, so a double
+``release()`` (which would put the same buffer on the free list twice
+and hand it to two concurrent acquirers) and a release of a buffer the
+pool never issued (a *foreign* buffer) both raise
+:class:`~repro.errors.PoolLifecycleError` instead of silently
+corrupting ``_free``.  ``drain()`` likewise refuses to tear the pool
+down while buffers are outstanding — resetting the totals under a live
+acquirer would leak the buffer out of the unmapped-tracking.
 """
 
 from __future__ import annotations
@@ -15,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Generator
 
 from repro.doca.buffers import BufInventory, DocaBuffer
+from repro.errors import PoolLifecycleError
 from repro.obs import device_span, get_metrics
 
 __all__ = ["MemoryPool", "PoolStats"]
@@ -41,6 +52,8 @@ class MemoryPool:
     buffer_bytes: int
     stats: PoolStats = field(default_factory=PoolStats)
     _free: list[DocaBuffer] = field(default_factory=list)
+    # Buffers handed to an acquirer and not yet released (identity set).
+    _outstanding: "dict[int, DocaBuffer]" = field(default_factory=dict)
     _total: int = 0
 
     @property
@@ -50,6 +63,11 @@ class MemoryPool:
     @property
     def free_buffers(self) -> int:
         return len(self._free)
+
+    @property
+    def outstanding_buffers(self) -> int:
+        """Buffers currently acquired and not yet released."""
+        return len(self._outstanding)
 
     def prewarm(self, count: int) -> Generator:
         """Map ``count`` buffers up front; returns total mapping seconds.
@@ -77,7 +95,9 @@ class MemoryPool:
             self.stats.hits += 1
             if metrics.recording:
                 metrics.inc("mempool.hits")
-            return self._free.pop()
+            buf = self._free.pop()
+            self._outstanding[id(buf)] = buf
+            return buf
         # Pool miss: map a fresh buffer at full cost.
         self.stats.misses += 1
         if metrics.recording:
@@ -90,16 +110,41 @@ class MemoryPool:
             buf = yield from self.inventory.map_buffer(self.buffer_bytes)
         self.stats.grow_seconds += buf.map_seconds
         self._total += 1
+        self._outstanding[id(buf)] = buf
         return buf
 
     def release(self, buf: DocaBuffer) -> None:
-        """Return a buffer to the pool for reuse."""
+        """Return a buffer to the pool for reuse.
+
+        Raises :class:`~repro.errors.PoolLifecycleError` when ``buf`` is
+        not currently outstanding — a double release (the buffer already
+        went back to ``_free``) or a foreign buffer this pool never
+        issued.  Either would let one buffer be handed to two acquirers.
+        """
         if not buf.is_live:
             raise ValueError("released buffer is no longer mapped")
+        if self._outstanding.pop(id(buf), None) is None:
+            if any(buf is free for free in self._free):
+                raise PoolLifecycleError(
+                    "double release: buffer is already on the pool free list"
+                )
+            raise PoolLifecycleError(
+                "foreign release: buffer was not acquired from this pool"
+            )
         self._free.append(buf)
 
     def drain(self) -> None:
-        """Unmap every pooled buffer (PEDAL_finalize)."""
+        """Unmap every pooled buffer (PEDAL_finalize).
+
+        Refuses while buffers are still outstanding: unmapping under a
+        live acquirer (and zeroing ``_total``) would leak the buffer out
+        of the pool's unmapped-tracking.
+        """
+        if self._outstanding:
+            raise PoolLifecycleError(
+                f"drain with {len(self._outstanding)} outstanding "
+                "buffer(s) still acquired; release them first"
+            )
         for buf in self._free:
             buf.release()
         self._free.clear()

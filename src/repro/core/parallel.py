@@ -167,8 +167,17 @@ class ParallelCompressor:
         data = b"".join(pieces)
 
         sim_total = float(len(data) if sim_bytes is None else sim_bytes)
+        # The C-Engine ingests the *compressed* stream on the decompress
+        # direction, so engine-bound chunk jobs bill on the per-chunk
+        # compressed sizes from the chunk table, scaled into the
+        # simulated domain like every other actual→sim conversion.  SoC
+        # chunks keep the uncompressed-bytes convention (that is what
+        # the SoC decompress throughputs are calibrated against).
+        scale = sim_total / len(data) if data else 1.0
+        engine_bytes = [size * scale for size in sizes]
         breakdown, n_engine, n_soc = yield from self._fan_out(
-            Direction.DECOMPRESS, n_chunks, sim_total, payloads=pieces
+            Direction.DECOMPRESS, n_chunks, sim_total, payloads=pieces,
+            engine_bytes=engine_bytes,
         )
         return ParallelResult(
             payload=data,
@@ -184,9 +193,15 @@ class ParallelCompressor:
         n_chunks: int,
         sim_total: float,
         payloads: "list[bytes] | None" = None,
+        engine_bytes: "list[float] | None" = None,
     ) -> Generator:
         """Run chunk jobs concurrently; returns (breakdown, n_engine,
         n_soc).
+
+        ``engine_bytes`` overrides the per-chunk size billed to the
+        C-Engine (the decompress direction passes the scaled compressed
+        chunk sizes here); SoC billing always uses the even
+        uncompressed split.
 
         Engine-bound chunks flow through a bounded-depth pipelined work
         queue (:class:`~repro.sched.PipelineScheduler`) that overlaps
@@ -215,11 +230,27 @@ class ParallelCompressor:
         soc_time = chunk_bytes / soc_rate
         cores = device.soc.cores.capacity
         if engine_streams:
-            engine_time = device.cal.cengine_time(Algo.DEFLATE, direction, chunk_bytes)
+            if engine_bytes is None:
+                lane_time = [
+                    k * device.cal.cengine_time(Algo.DEFLATE, direction, chunk_bytes)
+                    for k in range(n_chunks + 1)
+                ]
+            else:
+                # Heterogeneous engine billing (compressed chunk sizes):
+                # the pipelined lane's steady-state makespan is the sum
+                # of the first k chunks' exec times.
+                lane_time = [0.0]
+                for i in range(n_chunks):
+                    lane_time.append(
+                        lane_time[-1]
+                        + device.cal.cengine_time(
+                            Algo.DEFLATE, direction, engine_bytes[i]
+                        )
+                    )
             n_engine = min(
                 range(n_chunks + 1),
                 key=lambda k: max(
-                    k * engine_time, math.ceil((n_chunks - k) / cores) * soc_time
+                    lane_time[k], math.ceil((n_chunks - k) / cores) * soc_time
                 ),
             )
         else:
@@ -240,9 +271,10 @@ class ParallelCompressor:
                 EngineJob(
                     Algo.DEFLATE,
                     direction,
-                    chunk_bytes,
+                    chunk_bytes if engine_bytes is None else engine_bytes[i],
                     payload=payloads[i] if payloads is not None else None,
                     tag=i,
+                    soc_sim_bytes=None if engine_bytes is None else chunk_bytes,
                 )
                 for i in range(n_engine)
             ]

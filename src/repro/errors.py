@@ -119,6 +119,24 @@ class HeaderError(PedalError):
     """The 3-byte PEDAL message header is malformed."""
 
 
+class PoolLifecycleError(PedalError):
+    """A memory-pool buffer was released twice, released to a pool that
+    never issued it, or the pool was drained with buffers outstanding."""
+
+
+# ---------------------------------------------------------------------------
+# Serving-layer errors
+# ---------------------------------------------------------------------------
+
+class ServeError(ReproError):
+    """Base class for errors raised by the serving gateway."""
+
+
+class AdmissionError(ServeError):
+    """A request was submitted to a gateway that cannot accept it
+    (e.g. waiting on a ticket the gateway shed)."""
+
+
 # ---------------------------------------------------------------------------
 # Simulator errors
 # ---------------------------------------------------------------------------

@@ -31,6 +31,10 @@ PHASE_PCIE_H2D = "pcie_h2d"
 PHASE_PCIE_D2H = "pcie_d2h"
 PHASE_CODEC = "compression"
 PHASE_DECODEC = "decompression"
+# zlib checksum/header work on host cores — same phase name the DPU-side
+# paths use (repro.core.api/baseline), so breakdowns compare like for
+# like and the charge is visibly symmetric across directions.
+PHASE_HEADER = "header_trailer"
 
 
 class OffloadPath(str, Enum):
@@ -109,6 +113,7 @@ class HostOffloadEngine:
             seconds = self._host_codec_seconds(dsg, Direction.COMPRESS, sim_in)
             yield from self.host.run(seconds)
             breakdown.add(PHASE_CODEC, seconds)
+            yield from self._host_checksum(dsg, sim_in, breakdown)
             return OffloadResult(
                 message, path, dsg, real.original_bytes, len(message),
                 sim_out, breakdown, data_on_dpu=False,
@@ -155,6 +160,11 @@ class HostOffloadEngine:
             seconds = self._host_codec_seconds(dsg, Direction.DECOMPRESS, sim_out)
             yield from self.host.run(seconds)
             breakdown.add(PHASE_DECODEC, seconds)
+            # Mirror of the compress side: zlib's adler32 verification
+            # is charged on the decompress direction too (billed on the
+            # uncompressed bytes, the same convention both ways), so
+            # the host-vs-DPU crossover stays symmetric.
+            yield from self._host_checksum(dsg, sim_out, breakdown)
             return data, breakdown
 
         if path is OffloadPath.DPU_ROUNDTRIP:
@@ -169,15 +179,35 @@ class HostOffloadEngine:
     def _host_codec_seconds(
         self, dsg: CompressionDesign, direction: Direction, sim_bytes: float
     ) -> float:
-        """Host-core time for the design's whole pipeline."""
+        """Host-core time for the design's codec stages (checksum work
+        is charged separately by :meth:`_host_checksum` so it lands in
+        the ``header_trailer`` phase on both directions)."""
         if dsg.algo is Algo.SZ3:
             return self.host.codec_time(Algo.SZ3, direction, sim_bytes)
         core = cengine_core_algo(dsg.algo)
-        seconds = self.host.codec_time(core, direction, sim_bytes)
-        if dsg.algo is Algo.ZLIB:
-            # Host checksum work, scaled like the codecs.
-            seconds += self.dpu.cal.checksum_time(sim_bytes) / self.host.spec.perf_scale
-        return seconds
+        return self.host.codec_time(core, direction, sim_bytes)
+
+    def _host_checksum_seconds(
+        self, dsg: CompressionDesign, sim_bytes: float
+    ) -> float:
+        """zlib adler32/header time on a host core (0 for other algos).
+
+        Direction-independent by construction: the checksum streams the
+        uncompressed bytes whether it is being computed (compress) or
+        verified (decompress).
+        """
+        if dsg.algo is not Algo.ZLIB:
+            return 0.0
+        # Host checksum work, scaled like the codecs.
+        return self.dpu.cal.checksum_time(sim_bytes) / self.host.spec.perf_scale
+
+    def _host_checksum(
+        self, dsg: CompressionDesign, sim_bytes: float, breakdown: TimeBreakdown
+    ) -> Generator:
+        seconds = self._host_checksum_seconds(dsg, sim_bytes)
+        if seconds > 0.0:
+            yield from self.host.run(seconds)
+            breakdown.add(PHASE_HEADER, seconds)
 
     def predicted_crossover_bytes(self, design_spec: "str | CompressionDesign") -> float:
         """Message size where DPU_ROUNDTRIP starts beating HOST_ONLY.

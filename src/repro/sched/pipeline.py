@@ -93,17 +93,35 @@ class SchedConfig:
 
 @dataclass(frozen=True)
 class EngineJob:
-    """One unit of work for the pipeline."""
+    """One unit of work for the pipeline.
+
+    ``sim_bytes`` is the size the *C-Engine* ingests: uncompressed
+    bytes on the compress direction, compressed bytes on decompress
+    (the engine reads the compressed stream).  When the two domains
+    differ — decompress jobs — ``soc_sim_bytes`` carries the
+    uncompressed size, which is the SoC cost-model convention; the
+    work-steal lane and the drain CRC (both of which touch the
+    *decompressed* bytes) bill against it.
+    """
 
     algo: Algo
     direction: Direction
     sim_bytes: float
     payload: bytes | None = None  # real output bytes (drain CRC-verifies them)
     tag: object = None            # caller's correlation key
+    # Uncompressed size for decompress jobs (None = same as sim_bytes).
+    soc_sim_bytes: float | None = None
 
     def __post_init__(self) -> None:
         if self.sim_bytes < 0:
             raise ValueError(f"negative job size {self.sim_bytes}")
+        if self.soc_sim_bytes is not None and self.soc_sim_bytes < 0:
+            raise ValueError(f"negative SoC job size {self.soc_sim_bytes}")
+
+    @property
+    def soc_bytes(self) -> float:
+        """Bytes an SoC core processes for this job (uncompressed)."""
+        return self.sim_bytes if self.soc_sim_bytes is None else self.soc_sim_bytes
 
 
 @dataclass
@@ -356,7 +374,9 @@ class PipelineScheduler:
         if not self.config.drain_verify:
             return True
         device = self.device
-        verify = device.soc.checksum_time(job.sim_bytes)
+        # CRC runs over the job's *output* bytes: the uncompressed side
+        # for decompress jobs (soc_bytes), sim_bytes otherwise.
+        verify = device.soc.checksum_time(job.soc_bytes)
         with device_span(
             "sched.drain", device, job=index, bytes=job.sim_bytes,
         ) as span:
@@ -387,7 +407,9 @@ class PipelineScheduler:
         if metrics.recording:
             metrics.inc("sched.soc_steals")
         self.jobs_stolen += 1
-        seconds = device.soc.codec_time(job.algo, job.direction, job.sim_bytes)
+        # SoC codec throughputs are calibrated against uncompressed
+        # bytes in both directions — bill the stolen job accordingly.
+        seconds = device.soc.codec_time(job.algo, job.direction, job.soc_bytes)
         with device_span(
             "sched.exec", self.device,
             job=index, engine="soc", steal_reason=reason,

@@ -1,0 +1,60 @@
+"""``repro.serve`` — a multi-DPU serving gateway (batching + backpressure).
+
+The deployment-shaped layer above :mod:`repro.sched`: an async request
+gateway fronting a *fleet* of simulated BlueField devices on one sim
+clock.  Small requests coalesce into batches (amortizing the C-Engine's
+fixed per-job overhead, the ZipLine argument the paper's §V-B overhead
+numbers imply), batches shard across the fleet under a pluggable
+routing policy, and a bounded admission queue sheds overload instead of
+growing tails without bound.
+
+Quick tour::
+
+    from repro import Environment, make_device
+    from repro.serve import ServeGateway, ServeRequest
+    from repro.dpu.specs import Direction
+
+    env = Environment()
+    gw = ServeGateway(env, [make_device(env, "bf2"), make_device(env, "bf3")])
+
+    def client(env):
+        ticket = gw.submit(ServeRequest(Direction.COMPRESS, b"hello" * 1000))
+        response = yield from ticket.wait()
+        ...
+        yield from gw.drain()
+
+    env.run(until=env.process(client(env)))
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.batcher import Batch, BatchEntry, Batcher, BatchPolicy
+from repro.serve.gateway import DpuWorker, ServeConfig, ServeGateway
+from repro.serve.request import ServeRequest, ServeResponse, ServeTicket
+from repro.serve.router import (
+    ROUTERS,
+    CapabilityAwareRouter,
+    LeastQueueDepthRouter,
+    RoundRobinRouter,
+    Router,
+    make_router,
+)
+
+__all__ = [
+    "AdmissionController",
+    "Batch",
+    "BatchEntry",
+    "Batcher",
+    "BatchPolicy",
+    "CapabilityAwareRouter",
+    "DpuWorker",
+    "LeastQueueDepthRouter",
+    "ROUTERS",
+    "RoundRobinRouter",
+    "Router",
+    "ServeConfig",
+    "ServeGateway",
+    "ServeRequest",
+    "ServeResponse",
+    "ServeTicket",
+    "make_router",
+]

@@ -1,0 +1,252 @@
+"""The serving gateway: admission → batching → routing → execution.
+
+:class:`ServeGateway` fronts a fleet of simulated DPUs (mixed BF-2 /
+BF-3) sharing one sim clock.  A request's life:
+
+1. **codec** — the real DEFLATE work runs eagerly at submit time, so
+   every response's bytes are fixed before any simulated scheduling.
+   Batching, routing, device mix, and faults can only move the clock;
+   batched output is byte-identical to unbatched, per-request output.
+2. **admission** — :class:`~repro.serve.admission.AdmissionController`
+   bounds pending requests; overflow is shed with an explicit refusal
+   (backpressure, not an unbounded queue).
+3. **batching** — :class:`~repro.serve.batcher.Batcher` coalesces
+   same-direction requests to amortize the C-Engine's fixed per-job
+   overhead across messages.
+4. **routing** — a pluggable :class:`~repro.serve.router.Router` picks
+   the device; each device runs its batches through its own
+   :class:`~repro.sched.PipelineScheduler`, so engine faults, retries,
+   and SoC work-stealing behave exactly as on the single-device path.
+
+Simulated billing: a batch is one engine job whose ``sim_bytes`` is the
+sum of its members' engine-billed sizes (compressed bytes on the
+decompress direction — the C-Engine ingests the compressed stream) and
+whose ``soc_sim_bytes`` is the summed uncompressed size (the SoC /
+drain-CRC convention).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator, Sequence
+
+from repro.algorithms.deflate import DeflateConfig, deflate_compress, deflate_decompress
+from repro.dpu.specs import Algo, Direction
+from repro.obs import device_span, get_metrics
+from repro.sched import EngineJob, PipelineScheduler, SchedConfig
+from repro.serve.admission import AdmissionController
+from repro.serve.batcher import Batch, BatchEntry, Batcher, BatchPolicy
+from repro.serve.request import ServeRequest, ServeResponse, ServeTicket
+from repro.serve.router import Router, make_router
+
+if TYPE_CHECKING:
+    from repro.dpu.device import BlueFieldDPU
+    from repro.sim.engine import Environment, Event
+
+__all__ = ["ServeConfig", "DpuWorker", "ServeGateway"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Gateway policy knobs."""
+
+    batch: BatchPolicy = field(default_factory=BatchPolicy)
+    max_pending: int = 64
+    router: "str | Router" = "least_queue_depth"
+    sched: SchedConfig = field(default_factory=SchedConfig)
+    deflate: DeflateConfig | None = None
+
+
+class DpuWorker:
+    """One fleet member: a device plus its pipelined scheduler."""
+
+    __slots__ = ("device", "scheduler", "batches_served", "requests_served")
+
+    def __init__(self, device: "BlueFieldDPU", sched: SchedConfig) -> None:
+        self.device = device
+        self.scheduler = PipelineScheduler(device, sched)
+        self.batches_served = 0
+        self.requests_served = 0
+
+    @property
+    def name(self) -> str:
+        return self.device.name
+
+    @property
+    def load(self) -> int:
+        """Jobs in flight or queued at this device (router load signal)."""
+        return self.scheduler.in_flight + self.scheduler.queued
+
+    def supports(self, direction: Direction) -> bool:
+        return self.device.cengine.supports(Algo.DEFLATE, direction)
+
+
+class ServeGateway:
+    """Batching, backpressured front door for a DPU fleet."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        devices: "Sequence[BlueFieldDPU]",
+        config: ServeConfig | None = None,
+    ) -> None:
+        if not devices:
+            raise ValueError("ServeGateway needs at least one device")
+        for device in devices:
+            if device.env is not env:
+                raise ValueError(
+                    f"device {device.name} lives on a different Environment"
+                )
+        self.env = env
+        self.config = config or ServeConfig()
+        self.workers = [DpuWorker(d, self.config.sched) for d in devices]
+        self.router = make_router(self.config.router)
+        self.admission = AdmissionController(self.config.max_pending)
+        self.batcher = Batcher(env, self.config.batch, self._dispatch)
+        self._inflight: "set[Event]" = set()
+        self._auto_id = 0
+        self.submitted = 0
+        self.completed = 0
+        self.completed_sim_bytes = 0.0  # uncompressed bytes served
+        self._latencies: list[float] = []
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+
+    def submit(self, request: ServeRequest) -> ServeTicket:
+        """Offer one request; returns its ticket (``.shed`` if refused).
+
+        The real codec work happens here, before admission-shed
+        requests are turned away — shed requests cost nothing, and
+        admitted requests' output bytes are pinned down before the
+        simulation schedules anything.
+        """
+        self.submitted += 1
+        get_metrics().inc("serve.requests")
+        if not self.admission.try_admit():
+            return ServeTicket(request, None)
+        if request.req_id is None:
+            request = dataclasses.replace(request, req_id=self._auto_id)
+            self._auto_id += 1
+        entry = self._make_entry(request)
+        self._inflight.add(entry.event)
+        self.batcher.add(entry)
+        return ServeTicket(request, entry.event)
+
+    def drain(self) -> Generator:
+        """Flush partial batches and wait for every admitted request."""
+        self.batcher.flush_all()
+        while self._inflight:
+            yield self.env.all_of(list(self._inflight))
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    @property
+    def latencies(self) -> "tuple[float, ...]":
+        return tuple(self._latencies)
+
+    def latency_percentile(self, q: float) -> float:
+        """Nearest-rank percentile (``q`` in [0, 100]) of completed
+        request latencies."""
+        if not self._latencies:
+            raise ValueError("no completed requests yet")
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile {q} outside [0, 100]")
+        ordered = sorted(self._latencies)
+        rank = max(1, -(-len(ordered) * q // 100))  # ceil, 1-based
+        return ordered[int(rank) - 1]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _make_entry(self, request: ServeRequest) -> BatchEntry:
+        """Run the real codec and fix the two-domain billing sizes."""
+        if request.direction is Direction.COMPRESS:
+            output = deflate_compress(request.payload, self.config.deflate)
+            sim_in = float(
+                len(request.payload) if request.sim_bytes is None
+                else request.sim_bytes
+            )
+            engine_sim = soc_sim = sim_in
+        else:
+            output = deflate_decompress(request.payload)
+            sim_out = float(
+                len(output) if request.sim_bytes is None else request.sim_bytes
+            )
+            # The engine ingests the compressed stream on decompress;
+            # scale its actual size into the simulated domain.
+            scale = sim_out / len(output) if output else 1.0
+            engine_sim = len(request.payload) * scale
+            soc_sim = sim_out
+        return BatchEntry(
+            request=request,
+            output=output,
+            engine_sim_bytes=engine_sim,
+            soc_sim_bytes=soc_sim,
+            accepted_s=self.env.now,
+            event=self.env.event(),
+        )
+
+    def _dispatch(self, batch: Batch) -> None:
+        """Batcher flush callback: route and launch the batch."""
+        worker = self.router.pick(self.workers, batch)
+        self.env.process(
+            self._run_batch(worker, batch),
+            name=f"serve:batch:{batch.batch_id}",
+        )
+
+    def _run_batch(self, worker: DpuWorker, batch: Batch) -> Generator:
+        job = EngineJob(
+            Algo.DEFLATE,
+            batch.direction,
+            batch.engine_sim_bytes,
+            payload=batch.payload,
+            tag=batch.batch_id,
+            soc_sim_bytes=batch.soc_sim_bytes,
+        )
+        metrics = get_metrics()
+        try:
+            with device_span(
+                "serve.batch",
+                worker.device,
+                batch=batch.batch_id,
+                direction=batch.direction.value,
+                msgs=batch.size,
+                sim_bytes=batch.engine_sim_bytes,
+            ):
+                outcome = yield worker.scheduler.submit(job).event
+        except BaseException as exc:
+            # Without SoC fallback an exhausted engine job surfaces its
+            # DOCA error here; fan it out so no ticket waits forever.
+            for entry in batch.entries:
+                self.admission.complete()
+                self._inflight.discard(entry.event)
+                entry.event.fail(exc)
+            return
+        now = self.env.now
+        worker.batches_served += 1
+        worker.requests_served += batch.size
+        for entry in batch.entries:
+            response = ServeResponse(
+                req_id=entry.request.req_id,
+                direction=batch.direction,
+                payload=entry.output,
+                device=worker.name,
+                engine=outcome.engine,
+                accepted_s=entry.accepted_s,
+                completed_s=now,
+                batch_id=batch.batch_id,
+                batch_size=batch.size,
+            )
+            self.completed += 1
+            self.completed_sim_bytes += entry.soc_sim_bytes
+            self._latencies.append(response.latency_s)
+            metrics.observe("serve.latency_s", response.latency_s)
+            self.admission.complete()
+            self._inflight.discard(entry.event)
+            entry.event.succeed(response)

@@ -1,0 +1,101 @@
+"""Pluggable batch→device sharding policies.
+
+All routers are deterministic: ties break on fleet order, so a given
+request trace always produces the same placement (and therefore the
+same sim timeline), which the regression bench depends on.
+
+``capability`` is the policy the paper's capability matrix implies:
+BF-3's C-Engine is decompress-only (Tables II/III), so a mixed BF-2/BF-3
+fleet should steer decompress batches at BF-3 (where the faster engine,
+161 µs overhead vs 1 ms, pays off) and compress batches at BF-2 — under
+the other policies a compress batch landing on BF-3 silently falls back
+to the SoC.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:
+    from repro.serve.batcher import Batch
+    from repro.serve.gateway import DpuWorker
+
+__all__ = [
+    "Router",
+    "RoundRobinRouter",
+    "LeastQueueDepthRouter",
+    "CapabilityAwareRouter",
+    "ROUTERS",
+    "make_router",
+]
+
+
+class Router:
+    """Base class: pick a worker for each flushed batch."""
+
+    name = "base"
+
+    def pick(self, workers: "Sequence[DpuWorker]", batch: "Batch") -> "DpuWorker":
+        raise NotImplementedError
+
+    @staticmethod
+    def _least_loaded(workers: "Sequence[DpuWorker]") -> "DpuWorker":
+        best = workers[0]
+        for worker in workers[1:]:
+            if worker.load < best.load:  # strict: first wins ties
+                best = worker
+        return best
+
+
+class RoundRobinRouter(Router):
+    """Cycle through the fleet regardless of load or capability."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def pick(self, workers, batch):
+        worker = workers[self._next % len(workers)]
+        self._next += 1
+        return worker
+
+
+class LeastQueueDepthRouter(Router):
+    """Send each batch to the device with the fewest jobs in flight or
+    queued (join-the-shortest-queue; first device wins ties)."""
+
+    name = "least_queue_depth"
+
+    def pick(self, workers, batch):
+        return self._least_loaded(workers)
+
+
+class CapabilityAwareRouter(Router):
+    """Least-queue-depth over the devices whose C-Engine natively
+    supports the batch's direction; the whole fleet if none does (the
+    scheduler's SoC fallback still completes the work)."""
+
+    name = "capability"
+
+    def pick(self, workers, batch):
+        capable = [w for w in workers if w.supports(batch.direction)]
+        return self._least_loaded(capable or workers)
+
+
+ROUTERS = {
+    cls.name: cls
+    for cls in (RoundRobinRouter, LeastQueueDepthRouter, CapabilityAwareRouter)
+}
+
+
+def make_router(spec: "str | Router") -> Router:
+    """Resolve a router name (or pass an instance through)."""
+    if isinstance(spec, Router):
+        return spec
+    try:
+        return ROUTERS[spec]()
+    except KeyError:
+        raise ValueError(
+            f"unknown router {spec!r} (known: {sorted(ROUTERS)})"
+        ) from None

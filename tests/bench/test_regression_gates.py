@@ -1,16 +1,19 @@
-"""Regression gates over the committed perf trajectory (BENCH_PR3.json).
+"""Regression gates over the committed perf trajectories
+(BENCH_PR3.json — core runtime; BENCH_PR4.json — serving layer).
 
 Two layers of protection:
 
 * **Bands** — the headline ratios the reproduction stands on (PEDAL
   beats naive, BF3 engine beats BF2 on decompress, pipelined beats
-  serial, the work queue reaches its depth) must hold both in the
-  committed file and when recomputed from scratch.
+  serial, the work queue reaches its depth; batched gateway goodput
+  beats unbatched at saturating load, admission bounds pending at
+  overload) must hold both in the committed files and when recomputed
+  from scratch.
 * **Exact trajectory** — the sim clock is deterministic, so a fresh
-  :func:`repro.bench.regress.collect` must reproduce the committed
-  numbers bit-for-bit.  Any cost-model or scheduler change shows up as
-  a diff here and requires regenerating the file
-  (``python benchmarks/regress.py``) in the same PR.
+  :func:`repro.bench.regress.collect` / ``collect_serve`` must
+  reproduce the committed numbers bit-for-bit.  Any cost-model or
+  scheduler change shows up as a diff here and requires regenerating
+  the files (``python benchmarks/regress.py``) in the same PR.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from repro.bench import regress
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 REPORT_PATH = REPO_ROOT / regress.DEFAULT_REPORT_PATH
+SERVE_REPORT_PATH = REPO_ROOT / regress.DEFAULT_SERVE_REPORT_PATH
 
 
 @pytest.fixture(scope="module")
@@ -38,6 +42,21 @@ def committed_report():
             f"'python benchmarks/regress.py'"
         )
     return regress.load_report(REPORT_PATH)
+
+
+@pytest.fixture(scope="module")
+def fresh_serve_report():
+    return regress.collect_serve()
+
+
+@pytest.fixture(scope="module")
+def committed_serve_report():
+    if not SERVE_REPORT_PATH.exists():
+        pytest.fail(
+            f"{regress.DEFAULT_SERVE_REPORT_PATH} missing — regenerate it "
+            f"with 'python benchmarks/regress.py'"
+        )
+    return regress.load_report(SERVE_REPORT_PATH)
 
 
 def test_fresh_numbers_pass_bands(fresh_report):
@@ -88,3 +107,74 @@ def test_gate_reports_violations():
 def test_gate_reports_missing_headline():
     violations = regress.gate({"headlines": {}})
     assert all("missing" in v for v in violations)
+
+
+# ---------------------------------------------------------------------------
+# Serving-layer trajectory (BENCH_PR4.json)
+# ---------------------------------------------------------------------------
+
+def test_serve_fresh_numbers_pass_bands(fresh_serve_report):
+    assert regress.gate_serve(fresh_serve_report) == []
+
+
+def test_serve_committed_report_passes_bands(committed_serve_report):
+    assert regress.gate_serve(committed_serve_report) == []
+
+
+def test_serve_committed_report_schema(committed_serve_report):
+    assert committed_serve_report["schema"] == regress.SERVE_SCHEMA
+    assert set(regress.SERVE_BANDS) <= set(committed_serve_report["headlines"])
+    assert set(committed_serve_report["curves"]) == {"batched", "unbatched"}
+
+
+def test_serve_trajectory_is_reproduced_exactly(
+    fresh_serve_report, committed_serve_report
+):
+    """Same determinism screw as the core report: the committed curves
+    must come back bit-for-bit."""
+    for key, recorded in committed_serve_report["headlines"].items():
+        assert fresh_serve_report["headlines"][key] == pytest.approx(
+            recorded, rel=1e-12, abs=0.0
+        ), f"serve headline {key} drifted — regenerate BENCH_PR4.json"
+    for label, recorded_curve in committed_serve_report["curves"].items():
+        fresh_curve = fresh_serve_report["curves"][label]
+        assert len(fresh_curve) == len(recorded_curve)
+        for fresh_pt, recorded_pt in zip(fresh_curve, recorded_curve):
+            for key, recorded_val in recorded_pt.items():
+                if isinstance(recorded_val, float):
+                    assert fresh_pt[key] == pytest.approx(
+                        recorded_val, rel=1e-12, abs=0.0
+                    ), f"serve curve {label}/{key} drifted"
+                else:
+                    assert fresh_pt[key] == recorded_val, (
+                        f"serve curve {label}/{key} drifted"
+                    )
+
+
+def test_serve_batched_goodput_beats_unbatched_at_saturation(fresh_serve_report):
+    """Tentpole acceptance: at the saturating (top) offered load the
+    batched gateway serves strictly more bytes per second."""
+    batched = fresh_serve_report["curves"]["batched"][-1]
+    unbatched = fresh_serve_report["curves"]["unbatched"][-1]
+    assert batched["offered_req_s"] == unbatched["offered_req_s"]
+    assert batched["goodput_bytes_s"] > unbatched["goodput_bytes_s"]
+
+
+def test_serve_queue_depth_bounded_under_overload(fresh_serve_report):
+    """Tentpole acceptance: the top sweep point is >2x the unbatched
+    fleet capacity, yet pending never exceeds the admission bound —
+    overload is shed, not queued."""
+    max_pending = fresh_serve_report["config"]["max_pending"]
+    for label in ("batched", "unbatched"):
+        top = fresh_serve_report["curves"][label][-1]
+        assert top["peak_pending"] <= max_pending
+    overload = fresh_serve_report["curves"]["unbatched"][-1]
+    assert overload["shed"] > 0  # the bound actually engaged
+
+
+def test_serve_gate_reports_violations():
+    bad = {"headlines": {key: -1.0 for key in regress.SERVE_BANDS}}
+    violations = regress.gate_serve(bad)
+    # Every floor-banded headline trips; ceiling-only ones pass at -1.
+    assert all("below floor" in v for v in violations)
+    assert violations

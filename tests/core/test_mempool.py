@@ -1,9 +1,13 @@
-"""PEDAL memory pool: prewarm, hit/miss accounting, drain."""
+"""PEDAL memory pool: prewarm, hit/miss accounting, drain, lifecycle."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.mempool import MemoryPool
 from repro.doca import DocaSession
+from repro.errors import PoolLifecycleError
+from repro.sim import Environment
 
 
 @pytest.fixture
@@ -68,3 +72,79 @@ class TestDrain:
         assert pool.total_buffers == 0
         assert pool.free_buffers == 0
         assert pool.inventory.n_buffers == 0
+
+
+class TestLifecycle:
+    """Regression suite for the release/drain lifecycle bugs: a double
+    release used to re-append the buffer to the free list (the next two
+    acquisitions then aliased one DMA mapping), a foreign buffer could
+    be laundered into any pool, and drain silently unmapped buffers
+    still in use."""
+
+    def test_double_release_rejected(self, env, pool, run_sim):
+        buf = run_sim(env, pool.acquire())
+        pool.release(buf)
+        before = pool.free_buffers
+        with pytest.raises(PoolLifecycleError, match="double release"):
+            pool.release(buf)
+        assert pool.free_buffers == before  # free list not corrupted
+
+    def test_foreign_release_rejected(self, env, bf2, pool, run_sim):
+        session = DocaSession(bf2)
+        run_sim(env, session.open())
+        inventory, _ = run_sim(env, session.create_inventory())
+        other = MemoryPool(inventory, buffer_bytes=1 << 20)
+        foreign = run_sim(env, other.acquire())
+        with pytest.raises(PoolLifecycleError, match="foreign release"):
+            pool.release(foreign)
+        other.release(foreign)  # still releasable to its real owner
+
+    def test_drain_with_outstanding_rejected(self, env, pool, run_sim):
+        buf = run_sim(env, pool.acquire())
+        with pytest.raises(PoolLifecycleError, match="outstanding"):
+            pool.drain()
+        assert buf.is_live  # refused drain must not unmap in-use buffers
+        pool.release(buf)
+        pool.drain()
+        assert pool.total_buffers == 0
+
+    def test_outstanding_accounting(self, env, pool, run_sim):
+        run_sim(env, pool.prewarm(2))
+        a = run_sim(env, pool.acquire())
+        b = run_sim(env, pool.acquire())
+        assert pool.outstanding_buffers == 2
+        pool.release(a)
+        assert pool.outstanding_buffers == 1
+        pool.release(b)
+        assert pool.outstanding_buffers == 0
+
+    @given(ops=st.lists(st.sampled_from(["acquire", "release"]),
+                        max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_random_schedules_preserve_invariants(self, ops):
+        """Property: under any acquire/release interleaving the pool's
+        counters balance and every buffer is either free or outstanding
+        — never both, never neither."""
+        env = Environment()
+
+        def scenario(env):
+            from repro.dpu.device import make_device
+            session = DocaSession(make_device(env, "bf2"))
+            yield from session.open()
+            inventory, _ = yield from session.create_inventory()
+            pool = MemoryPool(inventory, buffer_bytes=4096)
+            held = []
+            for op in ops:
+                if op == "acquire":
+                    held.append((yield from pool.acquire()))
+                elif held:
+                    pool.release(held.pop())
+                assert pool.outstanding_buffers == len(held)
+                assert (pool.free_buffers + pool.outstanding_buffers
+                        == pool.total_buffers)
+            for buf in held:
+                pool.release(buf)
+            pool.drain()
+            assert pool.total_buffers == 0
+
+        env.run(until=env.process(scenario(env)))

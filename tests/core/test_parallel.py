@@ -153,3 +153,66 @@ class TestSimulatedSpeedup:
         assert comp.chunks_on_engine == 0  # BF3 engine cannot compress
         dec = run_sim(env, pc.decompress(comp.payload, self.NOMINAL))
         assert dec.chunks_on_engine >= 1  # ...but can decompress
+
+
+class TestDecompressEngineBilling:
+    """Regression suite for the decompress billing bug: engine-bound
+    chunk jobs used to bill the even *uncompressed* split, but the
+    C-Engine ingests the *compressed* stream on the decompress
+    direction — the same convention PedalContext and the raw-time bench
+    already used.  SoC chunks keep the uncompressed convention (their
+    throughputs are calibrated against it)."""
+
+    NOMINAL = 48.85e6
+    N = 8
+
+    def _decompress_time(self, device, run_sim, payload):
+        env = device.env
+        pc = ParallelCompressor(device, ParallelConfig(n_chunks=self.N))
+        comp = run_sim(env, pc.compress(payload, self.NOMINAL))
+        dec = run_sim(env, pc.decompress(comp.payload, self.NOMINAL))
+        assert dec.chunks_on_engine == self.N  # all-engine on the fast lane
+        return dec.sim_seconds, comp.payload
+
+    def test_billing_tracks_compressed_bytes(self, bf3, run_sim):
+        """Two payloads with identical uncompressed (nominal) size but
+        very different ratios must cost the engine differently —
+        before the fix both billed the same even uncompressed split."""
+        from repro.datasets import get_dataset
+
+        dense = get_dataset("silesia/mozilla").generate(8 * 1024)
+        sparse = bytes(8 * 1024)  # zeros: compresses ~100x smaller
+        t_dense, c_dense = self._decompress_time(bf3, run_sim, dense)
+        t_sparse, c_sparse = self._decompress_time(bf3, run_sim, sparse)
+        assert len(c_sparse) < len(c_dense) / 10
+        assert t_sparse < t_dense
+
+    def test_engine_exec_matches_compressed_size_model(self, bf3, run_sim):
+        """The serial (depth-1) all-engine decompress lane's span must
+        match the cost model applied to the scaled compressed chunk
+        sizes exactly."""
+        import struct
+
+        from repro.dpu.specs import Algo, Direction
+
+        env = bf3.env
+        payload = bytes(range(256)) * 32
+        pc = ParallelCompressor(
+            bf3, ParallelConfig(n_chunks=self.N, pipeline_depth=1)
+        )
+        comp = run_sim(env, pc.compress(payload, self.NOMINAL))
+        container = comp.payload
+        (n,) = struct.unpack_from("<I", container, 4)
+        sizes = [struct.unpack_from("<Q", container, 8 + 8 * i)[0]
+                 for i in range(n)]
+        scale = self.NOMINAL / len(payload)
+        dec = run_sim(env, pc.decompress(container, self.NOMINAL))
+        assert dec.chunks_on_engine == self.N
+        expected_exec = sum(
+            bf3.cal.cengine_time(Algo.DEFLATE, Direction.DECOMPRESS, s * scale)
+            for s in sizes
+        )
+        # Serial lane: total >= pure exec (map/drain add on top), and
+        # exec dominates, so the total sits within a small factor.
+        assert dec.sim_seconds >= expected_exec
+        assert dec.sim_seconds < expected_exec * 2.0

@@ -150,3 +150,60 @@ class TestCrossover:
 
         assert gap(crossover / 8) > 0  # host wins well below
         assert gap(crossover * 8) < 0  # offload wins well above
+
+
+class TestHostChecksumSymmetry:
+    """HOST_ONLY zlib charges its adler32/header work explicitly and
+    symmetrically: the ``header_trailer`` phase appears with the *same*
+    value on both directions (it streams the uncompressed bytes either
+    way).  Before the split the charge was folded into the codec
+    phase, where a direction asymmetry could hide unobserved."""
+
+    NOMINAL = 5.1e6
+
+    def _roundtrip(self, env, engine, run_sim, payload, design):
+        comp = run_sim(
+            env, engine.compress(payload, design, OffloadPath.HOST_ONLY, self.NOMINAL)
+        )
+        _, dec_breakdown = run_sim(
+            env, engine.decompress(comp.message, OffloadPath.HOST_ONLY, self.NOMINAL)
+        )
+        return comp.breakdown, dec_breakdown
+
+    def test_zlib_header_phase_present_and_symmetric(
+        self, env, engine, run_sim, text_payload
+    ):
+        from repro.host.offload import PHASE_CODEC, PHASE_DECODEC, PHASE_HEADER
+
+        comp_bd, dec_bd = self._roundtrip(
+            env, engine, run_sim, text_payload, "SoC_zlib"
+        )
+        charge = comp_bd.get(PHASE_HEADER)
+        assert charge > 0
+        assert dec_bd.get(PHASE_HEADER) == pytest.approx(charge, rel=1e-12)
+        # The checksum is billed once, not double-counted in the codec.
+        assert comp_bd.get(PHASE_CODEC) > 0
+        assert dec_bd.get(PHASE_DECODEC) > 0
+
+    def test_zlib_checksum_scales_with_bytes(self, env, engine, run_sim, text_payload):
+        from repro.host.offload import PHASE_HEADER
+
+        small, _ = self._roundtrip(env, engine, run_sim, text_payload, "SoC_zlib")
+        big = run_sim(
+            env,
+            engine.compress(
+                text_payload, "SoC_zlib", OffloadPath.HOST_ONLY, self.NOMINAL * 4
+            ),
+        )
+        assert big.breakdown.get(PHASE_HEADER) == pytest.approx(
+            small.get(PHASE_HEADER) * 4, rel=1e-9
+        )
+
+    def test_deflate_has_no_checksum_phase(self, env, engine, run_sim, text_payload):
+        from repro.host.offload import PHASE_HEADER
+
+        comp_bd, dec_bd = self._roundtrip(
+            env, engine, run_sim, text_payload, "C-Engine_DEFLATE"
+        )
+        assert comp_bd.get(PHASE_HEADER) == 0.0
+        assert dec_bd.get(PHASE_HEADER) == 0.0

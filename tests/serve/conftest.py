@@ -1,0 +1,52 @@
+"""Fixtures for the serving-gateway suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.deflate import deflate_compress
+from repro.dpu import make_device
+from repro.dpu.specs import Direction
+from repro.faults import NULL_PLAN, set_fault_plan
+from repro.serve import ServeRequest
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_faults():
+    previous = set_fault_plan(NULL_PLAN)
+    yield
+    set_fault_plan(previous)
+
+
+@pytest.fixture
+def fleet(env):
+    """Mixed-generation fleet on one sim clock: 2x BF-2 + 1x BF-3."""
+    return [make_device(env, kind) for kind in ("bf2", "bf2", "bf3")]
+
+
+@pytest.fixture
+def make_requests():
+    """Deterministic mixed-direction request trace."""
+
+    def _make(n: int, nominal: float = 64 * 1024):
+        requests = []
+        for i in range(n):
+            raw = (b"serve-req-%04d " % i) * 64
+            if i % 3 == 2:  # every third request is a decompress
+                requests.append(
+                    ServeRequest(
+                        Direction.DECOMPRESS,
+                        deflate_compress(raw),
+                        sim_bytes=nominal,
+                        req_id=i,
+                    )
+                )
+            else:
+                requests.append(
+                    ServeRequest(
+                        Direction.COMPRESS, raw, sim_bytes=nominal, req_id=i
+                    )
+                )
+        return requests
+
+    return _make

@@ -1,0 +1,58 @@
+"""Admission control: the bounded queue and its shed accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.serve import AdmissionController
+
+
+class TestBound:
+    def test_admits_up_to_bound_then_sheds(self):
+        admission = AdmissionController(max_pending=3)
+        assert [admission.try_admit() for _ in range(5)] == [
+            True, True, True, False, False
+        ]
+        assert admission.pending == 3
+        assert admission.accepted == 3
+        assert admission.shed == 2
+
+    def test_complete_frees_a_slot(self):
+        admission = AdmissionController(max_pending=1)
+        assert admission.try_admit()
+        assert not admission.try_admit()
+        admission.complete()
+        assert admission.try_admit()
+
+    def test_peak_pending_tracks_high_water_mark(self):
+        admission = AdmissionController(max_pending=10)
+        for _ in range(4):
+            admission.try_admit()
+        for _ in range(3):
+            admission.complete()
+        admission.try_admit()
+        assert admission.pending == 2
+        assert admission.peak_pending == 4
+
+    def test_over_complete_rejected(self):
+        admission = AdmissionController(max_pending=2)
+        with pytest.raises(RuntimeError):
+            admission.complete()
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_pending=0)
+
+
+class TestMetrics:
+    def test_shed_and_accept_counters_recorded(self):
+        with obs.collecting() as metrics:
+            admission = AdmissionController(max_pending=2)
+            for _ in range(5):
+                admission.try_admit()
+            admission.complete()
+        assert metrics.counter("serve.accepted").value == 2
+        assert metrics.counter("serve.shed").value == 3
+        assert metrics.gauge("serve.pending").max == 2
+        assert metrics.gauge("serve.pending").value == 1

@@ -1,0 +1,104 @@
+"""Routing policies: determinism, load signals, capability filtering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dpu.specs import Direction
+from repro.serve import (
+    ROUTERS,
+    CapabilityAwareRouter,
+    LeastQueueDepthRouter,
+    RoundRobinRouter,
+    Router,
+    make_router,
+)
+
+
+class FakeWorker:
+    """Minimal router-facing worker: a load number + capability set."""
+
+    def __init__(self, name, load=0, directions=(Direction.COMPRESS,
+                                                 Direction.DECOMPRESS)):
+        self.name = name
+        self.load = load
+        self._directions = set(directions)
+
+    def supports(self, direction):
+        return direction in self._directions
+
+
+class FakeBatch:
+    def __init__(self, direction=Direction.COMPRESS):
+        self.direction = direction
+
+
+class TestRoundRobin:
+    def test_cycles_through_fleet(self):
+        router = RoundRobinRouter()
+        workers = [FakeWorker("a"), FakeWorker("b"), FakeWorker("c")]
+        picks = [router.pick(workers, FakeBatch()).name for _ in range(6)]
+        assert picks == ["a", "b", "c", "a", "b", "c"]
+
+
+class TestLeastQueueDepth:
+    def test_picks_least_loaded(self):
+        workers = [FakeWorker("a", load=3), FakeWorker("b", load=1),
+                   FakeWorker("c", load=2)]
+        assert LeastQueueDepthRouter().pick(workers, FakeBatch()).name == "b"
+
+    def test_tie_breaks_on_fleet_order(self):
+        workers = [FakeWorker("a", load=2), FakeWorker("b", load=2)]
+        assert LeastQueueDepthRouter().pick(workers, FakeBatch()).name == "a"
+
+
+class TestCapabilityAware:
+    def test_filters_to_capable_devices(self):
+        """A BF-3-shaped worker (decompress-only engine) never receives
+        compress batches while an engine-capable device exists."""
+        bf2 = FakeWorker("bf2", load=9)
+        bf3 = FakeWorker("bf3", load=0, directions=(Direction.DECOMPRESS,))
+        router = CapabilityAwareRouter()
+        assert router.pick([bf2, bf3], FakeBatch(Direction.COMPRESS)) is bf2
+        # ...but decompress goes to the least-loaded capable device.
+        assert router.pick([bf2, bf3], FakeBatch(Direction.DECOMPRESS)) is bf3
+
+    def test_falls_back_to_whole_fleet(self):
+        """If nobody has the engine capability, route by load anyway —
+        the scheduler's SoC fallback still completes the work."""
+        a = FakeWorker("a", load=2, directions=())
+        b = FakeWorker("b", load=1, directions=())
+        assert CapabilityAwareRouter().pick(
+            [a, b], FakeBatch(Direction.COMPRESS)
+        ) is b
+
+
+class TestRealWorkersRoute(object):
+    def test_capability_router_on_real_fleet(self, env, fleet):
+        from repro.serve import DpuWorker
+        from repro.sched import SchedConfig
+
+        workers = [DpuWorker(device, SchedConfig()) for device in fleet]
+        router = CapabilityAwareRouter()
+        pick = router.pick(workers, FakeBatch(Direction.COMPRESS))
+        assert pick.device.spec.generation == 2  # BF-3 has no compress engine
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert set(ROUTERS) == {"round_robin", "least_queue_depth",
+                                "capability"}
+        for name in ROUTERS:
+            assert make_router(name).name == name
+
+    def test_instance_passthrough(self):
+        router = RoundRobinRouter()
+        assert make_router(router) is router
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown router"):
+            make_router("hash_ring")
+
+    def test_base_router_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Router().pick([FakeWorker("a")], FakeBatch())
