@@ -3,7 +3,9 @@
 
 ``BENCH_PR3.json`` carries the core-runtime headlines (PEDAL vs naive,
 BF-3 vs BF-2 engine, pipelined vs serial work queue); ``BENCH_PR4.json``
-carries the serving-layer offered-load vs goodput/p99 curves.
+carries the serving-layer offered-load vs goodput/p99 curves;
+``BENCH_PR5.json`` carries the path-selection crossover sweep
+(path="auto" vs the static paths).
 
 Usage::
 
@@ -40,6 +42,12 @@ def main(argv: "list[str] | None" = None) -> int:
         help="serve report path (default: BENCH_PR4.json at the repo root)",
     )
     parser.add_argument(
+        "--select-out",
+        default=os.path.join(repo_root, regress.DEFAULT_SELECT_REPORT_PATH),
+        help="path-selection report path (default: BENCH_PR5.json at the "
+             "repo root)",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="gate the freshly collected numbers without writing the files",
@@ -50,6 +58,8 @@ def main(argv: "list[str] | None" = None) -> int:
     for label, collect, gate, out in (
         ("core", regress.collect, regress.gate, args.out),
         ("serve", regress.collect_serve, regress.gate_serve, args.serve_out),
+        ("select", regress.collect_select, regress.gate_select,
+         args.select_out),
     ):
         report = collect()
         violations += gate(report)

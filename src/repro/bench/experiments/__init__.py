@@ -7,6 +7,7 @@ from repro.bench.experiments import (  # noqa: F401
     fig10_pt2pt,
     fig11_bcast,
     sched_pipeline,
+    select_crossover,
     serve_gateway,
     table4_datasets,
     table5_ratios,
@@ -19,6 +20,7 @@ __all__ = [
     "fig10_pt2pt",
     "fig11_bcast",
     "sched_pipeline",
+    "select_crossover",
     "serve_gateway",
     "table4_datasets",
     "table5_ratios",

@@ -24,6 +24,7 @@ from __future__ import annotations
 from repro.bench.harness import ExperimentResult, generate_payload, register_experiment
 from repro.dpu.device import make_device
 from repro.dpu.specs import Direction
+from repro.errors import NoLatencySamplesError
 from repro.serve import BatchPolicy, ServeConfig, ServeGateway, ServeRequest
 from repro.sim import Environment
 
@@ -47,6 +48,15 @@ COLUMNS = [
     "config", "router", "offered_req_s", "offered", "completed", "shed",
     "goodput_mb_s", "p50_ms", "p99_ms", "peak_pending",
 ]
+
+
+def _percentile_or_nan(gateway: ServeGateway, q: float) -> float:
+    """Percentile tolerant of zero completions (very low offered load
+    over a short window can finish the sweep with no samples)."""
+    try:
+        return gateway.latency_percentile(q)
+    except NoLatencySamplesError:
+        return float("nan")
 
 
 def run_serve_point(
@@ -99,9 +109,11 @@ def run_serve_point(
         "offered": n_offered,
         "completed": gateway.completed,
         "shed": gateway.admission.shed,
-        "goodput_bytes_s": gateway.completed_sim_bytes / elapsed,
-        "p50_s": gateway.latency_percentile(50),
-        "p99_s": gateway.latency_percentile(99),
+        "goodput_bytes_s": (
+            gateway.completed_sim_bytes / elapsed if elapsed > 0.0 else 0.0
+        ),
+        "p50_s": _percentile_or_nan(gateway, 50),
+        "p99_s": _percentile_or_nan(gateway, 99),
         "peak_pending": gateway.admission.peak_pending,
         "makespan_s": elapsed,
     }

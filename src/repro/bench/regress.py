@@ -41,14 +41,18 @@ from repro.dpu.device import make_device
 from repro.dpu.specs import Direction
 from repro.sim import Environment
 
-__all__ = ["collect", "collect_serve", "gate", "gate_serve", "write_report",
-           "load_report", "BANDS", "SERVE_BANDS", "DEFAULT_REPORT_PATH",
-           "DEFAULT_SERVE_REPORT_PATH", "SCHEMA", "SERVE_SCHEMA"]
+__all__ = ["collect", "collect_serve", "collect_select", "gate", "gate_serve",
+           "gate_select", "write_report", "load_report", "BANDS",
+           "SERVE_BANDS", "SELECT_BANDS", "DEFAULT_REPORT_PATH",
+           "DEFAULT_SERVE_REPORT_PATH", "DEFAULT_SELECT_REPORT_PATH",
+           "SCHEMA", "SERVE_SCHEMA", "SELECT_SCHEMA", "SELECT_TOLERANCE"]
 
 SCHEMA = 1
 DEFAULT_REPORT_PATH = "BENCH_PR3.json"
 SERVE_SCHEMA = 1
 DEFAULT_SERVE_REPORT_PATH = "BENCH_PR4.json"
+SELECT_SCHEMA = 1
+DEFAULT_SELECT_REPORT_PATH = "BENCH_PR5.json"
 
 # Small real payloads: the sim-clock headlines are independent of the
 # actual byte budget, so the harness stays fast.
@@ -93,6 +97,29 @@ SERVE_BANDS: dict[str, tuple[float | None, float | None]] = {
     # Capability-aware routing keeps compress batches off BF-3's
     # engine-less (SoC fallback) path.
     "serve_capability_vs_round_robin_goodput": (1.0, None),
+}
+
+
+# Path-selection sweep (BENCH_PR5.json).  The crossover bands are
+# factor-2 envelopes around the calibrated closed-form values (BF2
+# DEFLATE compress ~6.3 KB, decompress ~190 KB, BF3 decompress
+# ~52 KB); the exact-trajectory gate is, as always, the tight screw.
+SELECT_TOLERANCE = 0.05
+
+SELECT_BANDS: dict[str, tuple[float | None, float | None]] = {
+    # path="auto" latency <= best static path + the model's tolerance.
+    "select_auto_vs_best_static_max": (None, 1.0 + SELECT_TOLERANCE),
+    # Tables II/III: BF-3 compress must never route to its
+    # decompress-only C-Engine.
+    "select_bf3_compress_engine_picks": (None, 0.0),
+    # Paper shape: SoC wins below the crossover, C-Engine above, and
+    # the sweep brackets every capable crossover.
+    "select_paper_shape_ok": (1.0, None),
+    # Steady-state dispatch hits the memoized crossover cache.
+    "select_cache_hit_rate": (0.5, None),
+    "select_crossover_bf2_compress_bytes": (4.0e3, 16.0e3),
+    "select_crossover_bf2_decompress_bytes": (128.0e3, 512.0e3),
+    "select_crossover_bf3_decompress_bytes": (32.0e3, 128.0e3),
 }
 
 
@@ -242,6 +269,24 @@ def collect_serve(actual_bytes: int = 1024) -> dict[str, Any]:
     }
 
 
+def collect_select(actual_bytes: int = 1024) -> dict[str, Any]:
+    """Run the path-selection sweep; returns the BENCH_PR5 report dict."""
+    from repro.bench.experiments.select_crossover import _SIZES, run_select_sweep
+
+    sweep = run_select_sweep(actual_bytes=actual_bytes)
+    return {
+        "schema": SELECT_SCHEMA,
+        "generator": "repro.bench.regress",
+        "config": {
+            "actual_bytes": actual_bytes,
+            "sizes": list(_SIZES),
+            "tolerance": SELECT_TOLERANCE,
+        },
+        "rows": sweep["rows"],
+        "headlines": sweep["headlines"],
+    }
+
+
 def _gate_bands(report: dict[str, Any],
                 bands: "dict[str, tuple[float | None, float | None]]") -> list[str]:
     violations = []
@@ -266,6 +311,11 @@ def gate(report: dict[str, Any]) -> list[str]:
 def gate_serve(report: dict[str, Any]) -> list[str]:
     """Check every BENCH_PR4 headline band; returns the violations."""
     return _gate_bands(report, SERVE_BANDS)
+
+
+def gate_select(report: dict[str, Any]) -> list[str]:
+    """Check every BENCH_PR5 headline band; returns the violations."""
+    return _gate_bands(report, SELECT_BANDS)
 
 
 def write_report(report: dict[str, Any], path: str) -> None:

@@ -23,14 +23,18 @@ from dataclasses import dataclass, field
 from typing import Any, Generator
 
 from repro.core.codecs import CodecConfig, real_compress, real_decompress
-from repro.core.designs import CompressionDesign, Placement, design as lookup_design
+from repro.core.designs import CompressionDesign, Placement, parse_design_spec
 from repro.core.header import HEADER_SIZE, PedalHeader
 from repro.core.mempool import MemoryPool
 from repro.core.registry import ResolvedDesign, cengine_core_algo, resolve
 from repro.doca.sdk import DocaSession
 from repro.dpu.device import BlueFieldDPU
 from repro.dpu.specs import Algo, Direction
-from repro.errors import DocaInitError, PedalNotInitializedError
+from repro.errors import (
+    DocaInitError,
+    PedalNotInitializedError,
+    UnknownDesignError,
+)
 from repro.faults.policy import (
     EngineFallback,
     RetryPolicy,
@@ -38,9 +42,11 @@ from repro.faults.policy import (
     engine_job_with_retry,
 )
 from repro.obs import device_span, get_metrics
+from repro.select import PathDecision, PathSelector
 from repro.sim import TimeBreakdown
 
 __all__ = [
+    "PATH_AUTO",
     "PedalConfig",
     "PedalContext",
     "CompressResult",
@@ -53,10 +59,32 @@ __all__ = [
 
 # Phase names used in breakdowns (Fig. 7 / Fig. 9 legends).
 PHASE_INIT = "doca_init"
+# The adaptive-dispatch sentinel for ``path`` / ``placement`` arguments.
+PATH_AUTO = "auto"
 PHASE_PREP = "buffer_prep"
 PHASE_COMP = "compression"
 PHASE_DECOMP = "decompression"
 PHASE_HEADER = "header_trailer"
+
+
+def _coerce_path(path: "str | Placement | None") -> "str | Placement | None":
+    """Normalize a ``path`` argument: None, ``"auto"``, or a Placement."""
+    if path is None or isinstance(path, Placement):
+        return path
+    lowered = str(path).lower()
+    if lowered == PATH_AUTO:
+        return PATH_AUTO
+    try:
+        return Placement(lowered)
+    except ValueError:
+        raise UnknownDesignError(
+            f"unknown path {path!r}; expected 'auto', 'soc', or 'cengine'"
+        ) from None
+
+
+def _payload_nbytes(data: Any) -> int:
+    """Actual byte size of a payload (ndarray or bytes-like)."""
+    return data.nbytes if hasattr(data, "nbytes") else len(data)
 
 
 @dataclass(frozen=True)
@@ -116,6 +144,10 @@ class PedalContext:
         self.device = device
         self.config = config or PedalConfig()
         self.session = DocaSession(device)
+        # Cost-model dispatch for path="auto" (amortized: this context
+        # hoists DOCA init + buffer mapping, so steady-state ops carry
+        # no fixed setup cost).
+        self.selector = PathSelector(device)
         self.pool: MemoryPool | None = None
         self.init_breakdown: TimeBreakdown | None = None
         self._initialized = False
@@ -218,20 +250,68 @@ class PedalContext:
     # Compression
     # ------------------------------------------------------------------
 
+    def _select_path(
+        self,
+        algo: Algo,
+        direction: Direction,
+        sim_bytes: float,
+        stage_bytes: float | None = None,
+    ) -> PathDecision:
+        """One cost-model dispatch decision, with select.* accounting."""
+        decision = self.selector.choose(
+            algo, direction, sim_bytes,
+            amortized=True,            # this context hoisted init/buffers
+            stage_bytes=stage_bytes,
+            allow_engine=self._engine_available,
+        )
+        metrics = get_metrics()
+        if metrics.recording:
+            metrics.inc("select.decisions")
+            metrics.inc(f"select.path.{decision.path}")
+            if decision.from_cache:
+                metrics.inc("select.cache_hits")
+        return decision
+
     def compress(
         self,
         data: Any,
-        design: "str | CompressionDesign",
+        design: "str | Algo | CompressionDesign",
         sim_bytes: float | None = None,
+        path: "str | Placement | None" = None,
     ) -> Generator:
         """``PEDAL_compress``: compress ``data`` under a design.
 
         ``data`` is bytes-like (lossless designs) or a float ndarray
         (SZ3).  Returns a :class:`CompressResult` whose ``message``
         carries the 3-byte PEDAL header.
+
+        ``design`` is a full (algorithm, placement) design — an
+        instance or figure-legend label — or a *bare algorithm*
+        (``Algo`` or e.g. ``"deflate"``).  ``path`` overrides where the
+        op runs: ``"soc"`` / ``"cengine"`` / a :class:`Placement`
+        forces that path, ``"auto"`` asks the cost-model selector for
+        the cheapest capable path at this op's simulated size, and
+        ``None`` (default) keeps the design's placement — or ``"auto"``
+        when the spec was a bare algorithm.
         """
         self._require_init()
-        dsg = lookup_design(design)
+        algo, spec_placement = parse_design_spec(design)
+        mode = _coerce_path(path)
+        if mode is None:
+            mode = PATH_AUTO if spec_placement is None else spec_placement
+        sim_in_hint = float(
+            _payload_nbytes(data) if sim_bytes is None else sim_bytes
+        )
+        decision: PathDecision | None = None
+        if mode is PATH_AUTO:
+            # SZ3's measured entropy-stage size is only known after the
+            # codec runs, and the codec stream depends on the placement
+            # — so auto decides from the model's stage estimate.
+            decision = self._select_path(algo, Direction.COMPRESS, sim_in_hint)
+            placement = decision.placement
+        else:
+            placement = mode
+        dsg = CompressionDesign(algo, placement)
         resolved = resolve(self.device, dsg,
                            force_soc=not self._engine_available)
         real = real_compress(dsg, data, self.config.codecs)
@@ -247,7 +327,13 @@ class PedalContext:
             direction=Direction.COMPRESS.value,
             sim_bytes=sim_in,
             actual_bytes=real.original_bytes,
+            path_mode=PATH_AUTO if decision is not None else "forced",
         ) as span:
+            if decision is not None:
+                span.set_attr("select_crossover_bytes",
+                              decision.crossover_bytes)
+                span.set_attr("select_predicted_s",
+                              decision.predicted_seconds)
             breakdown.bind(span)
             if dsg.algo is Algo.SZ3:
                 yield from self._sim_sz3(
@@ -287,18 +373,24 @@ class PedalContext:
     def decompress(
         self,
         message: bytes,
-        placement: Placement = Placement.CENGINE,
+        placement: "str | Placement" = Placement.CENGINE,
         sim_bytes: float | None = None,
     ) -> Generator:
         """``PEDAL_decompress``: decode a PEDAL message.
 
         The header's AlgoID selects the decompressor; ``placement`` is
         the *receiver's* engine preference (subject to the same
-        capability fallback).  ``sim_bytes`` is the simulated
+        capability fallback) — or ``"auto"``, which asks the cost-model
+        selector for the cheapest capable path (decompression runs the
+        codec first, so SZ3's auto decision sees the *measured*
+        lossless-stage size).  ``sim_bytes`` is the simulated
         uncompressed size (the cost-model convention for decompression
         throughput); defaults to the actual decoded size.
         """
         self._require_init()
+        mode = _coerce_path(placement)
+        if mode is None:
+            raise UnknownDesignError("placement must not be None")
         header = PedalHeader.decode(message)
         payload = message[HEADER_SIZE:]
         breakdown = TimeBreakdown()
@@ -314,6 +406,17 @@ class PedalContext:
         sim_out = float(actual_out if sim_bytes is None else sim_bytes)
         scale = sim_out / actual_out if actual_out else 1.0
 
+        decision: PathDecision | None = None
+        if mode is PATH_AUTO:
+            decision = self._select_path(
+                algo, Direction.DECOMPRESS, sim_out,
+                stage_bytes=None if stage_bytes is None
+                else stage_bytes * scale,
+            )
+            placement = decision.placement
+        else:
+            placement = mode
+
         from repro.core.designs import CompressionDesign as _CD
 
         dsg = _CD(algo, placement)
@@ -327,7 +430,13 @@ class PedalContext:
             direction=Direction.DECOMPRESS.value,
             sim_bytes=sim_out,
             actual_bytes=actual_out,
+            path_mode=PATH_AUTO if decision is not None else "forced",
         ) as span:
+            if decision is not None:
+                span.set_attr("select_crossover_bytes",
+                              decision.crossover_bytes)
+                span.set_attr("select_predicted_s",
+                              decision.predicted_seconds)
             breakdown.bind(span)
             if algo is Algo.SZ3:
                 yield from self._sim_sz3(
@@ -516,18 +625,19 @@ def PEDAL_init(ctx: PedalContext) -> Generator:
 def PEDAL_compress(
     ctx: PedalContext,
     data: Any,
-    design: "str | CompressionDesign",
+    design: "str | Algo | CompressionDesign",
     sim_bytes: float | None = None,
+    path: "str | Placement | None" = None,
 ) -> Generator:
     """``void *PEDAL_compress(...)`` — compress a message buffer."""
-    result = yield from ctx.compress(data, design, sim_bytes)
+    result = yield from ctx.compress(data, design, sim_bytes, path=path)
     return result
 
 
 def PEDAL_decompress(
     ctx: PedalContext,
     message: bytes,
-    placement: Placement = Placement.CENGINE,
+    placement: "str | Placement" = Placement.CENGINE,
     sim_bytes: float | None = None,
 ) -> Generator:
     """``void PEDAL_decompress(...)`` — decompress a message buffer."""

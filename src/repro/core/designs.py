@@ -23,6 +23,7 @@ __all__ = [
     "LOSSLESS_DESIGNS",
     "LOSSY_DESIGNS",
     "design",
+    "parse_design_spec",
     "ALGO_IDS",
     "ALGO_FROM_ID",
 ]
@@ -103,3 +104,38 @@ def design(spec: "str | CompressionDesign") -> CompressionDesign:
             f"unknown design {spec!r}; expected one of "
             f"{sorted(d.label for d in ALL_DESIGNS)}"
         ) from None
+
+
+def parse_design_spec(
+    spec: "str | Algo | CompressionDesign",
+) -> "tuple[Algo, Placement | None]":
+    """Parse a design spec into (algorithm, requested placement).
+
+    Full designs (instances or figure-legend labels) keep their
+    placement.  A *bare algorithm* — an :class:`Algo` or its name,
+    e.g. ``"deflate"`` — returns ``placement=None``: the caller decides
+    where it runs (``PedalContext`` routes those through the
+    cost-model selector, ``path="auto"``).
+
+    >>> parse_design_spec("SoC_zlib")
+    (<Algo.ZLIB: 'zlib'>, <Placement.SOC: 'soc'>)
+    >>> parse_design_spec("deflate")
+    (<Algo.DEFLATE: 'deflate'>, None)
+    """
+    if isinstance(spec, CompressionDesign):
+        return spec.algo, spec.placement
+    if isinstance(spec, Algo):
+        return spec, None
+    if isinstance(spec, str):
+        hit = _BY_LABEL.get(spec.lower())
+        if hit is not None:
+            return hit.algo, hit.placement
+        try:
+            return Algo(spec.lower()), None
+        except ValueError:
+            pass
+    raise UnknownDesignError(
+        f"unknown design {spec!r}; expected a design label "
+        f"({sorted(d.label for d in ALL_DESIGNS)}) or a bare algorithm "
+        f"({sorted(a.value for a in Algo)})"
+    )

@@ -218,40 +218,22 @@ class ParallelCompressor:
         where each chunk actually executed.
         """
         from repro.sched import EngineJob, PipelineScheduler, SchedConfig
+        from repro.select.planning import plan_engine_chunks
 
         device = self.device
         env = device.env
         chunk_bytes = sim_total / n_chunks
         engine_streams = self._plan_engine_chunks(direction)
 
-        import math
-
         soc_rate = device.cal.soc_throughput[(Algo.DEFLATE, direction)]
-        soc_time = chunk_bytes / soc_rate
-        cores = device.soc.cores.capacity
         if engine_streams:
-            if engine_bytes is None:
-                lane_time = [
-                    k * device.cal.cengine_time(Algo.DEFLATE, direction, chunk_bytes)
-                    for k in range(n_chunks + 1)
-                ]
-            else:
-                # Heterogeneous engine billing (compressed chunk sizes):
-                # the pipelined lane's steady-state makespan is the sum
-                # of the first k chunks' exec times.
-                lane_time = [0.0]
-                for i in range(n_chunks):
-                    lane_time.append(
-                        lane_time[-1]
-                        + device.cal.cengine_time(
-                            Algo.DEFLATE, direction, engine_bytes[i]
-                        )
-                    )
-            n_engine = min(
-                range(n_chunks + 1),
-                key=lambda k: max(
-                    lane_time[k], math.ceil((n_chunks - k) / cores) * soc_time
-                ),
+            # Shared cost-model planner (repro.select): argmin of the
+            # steady-state makespan over the engine-lane chunk count,
+            # arithmetic identical to the historical inline split
+            # (BENCH_PR3.json is gated bit-for-bit on it).
+            n_engine = plan_engine_chunks(
+                device.cal, direction, n_chunks, chunk_bytes,
+                device.soc.cores.capacity, engine_bytes=engine_bytes,
             )
         else:
             n_engine = 0

@@ -137,6 +137,14 @@ class AdmissionError(ServeError):
     (e.g. waiting on a ticket the gateway shed)."""
 
 
+class NoLatencySamplesError(ServeError, ValueError):
+    """A latency percentile was requested before any request completed.
+
+    Subclasses :class:`ValueError` for backward compatibility with
+    callers that treated the empty-sample case as a value error.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Simulator errors
 # ---------------------------------------------------------------------------

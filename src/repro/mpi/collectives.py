@@ -41,9 +41,29 @@ _ALLTOALL_TAG = 0x7B06
 # MPICH's default switchover to scatter+ring-allgather broadcast.
 BCAST_LONG_MSG_BYTES = 512 * 1024
 
+# Simulated wire charge for the tiny size-agreement control message
+# auto-bcast sends when no ``sim_bytes`` hint is available (one
+# 8-byte count, MPI_Bcast's envelope convention).
+_AUTO_CTRL_SIM_BYTES = 8.0
+
+
+def _payload_nbytes(data: Any) -> int:
+    """Actual byte size of a payload (ndarray or bytes-like)."""
+    return data.nbytes if isinstance(data, np.ndarray) else len(data)
+
 
 def _split(data: Any, parts: int) -> list[Any]:
-    """Split a payload into ``parts`` roughly equal chunks."""
+    """Split a payload into ``parts`` roughly equal chunks.
+
+    When ``parts > len(data)`` the tail chunks are *empty* (b"" or
+    zero-length arrays) — deliberately so: scatter/allgather round-trip
+    them losslessly (``_join`` restores the original payload), the
+    compression shim passes zero-byte messages through uncompressed
+    below the rendezvous threshold, and a zero-byte PEDAL message
+    round-trips as a 3-byte header.  ``parts`` must be >= 1.
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
     if isinstance(data, np.ndarray):
         return [np.ascontiguousarray(c) for c in np.array_split(data, parts)]
     n = len(data)
@@ -77,11 +97,29 @@ def bcast(
     """Broadcast ``data`` from ``root``; returns it on every rank.
 
     ``algorithm``: ``"binomial"`` (tree), ``"scatter_allgather"``
-    (MPICH's long-message algorithm), or ``"auto"`` (switch on
-    ``sim_bytes`` against :data:`BCAST_LONG_MSG_BYTES`).
+    (MPICH's long-message algorithm), or ``"auto"`` (switch on the
+    message size against :data:`BCAST_LONG_MSG_BYTES`).
+
+    Auto sizing: ``sim_bytes`` decides when given.  Without it the
+    *root's actual payload size* decides (``len`` / ``nbytes``) — the
+    historical behavior treated a missing hint as zero bytes and
+    always picked binomial, silently pessimizing long messages.  Only
+    the root holds the payload, and every rank must pick the same
+    algorithm or the collective deadlocks, so the root first shares
+    its size over a tiny binomial control broadcast (charged
+    ``_AUTO_CTRL_SIM_BYTES`` on the wire); with a ``sim_bytes`` hint
+    no extra hop is needed.
     """
     if algorithm == "auto":
-        nominal = sim_bytes if sim_bytes is not None else 0
+        if sim_bytes is not None:
+            nominal = float(sim_bytes)
+        else:
+            nominal = yield from _bcast_binomial(
+                ctx,
+                float(_payload_nbytes(data)) if ctx.rank == root else None,
+                root,
+                _AUTO_CTRL_SIM_BYTES,
+            )
         algorithm = (
             "scatter_allgather"
             if nominal > BCAST_LONG_MSG_BYTES and ctx.size > 2

@@ -76,6 +76,10 @@ class SchedConfig:
     ring_buffers: int | None = None  # mapped-buffer ring; default depth + 1
     drain_verify: bool = True      # CRC-verify outputs on an SoC core
     soc_fallback: bool = True      # work-steal exhausted jobs to the SoC
+    # Steal jobs the repro.select cost model prices cheaper on an SoC
+    # core than on the engine (tiny jobs dominated by the fixed job
+    # overhead), instead of only stealing on capability/retry grounds.
+    cost_aware_steal: bool = False
     retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
@@ -199,6 +203,16 @@ class PipelineScheduler:
         self._submitted = 0
         self.jobs_completed = 0
         self.jobs_stolen = 0  # work-stolen to the SoC
+        self._selector = None  # lazy PathSelector (cost_aware_steal)
+
+    @property
+    def selector(self):
+        """The device's :class:`~repro.select.PathSelector` (lazy)."""
+        if self._selector is None:
+            from repro.select import PathSelector
+
+            self._selector = PathSelector(self.device)
+        return self._selector
 
     # ------------------------------------------------------------------
     # Submission
@@ -257,6 +271,16 @@ class PipelineScheduler:
             # Capability-matrix reject: the SoC steals the job outright.
             yield from self._soc_lane(index, job, breakdown, attempts=0,
                                       reason="capability")
+            return self._finish(index, job, "soc", 0, submitted_at, breakdown)
+
+        if self.config.cost_aware_steal and self.selector.job_engine(
+            job.algo, job.direction, job.sim_bytes, job.soc_bytes
+        ) == "soc":
+            # The calibrated cost model prices this job cheaper on an
+            # SoC core (the fixed engine-job overhead dominates tiny
+            # jobs) — steal it up front rather than occupy the queue.
+            yield from self._soc_lane(index, job, breakdown, attempts=0,
+                                      reason="cost_model")
             return self._finish(index, job, "soc", 0, submitted_at, breakdown)
 
         policy = self.config.retry

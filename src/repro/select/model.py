@@ -1,0 +1,169 @@
+"""Per-path latency prediction for one PEDAL operation.
+
+:class:`CostModel` mirrors, in closed form, exactly what
+:class:`~repro.core.api.PedalContext` charges the simulated hardware
+for each (algorithm, direction, path) — the calibrated SoC/C-Engine
+throughputs and job overheads of :mod:`repro.dpu.calibration`, the zlib
+checksum/header stream work, SZ3's hybrid entropy + lossless-stage
+split, and (when the DOCA session/buffer amortization of ``PEDAL_init``
+is *not* in effect) the naive per-op DOCA init + buffer-registration
+costs of :class:`~repro.core.baseline.NaiveCompressor`.
+
+Every path cost is affine in the payload size, ``t(n) = a + b*n``
+(the paper's linear cost model, §V), which is what makes the
+closed-form SoC-vs-C-Engine crossover of
+:class:`~repro.select.selector.PathSelector` possible.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.registry import cengine_core_algo
+from repro.dpu.specs import Algo, Direction
+
+if TYPE_CHECKING:
+    from repro.dpu.device import BlueFieldDPU
+
+__all__ = ["CostModel", "PATH_SOC", "PATH_CENGINE", "ALL_PATHS"]
+
+# Path keys — match ResolvedDesign.engine_for() / JobOutcome.engine.
+PATH_SOC = "soc"
+PATH_CENGINE = "cengine"
+ALL_PATHS = (PATH_SOC, PATH_CENGINE)
+
+
+class CostModel:
+    """Closed-form path costs for one device's calibration tables."""
+
+    def __init__(self, device: "BlueFieldDPU") -> None:
+        self.device = device
+        self.cal = device.cal
+
+    # ------------------------------------------------------------------
+    # Capabilities
+    # ------------------------------------------------------------------
+
+    def engine_capable(self, algo: Algo, direction: Direction) -> bool:
+        """True when the C-Engine path is *real* for this op — the
+        device natively runs the design's core algorithm (DEFLATE for
+        zlib; SZ3's hybrid only needs the DEFLATE stage, which falls
+        back to SoC DEFLATE when absent, so SZ3 counts as capable in
+        the hybrid sense only when the stage engine exists)."""
+        core = cengine_core_algo(algo)
+        return self.device.cengine.supports(core, direction)
+
+    def capable_paths(self, algo: Algo, direction: Direction) -> tuple[str, ...]:
+        """The paths worth dispatching to (SoC always; C-Engine when
+        the capability matrix supports the op's core algorithm)."""
+        if self.engine_capable(algo, direction):
+            return ALL_PATHS
+        return (PATH_SOC,)
+
+    # ------------------------------------------------------------------
+    # Per-path costs
+    # ------------------------------------------------------------------
+
+    def path_seconds(
+        self,
+        algo: Algo,
+        direction: Direction,
+        sim_bytes: float,
+        path: str,
+        amortized: bool = True,
+        stage_bytes: float | None = None,
+    ) -> float:
+        """Predicted sim-clock latency of one op on ``path``.
+
+        ``amortized=True`` models the PEDAL steady state (DOCA session
+        open, buffers pooled and pre-mapped); ``False`` adds the naive
+        per-op DOCA init + 2x buffer registration (engine path) or the
+        plain allocation (SoC path).  ``stage_bytes`` overrides SZ3's
+        lossless-stage size (defaults to the n/3 estimate the runtime
+        uses when no measured entropy-payload size is available).
+        """
+        n = float(sim_bytes)
+        if path == PATH_SOC:
+            base = self._soc_op(algo, direction, n)
+            if not amortized:
+                base += self.device.memory.alloc_time(2.0 * n)
+            return base
+        if path == PATH_CENGINE:
+            base = self._cengine_op(algo, direction, n, stage_bytes)
+            if not amortized:
+                base += self.cal.doca_init_time
+                base += self.device.memory.doca_buffer_prep_time(2.0 * n)
+            return base
+        raise ValueError(f"unknown path {path!r} (known: {ALL_PATHS})")
+
+    def path_costs(
+        self,
+        algo: Algo,
+        direction: Direction,
+        sim_bytes: float,
+        amortized: bool = True,
+        stage_bytes: float | None = None,
+    ) -> dict[str, float]:
+        """Costs of every *capable* path, keyed by path name."""
+        return {
+            path: self.path_seconds(
+                algo, direction, sim_bytes, path,
+                amortized=amortized, stage_bytes=stage_bytes,
+            )
+            for path in self.capable_paths(algo, direction)
+        }
+
+    # -- the PedalContext charging conventions, in closed form ---------
+
+    def _soc_op(self, algo: Algo, direction: Direction, n: float) -> float:
+        # Native SoC design: one calibrated throughput covers the whole
+        # algorithm (zlib's includes its checksum work; SZ3's covers
+        # the full native pipeline with the zstd-class backend).
+        return self.cal.soc_time(algo, direction, n)
+
+    def _cengine_op(
+        self, algo: Algo, direction: Direction, n: float,
+        stage_bytes: float | None,
+    ) -> float:
+        cal = self.cal
+        if algo is Algo.SZ3:
+            # Hybrid design: entropy pipeline on the SoC, lossless
+            # stage as a DEFLATE engine job (or the SoC DEFLATE
+            # fallback on engines that lack the direction).
+            total = cal.soc_time(Algo.SZ3, direction, n)
+            seconds = (1.0 - cal.sz3_lossless_fraction) * total
+            stage = stage_bytes if stage_bytes is not None else n / 3.0
+            if self.device.cengine.supports(Algo.DEFLATE, direction):
+                seconds += cal.cengine_time(Algo.DEFLATE, direction, stage)
+            else:
+                seconds += stage / cal.sz3_backend_deflate_throughput
+            return seconds
+        core = cengine_core_algo(algo)
+        if self.device.cengine.supports(core, direction):
+            seconds = cal.cengine_time(core, direction, n)
+        else:
+            # Capability fallback: the engine-shaped pipeline on cores.
+            seconds = cal.soc_time(core, direction, n)
+        if algo is Algo.ZLIB:
+            # adler32/header work stays on an SoC core either way.
+            seconds += cal.checksum_time(n)
+        return seconds
+
+    # ------------------------------------------------------------------
+    # Scheduler-level job costs (repro.sched / repro.serve conventions)
+    # ------------------------------------------------------------------
+
+    def engine_job_seconds(
+        self, algo: Algo, direction: Direction, engine_bytes: float
+    ) -> float:
+        """Exec time of one :class:`~repro.sched.EngineJob` on the
+        C-Engine (``engine_bytes`` follows the job convention:
+        uncompressed on compress, compressed on decompress)."""
+        return self.cal.cengine_time(algo, direction, float(engine_bytes))
+
+    def soc_job_seconds(
+        self, algo: Algo, direction: Direction, soc_bytes: float
+    ) -> float:
+        """Exec time of the same job work-stolen by an SoC core
+        (billed against the uncompressed ``soc_bytes``)."""
+        return self.cal.soc_time(algo, direction, float(soc_bytes))

@@ -1,0 +1,62 @@
+"""Chunk-split planning for the parallel compressor.
+
+This is the engine/SoC work split :class:`~repro.core.parallel.
+ParallelCompressor` dispatches — the argmin of the steady-state
+makespan ``max(lane_time(k), ceil((n - k) / cores) * t_soc)`` over the
+number ``k`` of chunks sent to the pipelined C-Engine lane.  It lives
+in :mod:`repro.select` so every dispatch decision reads the same
+calibrated cost model, but the arithmetic is kept *identical* to the
+historical inline version: the regression trajectory
+(``BENCH_PR3.json``) is gated bit-for-bit on the resulting splits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Sequence
+
+from repro.dpu.specs import Algo, Direction
+
+if TYPE_CHECKING:
+    from repro.dpu.calibration import Calibration
+
+__all__ = ["plan_engine_chunks"]
+
+
+def plan_engine_chunks(
+    cal: "Calibration",
+    direction: Direction,
+    n_chunks: int,
+    chunk_bytes: float,
+    cores: int,
+    engine_bytes: "Sequence[float] | None" = None,
+    algo: Algo = Algo.DEFLATE,
+) -> int:
+    """Number of chunks the C-Engine lane should take (0..n_chunks).
+
+    ``chunk_bytes`` is the even uncompressed split each SoC core bills;
+    ``engine_bytes`` optionally carries heterogeneous per-chunk engine
+    sizes (the decompress direction's scaled compressed chunks), in
+    which case the pipelined lane's makespan is the cumulative sum of
+    the first ``k`` chunks' exec times instead of ``k`` times a
+    homogeneous exec time.
+    """
+    soc_rate = cal.soc_throughput[(algo, direction)]
+    soc_time = chunk_bytes / soc_rate
+    if engine_bytes is None:
+        lane_time = [
+            k * cal.cengine_time(algo, direction, chunk_bytes)
+            for k in range(n_chunks + 1)
+        ]
+    else:
+        lane_time = [0.0]
+        for i in range(n_chunks):
+            lane_time.append(
+                lane_time[-1] + cal.cengine_time(algo, direction, engine_bytes[i])
+            )
+    return min(
+        range(n_chunks + 1),
+        key=lambda k: max(
+            lane_time[k], math.ceil((n_chunks - k) / cores) * soc_time
+        ),
+    )

@@ -33,6 +33,7 @@ from repro.serve.request import ServeRequest, ServeResponse, ServeTicket
 from repro.serve.router import (
     ROUTERS,
     CapabilityAwareRouter,
+    CostAwareRouter,
     LeastQueueDepthRouter,
     RoundRobinRouter,
     Router,
@@ -46,6 +47,7 @@ __all__ = [
     "Batcher",
     "BatchPolicy",
     "CapabilityAwareRouter",
+    "CostAwareRouter",
     "DpuWorker",
     "LeastQueueDepthRouter",
     "ROUTERS",

@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Generator, Sequence
 
 from repro.algorithms.deflate import DeflateConfig, deflate_compress, deflate_decompress
 from repro.dpu.specs import Algo, Direction
+from repro.errors import NoLatencySamplesError
 from repro.obs import device_span, get_metrics
 from repro.sched import EngineJob, PipelineScheduler, SchedConfig
 from repro.serve.admission import AdmissionController
@@ -151,9 +152,14 @@ class ServeGateway:
 
     def latency_percentile(self, q: float) -> float:
         """Nearest-rank percentile (``q`` in [0, 100]) of completed
-        request latencies."""
+        request latencies.
+
+        Raises :class:`~repro.errors.NoLatencySamplesError` (a
+        :class:`ValueError` subclass) when no request has completed
+        yet — e.g. at very low offered load before the first drain.
+        """
         if not self._latencies:
-            raise ValueError("no completed requests yet")
+            raise NoLatencySamplesError("no completed requests yet")
         if not 0 <= q <= 100:
             raise ValueError(f"percentile {q} outside [0, 100]")
         ordered = sorted(self._latencies)

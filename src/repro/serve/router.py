@@ -25,6 +25,7 @@ __all__ = [
     "RoundRobinRouter",
     "LeastQueueDepthRouter",
     "CapabilityAwareRouter",
+    "CostAwareRouter",
     "ROUTERS",
     "make_router",
 ]
@@ -83,9 +84,61 @@ class CapabilityAwareRouter(Router):
         return self._least_loaded(capable or workers)
 
 
+class CostAwareRouter(Router):
+    """Composes the capability filter with the :mod:`repro.select`
+    cost model: each capable worker is scored by the predicted exec
+    time of this batch's job on its cheapest lane, scaled by the
+    worker's queue depth (``cost x (load + 1)`` — an M/D/1-flavored
+    wait estimate), and the lowest score wins (fleet order on ties).
+
+    Unlike :class:`CapabilityAwareRouter` this sees *magnitudes*: a
+    BF-3 decompress batch is not just "capable", it is ~6x cheaper per
+    job than BF-2 (161 us vs 1 ms overhead), so under mixed load the
+    fleet's faster engines absorb proportionally more work.
+    """
+
+    name = "cost_aware"
+
+    def __init__(self) -> None:
+        # One selector per device object; devices may share a name
+        # across fleets, so key by identity.
+        self._selectors: dict[int, object] = {}
+
+    def _selector(self, worker: "DpuWorker"):
+        from repro.select import PathSelector
+
+        key = id(worker.device)
+        selector = self._selectors.get(key)
+        if selector is None:
+            selector = self._selectors[key] = PathSelector(worker.device)
+        return selector
+
+    def pick(self, workers, batch):
+        capable = [w for w in workers if w.supports(batch.direction)]
+        best = None
+        best_score = None
+        from repro.dpu.specs import Algo
+
+        for worker in capable or workers:
+            costs = self._selector(worker).job_costs(
+                Algo.DEFLATE, batch.direction,
+                batch.engine_sim_bytes, batch.soc_sim_bytes,
+            )
+            score = min(costs.values()) * (worker.load + 1.0)
+            if best_score is None or score < best_score:  # first wins ties
+                best = worker
+                best_score = score
+        return best
+
+
 ROUTERS = {
     cls.name: cls
-    for cls in (RoundRobinRouter, LeastQueueDepthRouter, CapabilityAwareRouter)
+    for cls in (
+        RoundRobinRouter,
+        LeastQueueDepthRouter,
+        CapabilityAwareRouter,
+        CostAwareRouter,
+    )
 }
 
 

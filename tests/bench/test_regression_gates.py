@@ -1,5 +1,6 @@
 """Regression gates over the committed perf trajectories
-(BENCH_PR3.json — core runtime; BENCH_PR4.json — serving layer).
+(BENCH_PR3.json — core runtime; BENCH_PR4.json — serving layer;
+BENCH_PR5.json — path-selection crossover sweep).
 
 Two layers of protection:
 
@@ -27,6 +28,7 @@ from repro.bench import regress
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 REPORT_PATH = REPO_ROOT / regress.DEFAULT_REPORT_PATH
 SERVE_REPORT_PATH = REPO_ROOT / regress.DEFAULT_SERVE_REPORT_PATH
+SELECT_REPORT_PATH = REPO_ROOT / regress.DEFAULT_SELECT_REPORT_PATH
 
 
 @pytest.fixture(scope="module")
@@ -57,6 +59,21 @@ def committed_serve_report():
             f"with 'python benchmarks/regress.py'"
         )
     return regress.load_report(SERVE_REPORT_PATH)
+
+
+@pytest.fixture(scope="module")
+def fresh_select_report():
+    return regress.collect_select()
+
+
+@pytest.fixture(scope="module")
+def committed_select_report():
+    if not SELECT_REPORT_PATH.exists():
+        pytest.fail(
+            f"{regress.DEFAULT_SELECT_REPORT_PATH} missing — regenerate it "
+            f"with 'python benchmarks/regress.py'"
+        )
+    return regress.load_report(SELECT_REPORT_PATH)
 
 
 def test_fresh_numbers_pass_bands(fresh_report):
@@ -178,3 +195,100 @@ def test_serve_gate_reports_violations():
     # Every floor-banded headline trips; ceiling-only ones pass at -1.
     assert all("below floor" in v for v in violations)
     assert violations
+
+
+# ---------------------------------------------------------------------------
+# Path-selection trajectory (BENCH_PR5.json)
+# ---------------------------------------------------------------------------
+
+def test_select_fresh_numbers_pass_bands(fresh_select_report):
+    assert regress.gate_select(fresh_select_report) == []
+
+
+def test_select_committed_report_passes_bands(committed_select_report):
+    assert regress.gate_select(committed_select_report) == []
+
+
+def test_select_committed_report_schema(committed_select_report):
+    assert committed_select_report["schema"] == regress.SELECT_SCHEMA
+    assert set(regress.SELECT_BANDS) <= set(
+        committed_select_report["headlines"]
+    )
+    assert committed_select_report["config"]["tolerance"] \
+        == regress.SELECT_TOLERANCE
+
+
+def test_select_trajectory_is_reproduced_exactly(
+    fresh_select_report, committed_select_report
+):
+    """Same determinism screw: every per-size row (forced soc/cengine
+    seconds, auto seconds, auto's chosen path) must come back
+    bit-for-bit."""
+    for key, recorded in committed_select_report["headlines"].items():
+        assert fresh_select_report["headlines"][key] == pytest.approx(
+            recorded, rel=1e-12, abs=0.0
+        ), f"select headline {key} drifted — regenerate BENCH_PR5.json"
+    assert set(fresh_select_report["rows"]) \
+        == set(committed_select_report["rows"])
+    for key, recorded_row in committed_select_report["rows"].items():
+        fresh_row = fresh_select_report["rows"][key]
+        for col, recorded_val in recorded_row.items():
+            if isinstance(recorded_val, float):
+                assert fresh_row[col] == pytest.approx(
+                    recorded_val, rel=1e-12, abs=0.0
+                ), f"select row {key}/{col} drifted"
+            else:  # auto_path is a string
+                assert fresh_row[col] == recorded_val, (
+                    f"select row {key}/{col} drifted"
+                )
+
+
+def test_select_auto_never_loses_to_best_static(fresh_select_report):
+    """Tentpole acceptance: per sweep point, auto latency <= the best
+    forced path within the stated tolerance."""
+    tol = fresh_select_report["config"]["tolerance"]
+    for key, row in fresh_select_report["rows"].items():
+        best = min(row["soc_s"], row["cengine_s"])
+        assert row["auto_s"] <= best * (1.0 + tol), key
+
+
+def test_select_paper_shaped_crossover(fresh_select_report):
+    """SoC wins at the smallest size, the engine wins at the largest,
+    and the calibrated crossover sits inside the sweep — on every
+    engine-capable grid line."""
+    headlines = fresh_select_report["headlines"]
+    assert headlines["select_paper_shape_ok"] == 1.0
+    sizes = fresh_select_report["config"]["sizes"]
+    for grid in ("bf2_compress", "bf2_decompress", "bf3_decompress"):
+        crossover = headlines[f"select_crossover_{grid}_bytes"]
+        assert sizes[0] < crossover < sizes[-1]
+        device, direction = grid.split("_")
+        first = fresh_select_report["rows"][f"{device}_{direction}_{sizes[0]}"]
+        last = fresh_select_report["rows"][f"{device}_{direction}_{sizes[-1]}"]
+        assert first["soc_s"] < first["cengine_s"]
+        assert last["cengine_s"] < last["soc_s"]
+        assert first["auto_path"] == "soc"
+        assert last["auto_path"] == "cengine"
+
+
+def test_select_bf3_compress_never_routes_to_engine(fresh_select_report):
+    assert fresh_select_report["headlines"][
+        "select_bf3_compress_engine_picks"
+    ] == 0.0
+    sizes = fresh_select_report["config"]["sizes"]
+    for size in sizes:
+        row = fresh_select_report["rows"][f"bf3_compress_{size}"]
+        assert row["auto_path"] == "soc"
+
+
+def test_select_gate_reports_violations():
+    bad = {"headlines": {key: -1.0 for key in regress.SELECT_BANDS}}
+    violations = regress.gate_select(bad)
+    assert all("below floor" in v for v in violations)
+    assert violations
+
+
+def test_select_gate_reports_missing_headline():
+    violations = regress.gate_select({"headlines": {}})
+    assert len(violations) == len(regress.SELECT_BANDS)
+    assert all("missing" in v for v in violations)

@@ -1,0 +1,1 @@
+"""Tests for repro.select — cost model, selector, and integration."""

@@ -155,6 +155,34 @@ class TestAccounting:
         with pytest.raises(ValueError):
             gateway.latency_percentile(101)
 
+    def test_percentile_on_empty_gateway_is_typed(self, env, fleet):
+        """Zero completed requests raises the dedicated error — which
+        stays a ValueError subclass for older callers — instead of a
+        bare statistics crash."""
+        from repro.errors import NoLatencySamplesError, ServeError
+
+        gateway = ServeGateway(env, fleet)
+        with pytest.raises(NoLatencySamplesError) as excinfo:
+            gateway.latency_percentile(50)
+        assert isinstance(excinfo.value, ServeError)
+        assert isinstance(excinfo.value, ValueError)
+
+    def test_serve_bench_tolerates_zero_load(self):
+        """At a vanishing offered load the bench point reports nan
+        percentiles rather than crashing."""
+        import math
+
+        from repro.bench.experiments.serve_gateway import run_serve_point
+
+        row = run_serve_point(
+            offered_req_s=1.0, batch_msgs=1, duration_s=1e-4,
+            fleet=("bf2",),
+        )
+        assert row["offered"] == 0
+        assert row["completed"] == 0
+        assert math.isnan(row["p50_s"])
+        assert math.isnan(row["p99_s"])
+
 
 class TestDrain:
     def test_drain_flushes_partial_batches(self, env, fleet):

@@ -87,7 +87,7 @@ class TestRealWorkersRoute(object):
 class TestRegistry:
     def test_known_names(self):
         assert set(ROUTERS) == {"round_robin", "least_queue_depth",
-                                "capability"}
+                                "capability", "cost_aware"}
         for name in ROUTERS:
             assert make_router(name).name == name
 
