@@ -5,15 +5,19 @@
 BF-3 vs BF-2 engine, pipelined vs serial work queue); ``BENCH_PR4.json``
 carries the serving-layer offered-load vs goodput/p99 curves;
 ``BENCH_PR5.json`` carries the path-selection crossover sweep
-(path="auto" vs the static paths).
+(path="auto" vs the static paths); ``BENCH_PR6.json`` carries the
+telemetry-plane trajectory (deterministic "sim" section) plus the
+band-only wall-clock overhead gate ("wall" section).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/regress.py            # write + gate
     PYTHONPATH=src python benchmarks/regress.py --check    # gate only
 
-All numbers are simulated clock readings, so the files are bit-for-bit
-reproducible on any machine; ``tests/bench/test_regression_gates.py``
+All gated trajectories are simulated clock readings, so the files are
+bit-for-bit reproducible on any machine (BENCH_PR6's "wall" section is
+the one exception: host-local wall-clock readings, gated on bands and
+re-measured at test time, never compared exactly); ``tests/bench/test_regression_gates.py``
 enforces both the headline bands and exact agreement with these files.
 """
 
@@ -48,6 +52,12 @@ def main(argv: "list[str] | None" = None) -> int:
              "repo root)",
     )
     parser.add_argument(
+        "--obs-out",
+        default=os.path.join(repo_root, regress.DEFAULT_OBS_REPORT_PATH),
+        help="telemetry report path (default: BENCH_PR6.json at the repo "
+             "root)",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="gate the freshly collected numbers without writing the files",
@@ -60,10 +70,16 @@ def main(argv: "list[str] | None" = None) -> int:
         ("serve", regress.collect_serve, regress.gate_serve, args.serve_out),
         ("select", regress.collect_select, regress.gate_select,
          args.select_out),
+        ("obs", regress.collect_obs, regress.gate_obs, args.obs_out),
     ):
         report = collect()
         violations += gate(report)
-        for key, value in sorted(report["headlines"].items()):
+        if label == "obs":
+            headlines = dict(report["sim"]["headlines"])
+            headlines.update(report["wall"]["headlines"])
+        else:
+            headlines = report["headlines"]
+        for key, value in sorted(headlines.items()):
             print(f"  {key:<48s} {value:12.6g}")
         if not violations and not args.check:
             regress.write_report(report, os.path.normpath(out))

@@ -18,6 +18,7 @@ import numpy as np
 from repro.algorithms import huffman
 from repro.algorithms.deflate import tables as T
 from repro.algorithms.lz77 import MatcherConfig, TokenStream, tokenize
+from repro.obs.profile import get_profiler
 from repro.util.bitio import BitWriter
 
 __all__ = ["DeflateConfig", "deflate_compress"]
@@ -201,6 +202,16 @@ def _emit_huffman_block(
     dist_lengths: np.ndarray,
 ) -> None:
     """Emit the token payload + EOB under the given trees (bulk-packed)."""
+    with get_profiler().kernel("huffman.emit"):
+        _emit_huffman_payload(writer, syms, litlen_lengths, dist_lengths)
+
+
+def _emit_huffman_payload(
+    writer: BitWriter,
+    syms: dict[str, np.ndarray],
+    litlen_lengths: np.ndarray,
+    dist_lengths: np.ndarray,
+) -> None:
     litlen_codes = huffman.lsb_codes(litlen_lengths)
     dist_codes = huffman.lsb_codes(dist_lengths)
 
@@ -244,6 +255,11 @@ def _emit_stored_block(writer: BitWriter, raw: bytes, final: bool) -> None:
 
 def deflate_compress(data: bytes, config: DeflateConfig | None = None) -> bytes:
     """Compress ``data`` into a raw DEFLATE stream."""
+    with get_profiler().kernel("deflate.compress"):
+        return _deflate_compress(data, config)
+
+
+def _deflate_compress(data: bytes, config: DeflateConfig | None) -> bytes:
     cfg = config or DeflateConfig()
 
     if len(data) == 0:

@@ -13,6 +13,7 @@ import numpy as np
 from repro.algorithms import huffman
 from repro.algorithms.deflate import tables as T
 from repro.errors import CorruptStreamError, OutputOverflowError
+from repro.obs.profile import get_profiler
 from repro.util.bitio import BitReader
 
 __all__ = ["deflate_decompress"]
@@ -90,6 +91,18 @@ def _inflate_block(
     max_output: int | None,
 ) -> None:
     """Decode one Huffman-coded block into ``out``."""
+    with get_profiler().kernel("huffman.decode"):
+        _inflate_block_loop(reader, out, litlen_decoder, dist_decoder,
+                            max_output)
+
+
+def _inflate_block_loop(
+    reader: BitReader,
+    out: bytearray,
+    litlen_decoder: huffman.HuffmanDecoder,
+    dist_decoder: huffman.HuffmanDecoder | None,
+    max_output: int | None,
+) -> None:
     # Local aliases: this is the hottest loop in the decompressor.
     lit_table = litlen_decoder.table
     lit_bits = litlen_decoder.max_bits
@@ -149,6 +162,11 @@ def deflate_decompress(
         Optional safety bound on the decompressed size; exceeding it
         raises :class:`~repro.errors.OutputOverflowError`.
     """
+    with get_profiler().kernel("deflate.decompress"):
+        return _deflate_decompress(data, max_output)
+
+
+def _deflate_decompress(data: bytes, max_output: int | None) -> bytes:
     reader = BitReader(data)
     out = bytearray()
     while True:

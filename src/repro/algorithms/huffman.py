@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import CorruptStreamError
+from repro.obs.profile import get_profiler
 from repro.util.bitio import BitReader, reverse_bits
 
 __all__ = [
@@ -50,6 +51,11 @@ def code_lengths(freqs: np.ndarray, max_bits: int) -> np.ndarray:
         If the used alphabet cannot be coded within ``max_bits``
         (i.e. more than ``2**max_bits`` used symbols).
     """
+    with get_profiler().kernel("huffman.build"):
+        return _code_lengths(freqs, max_bits)
+
+
+def _code_lengths(freqs: np.ndarray, max_bits: int) -> np.ndarray:
     freqs = np.asarray(freqs, dtype=np.int64)
     n_symbols = freqs.size
     used = np.flatnonzero(freqs > 0)

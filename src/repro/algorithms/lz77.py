@@ -21,6 +21,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.profile import get_profiler
+
 __all__ = ["MatcherConfig", "TokenStream", "tokenize", "reconstruct"]
 
 _HASH_BITS = 15
@@ -106,6 +108,11 @@ def _match_length(data: bytes, cand: int, pos: int, limit: int) -> int:
 
 def tokenize(data: bytes, config: MatcherConfig | None = None) -> TokenStream:
     """Factor ``data`` into an LZ77 token stream."""
+    with get_profiler().kernel("lz77.match_loop"):
+        return _tokenize(data, config)
+
+
+def _tokenize(data: bytes, config: MatcherConfig | None) -> TokenStream:
     cfg = config or MatcherConfig()
     n = len(data)
     lengths: list[int] = []

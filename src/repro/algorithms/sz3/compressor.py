@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.algorithms.sz3 import encoder, lossless, predictor, quantizer
+from repro.obs.profile import get_profiler
 from repro.algorithms.sz3.config import SZ3Config
 from repro.algorithms.sz3.preprocessor import DTYPE_FROM_CODE, preprocess
 from repro.errors import CorruptStreamError
@@ -92,9 +93,10 @@ class SZ3Compressor:
 
     def compress(self, array: np.ndarray) -> bytes:
         """Full pipeline; also records :attr:`last_stage_sizes`."""
-        header, payload = self.entropy_stage(array)
-        blob = self.lossless_stage(payload)
-        stream = self.assemble(header, blob)
+        with get_profiler().kernel("sz3.compress"):
+            header, payload = self.entropy_stage(array)
+            blob = self.lossless_stage(payload)
+            stream = self.assemble(header, blob)
         self.last_stage_sizes = StageSizes(
             input_bytes=int(np.asarray(array).nbytes),
             entropy_payload_bytes=len(payload),

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.profile import get_profiler
+
 __all__ = ["predict_residual", "reconstruct_codes"]
 
 
@@ -102,21 +104,23 @@ def _interp_reconstruct(res: np.ndarray) -> np.ndarray:
 
 def predict_residual(codes: np.ndarray, kind: str) -> np.ndarray:
     """Transform quantisation codes into prediction residuals."""
-    if kind == "lorenzo":
-        return _lorenzo_residual(codes)
-    if kind == "interp":
-        return _interp_residual(codes)
-    if kind == "none":
-        return codes.copy()
-    raise ValueError(f"unknown predictor {kind!r}")
+    with get_profiler().kernel(f"{kind}.predict"):
+        if kind == "lorenzo":
+            return _lorenzo_residual(codes)
+        if kind == "interp":
+            return _interp_residual(codes)
+        if kind == "none":
+            return codes.copy()
+        raise ValueError(f"unknown predictor {kind!r}")
 
 
 def reconstruct_codes(residual: np.ndarray, kind: str) -> np.ndarray:
     """Inverse of :func:`predict_residual`."""
-    if kind == "lorenzo":
-        return _lorenzo_reconstruct(residual)
-    if kind == "interp":
-        return _interp_reconstruct(residual)
-    if kind == "none":
-        return residual.copy()
-    raise ValueError(f"unknown predictor {kind!r}")
+    with get_profiler().kernel(f"{kind}.reconstruct"):
+        if kind == "lorenzo":
+            return _lorenzo_reconstruct(residual)
+        if kind == "interp":
+            return _interp_reconstruct(residual)
+        if kind == "none":
+            return residual.copy()
+        raise ValueError(f"unknown predictor {kind!r}")

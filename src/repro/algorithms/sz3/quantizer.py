@@ -37,6 +37,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.profile import get_profiler
+
 __all__ = ["quantize", "dequantize"]
 
 
@@ -46,13 +48,15 @@ def quantize(data: np.ndarray, abs_error_bound: float) -> np.ndarray:
     ``np.rint`` rounds half-to-even; any consistent rounding satisfies
     the bound since ties sit exactly at distance ``eb``.
     """
-    pitch = 2.0 * abs_error_bound
-    return np.rint(data.astype(np.float64) / pitch).astype(np.int64)
+    with get_profiler().kernel("lorenzo.quantize"):
+        pitch = 2.0 * abs_error_bound
+        return np.rint(data.astype(np.float64) / pitch).astype(np.int64)
 
 
 def dequantize(
     codes: np.ndarray, abs_error_bound: float, dtype: np.dtype
 ) -> np.ndarray:
     """Reconstruct grid values from ``int64`` codes."""
-    pitch = 2.0 * abs_error_bound
-    return (codes.astype(np.float64) * pitch).astype(dtype)
+    with get_profiler().kernel("lorenzo.dequantize"):
+        pitch = 2.0 * abs_error_bound
+        return (codes.astype(np.float64) * pitch).astype(dtype)

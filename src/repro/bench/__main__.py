@@ -11,8 +11,10 @@ Usage::
 writes a Chrome trace-event file (open it in https://ui.perfetto.dev or
 ``chrome://tracing``); ``--trace-jsonl`` writes the same spans as a
 JSONL event log.  ``--metrics`` dumps the counters/gauges/histograms
-collected during the run.  ``--json`` writes the experiment grids in
-machine-readable form instead of scraping stdout.
+collected during the run.  ``--flamegraph`` profiles the codec kernels
+(wall clock, deterministic sampled exemplars) and writes collapsed
+stacks for flamegraph.pl / speedscope.  ``--json`` writes the
+experiment grids in machine-readable form instead of scraping stdout.
 
 ``--faults`` runs every requested experiment under a deterministic
 fault-injection plan (see :mod:`repro.faults`), e.g.::
@@ -39,7 +41,7 @@ from repro.bench.harness import run_experiment
 from repro.faults import FaultPlan, parse_fault_spec, set_fault_plan
 
 _ALL = ["table4", "table5", "fig7", "fig8", "fig9", "fig10", "fig11", "sched",
-        "serve"]
+        "serve", "obs"]
 
 log = obs.get_logger("bench")
 
@@ -94,6 +96,15 @@ def main(argv: "list[str] | None" = None) -> int:
         help="write experiment rows + metadata as JSON to PATH",
     )
     parser.add_argument(
+        "--flamegraph",
+        metavar="PATH",
+        default=None,
+        help=(
+            "profile codec kernels (wall clock, sampled exemplars) and "
+            "write collapsed stacks to PATH (flamegraph.pl / speedscope)"
+        ),
+    )
+    parser.add_argument(
         "--faults",
         metavar="SPEC",
         default=None,
@@ -116,8 +127,12 @@ def main(argv: "list[str] | None" = None) -> int:
 
     tracer = obs.Tracer() if (args.trace or args.trace_jsonl) else None
     metrics = obs.MetricsRegistry() if args.metrics else None
+    profiler = obs.CodecProfiler() if args.flamegraph else None
     prev_tracer = obs.set_tracer(tracer) if tracer is not None else None
     prev_metrics = obs.set_metrics(metrics) if metrics is not None else None
+    prev_profiler = (
+        obs.set_profiler(profiler) if profiler is not None else None
+    )
     prev_plan = (
         set_fault_plan(FaultPlan(fault_config))
         if fault_config is not None
@@ -145,6 +160,8 @@ def main(argv: "list[str] | None" = None) -> int:
             obs.set_tracer(prev_tracer)
         if metrics is not None:
             obs.set_metrics(prev_metrics)
+        if profiler is not None:
+            obs.set_profiler(prev_profiler)
         if fault_config is not None:
             set_fault_plan(prev_plan)
 
@@ -157,6 +174,9 @@ def main(argv: "list[str] | None" = None) -> int:
     if metrics is not None and args.metrics:
         obs.write_metrics_json(metrics, args.metrics)
         log.info("wrote metrics to %s", args.metrics)
+    if profiler is not None and args.flamegraph:
+        n = obs.write_flamegraph(profiler, args.flamegraph)
+        log.info("wrote %d collapsed stacks to %s", n, args.flamegraph)
     if args.json:
         payload = {
             "generator": "repro.bench",

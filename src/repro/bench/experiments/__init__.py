@@ -6,6 +6,7 @@ from repro.bench.experiments import (  # noqa: F401
     fig9_lossy_breakdown,
     fig10_pt2pt,
     fig11_bcast,
+    obs_telemetry,
     sched_pipeline,
     select_crossover,
     serve_gateway,
@@ -19,6 +20,7 @@ __all__ = [
     "fig9_lossy_breakdown",
     "fig10_pt2pt",
     "fig11_bcast",
+    "obs_telemetry",
     "sched_pipeline",
     "select_crossover",
     "serve_gateway",

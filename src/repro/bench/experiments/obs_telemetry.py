@@ -1,0 +1,244 @@
+"""``obs`` — fleet telemetry demo: multi-gateway roll-up + SLO burn.
+
+Not a paper figure: this experiment exercises the PR 6 telemetry plane
+end to end and is the substrate of the ``BENCH_PR6.json`` gates.  Two
+gateways (``gw0`` fronting bf2+bf2, ``gw1`` fronting bf2+bf3) share one
+sim clock and one :class:`~repro.obs.FleetAggregator`; every worker and
+every (worker, tenant) shard owns a labeled registry.  An open-loop
+overload (two tenants, 3:1 hot/cold mix, offered load ~2.5x the hot
+path's engine capacity) drives:
+
+* **fleet quantile roll-up** — the per-shard latency sketches merge
+  into one fleet sketch whose p50/p99 must sit within the advertised
+  relative-error bound (``alpha``) of the *exact* pooled nearest-rank
+  percentiles (both sides are pure sim-clock numbers, so the error is
+  deterministic and exact-gated);
+* **sim-clock scrapes** — :func:`~repro.obs.scrape_process` snapshots
+  the fleet every ``scrape_interval_s`` without perturbing the
+  simulation (scrapes only read);
+* **SLO burn-rate alerts** — the hot tenant blows its latency budget
+  (page + ticket windows) and the cold tenant undershoots a goodput
+  floor, at deterministic sim times.
+
+Everything here is a pure function of the cost model: re-running the
+demo reproduces the same alert stream, sample counts, and quantile
+errors bit for bit.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult, generate_payload, register_experiment
+from repro.dpu.device import make_device
+from repro.dpu.specs import Direction
+from repro.obs import (
+    FleetAggregator,
+    SloMonitor,
+    SloObjective,
+    scrape_process,
+)
+from repro.obs.slo import LATENCY_METRIC
+from repro.serve import (
+    BatchPolicy,
+    ServeConfig,
+    ServeGateway,
+    ServeRequest,
+    TelemetryConfig,
+)
+from repro.sim import Environment
+
+__all__ = ["run", "run_fleet_demo"]
+
+_DATASET = "silesia/xml"
+_DEFAULT_ACTUAL = 512
+_NOMINAL = 64 * 1024
+# Two gateways with distinct device mixes; both carry both tenants.
+_FLEETS: "tuple[tuple[str, tuple[str, ...]], ...]" = (
+    ("gw0", ("bf2", "bf2")),
+    ("gw1", ("bf2", "bf3")),
+)
+_TENANTS = ("hot", "cold")
+_HOT_EVERY = 4  # 3 hot requests, then 1 cold
+_DURATION_S = 0.02
+_OFFERED_REQ_S = 18_000.0  # per gateway; ~2.5x hot-path engine capacity
+_SCRAPE_INTERVAL_S = 2e-3
+_LATENCY_TARGET_S = 1.5e-3
+_HOT_BUDGET_FRACTION = 0.01
+# Deliberately above what the cold tenant's 1/4 share can deliver under
+# overload, so the goodput_floor alert kind fires deterministically.
+_COLD_GOODPUT_FLOOR = 1.0e9
+
+
+def _nearest_rank(ordered: "list[float]", q: float) -> float:
+    """Exact nearest-rank percentile of a pre-sorted sample."""
+    rank = max(1, -(-len(ordered) * int(q * 100) // 100))
+    return ordered[rank - 1]
+
+
+def run_fleet_demo(
+    offered_req_s: float = _OFFERED_REQ_S,
+    duration_s: float = _DURATION_S,
+    actual_bytes: int = _DEFAULT_ACTUAL,
+    nominal_bytes: float = _NOMINAL,
+    scrape_interval_s: float = _SCRAPE_INTERVAL_S,
+    latency_target_s: float = _LATENCY_TARGET_S,
+) -> dict:
+    """Run the two-gateway telemetry demo; returns its record.
+
+    The record carries per-gateway rows, the fleet-vs-exact quantile
+    comparison, the scrape count, and the full deterministic alert
+    stream.  All numbers are sim-clock (wall-clock profiling is a
+    separate, band-only concern — see ``repro.bench.regress``).
+    """
+    env = Environment()
+    aggregator = FleetAggregator()
+    gateways: "list[tuple[str, ServeGateway]]" = []
+    for name, fleet in _FLEETS:
+        devices = [make_device(env, kind) for kind in fleet]
+        gateways.append((name, ServeGateway(
+            env,
+            devices,
+            ServeConfig(
+                batch=BatchPolicy(max_msgs=8),
+                router="capability",
+                telemetry=TelemetryConfig(
+                    gateway=name, aggregator=aggregator
+                ),
+            ),
+        )))
+
+    monitor = SloMonitor([
+        SloObjective("hot", latency_target_s,
+                     budget_fraction=_HOT_BUDGET_FRACTION),
+        SloObjective("cold", latency_target_s, budget_fraction=0.05,
+                     goodput_floor_bytes_s=_COLD_GOODPUT_FLOOR),
+    ])
+    env.process(
+        scrape_process(env, aggregator, scrape_interval_s,
+                       group_by=("tenant",), on_scrape=monitor.observe),
+        name="obs:scrape",
+    )
+
+    payload = bytes(generate_payload(_DATASET, actual_bytes))
+    interarrival = 1.0 / offered_req_s
+    n_offered = int(round(duration_s * offered_req_s))
+
+    def driver(env, gateway):
+        for i in range(n_offered):
+            tenant = "cold" if i % _HOT_EVERY == _HOT_EVERY - 1 else "hot"
+            gateway.submit(ServeRequest(
+                Direction.COMPRESS, payload, sim_bytes=nominal_bytes,
+                req_id=i, tenant=tenant,
+            ))
+            yield env.timeout(interarrival)
+        yield from gateway.drain()
+
+    drivers = [
+        env.process(driver(env, gw), name=f"obs:driver:{name}")
+        for name, gw in gateways
+    ]
+    env.run(until=env.all_of(drivers))
+    # One last scrape at the drain point so the final state is visible
+    # to the monitor (reads only — the sim is already quiescent).
+    monitor.observe(aggregator.scrape(env.now, group_by=("tenant",)))
+
+    snapshot = aggregator.latest()
+    assert snapshot is not None
+    fleet_hist = snapshot.overall.histograms[LATENCY_METRIC]
+    pooled = sorted(
+        latency for _, gw in gateways for latency in gw.latencies
+    )
+    exact_p50 = _nearest_rank(pooled, 0.50)
+    exact_p99 = _nearest_rank(pooled, 0.99)
+    fleet_p50 = fleet_hist.quantile(0.50)
+    fleet_p99 = fleet_hist.quantile(0.99)
+
+    rows = []
+    for name, gw in gateways:
+        rows.append({
+            "gateway": name,
+            "offered": n_offered,
+            "completed": gw.completed,
+            "shed": gw.admission.shed,
+            "sample_count": gw.sample_count,
+            "p50_s": gw.latency_percentile(50),
+            "p99_s": gw.latency_percentile(99),
+            "registries": len(gw.registries),
+        })
+
+    page_alerts = sum(1 for a in monitor.alerts if a.severity == "page")
+    goodput_alerts = sum(
+        1 for a in monitor.alerts if a.kind == "goodput_floor"
+    )
+    alpha = fleet_hist.sketch.alpha
+    headlines = {
+        "obs_fleet_sample_count": float(fleet_hist.count),
+        "obs_fleet_p50_s": fleet_p50,
+        "obs_fleet_p99_s": fleet_p99,
+        "obs_fleet_p50_rel_err": abs(fleet_p50 - exact_p50) / exact_p50,
+        "obs_fleet_p99_rel_err": abs(fleet_p99 - exact_p99) / exact_p99,
+        "obs_sketch_alpha": alpha,
+        "obs_scrapes": float(aggregator.scrapes),
+        "obs_slo_alerts": float(len(monitor.alerts)),
+        "obs_slo_page_alerts": float(page_alerts),
+        "obs_slo_goodput_alerts": float(goodput_alerts),
+        "obs_member_registries": float(len(aggregator.members)),
+    }
+    return {
+        "rows": rows,
+        "headlines": headlines,
+        "alerts": monitor.as_records(),
+        "exact": {"p50_s": exact_p50, "p99_s": exact_p99},
+        "config": {
+            "offered_req_s": offered_req_s,
+            "duration_s": duration_s,
+            "scrape_interval_s": scrape_interval_s,
+            "latency_target_s": latency_target_s,
+            "fleets": {name: list(fleet) for name, fleet in _FLEETS},
+            "tenants": list(_TENANTS),
+        },
+    }
+
+
+COLUMNS = [
+    "gateway", "offered", "completed", "shed", "sample_count",
+    "p50_ms", "p99_ms", "registries",
+]
+
+
+@register_experiment("obs")
+def run(actual_bytes: int = _DEFAULT_ACTUAL) -> ExperimentResult:
+    demo = run_fleet_demo(actual_bytes=actual_bytes)
+    result = ExperimentResult(
+        experiment="obs",
+        title=(
+            "obs: fleet telemetry roll-up, 2 gateways x 2 tenants "
+            f"(overload {int(_OFFERED_REQ_S)} req/s, "
+            f"scrape every {_SCRAPE_INTERVAL_S * 1e3:g} ms)"
+        ),
+        columns=COLUMNS,
+    )
+    for row in demo["rows"]:
+        result.rows.append({
+            "gateway": row["gateway"],
+            "offered": row["offered"],
+            "completed": row["completed"],
+            "shed": row["shed"],
+            "sample_count": row["sample_count"],
+            "p50_ms": row["p50_s"] * 1e3,
+            "p99_ms": row["p99_s"] * 1e3,
+            "registries": row["registries"],
+        })
+    result.headlines.update(demo["headlines"])
+    for alert in demo["alerts"]:
+        result.notes.append(
+            f"SLO {alert['severity']} [{alert['kind']}] tenant="
+            f"{alert['tenant']} at {alert['fired_at_s'] * 1e3:.2f} ms "
+            f"(burn {alert['burn_rate']:.1f}x, "
+            f"window {alert['window_s'] * 1e3:g} ms)"
+        )
+    result.notes.append(
+        "fleet percentiles come from merged per-(worker,tenant) "
+        "sketches; rel_err headlines compare them to the exact pooled "
+        "nearest-rank values and must stay within the sketch alpha"
+    )
+    return result

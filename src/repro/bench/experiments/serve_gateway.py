@@ -25,7 +25,13 @@ from repro.bench.harness import ExperimentResult, generate_payload, register_exp
 from repro.dpu.device import make_device
 from repro.dpu.specs import Direction
 from repro.errors import NoLatencySamplesError
-from repro.serve import BatchPolicy, ServeConfig, ServeGateway, ServeRequest
+from repro.serve import (
+    BatchPolicy,
+    ServeConfig,
+    ServeGateway,
+    ServeRequest,
+    TelemetryConfig,
+)
 from repro.sim import Environment
 
 __all__ = ["run", "run_serve_point"]
@@ -46,7 +52,7 @@ _LOADS_REQ_S = (2_000, 6_000, 12_000, 24_000)
 
 COLUMNS = [
     "config", "router", "offered_req_s", "offered", "completed", "shed",
-    "goodput_mb_s", "p50_ms", "p99_ms", "peak_pending",
+    "goodput_mb_s", "p50_ms", "p99_ms", "sample_count", "peak_pending",
 ]
 
 
@@ -69,13 +75,17 @@ def run_serve_point(
     fleet: "tuple[str, ...]" = _FLEET,
     max_pending: int = _MAX_PENDING,
     direction: Direction = Direction.COMPRESS,
+    telemetry: "TelemetryConfig | None" = None,
 ) -> dict:
     """One deterministic point of the offered-load sweep.
 
     Open-loop arrivals every ``1/offered_req_s`` sim seconds for
     ``duration_s``, then a drain; returns the point's record (offered /
     completed / shed counts, goodput over the uncompressed bytes
-    actually served, nearest-rank latency percentiles, peak pending).
+    actually served, sketch-backed latency percentiles with their
+    explicit ``sample_count``, peak pending).  Passing ``telemetry``
+    turns on the labeled per-worker/per-tenant registries without
+    changing any simulated number.
     """
     env = Environment()
     devices = [make_device(env, kind) for kind in fleet]
@@ -86,6 +96,7 @@ def run_serve_point(
             batch=BatchPolicy(max_msgs=batch_msgs),
             router=router,
             max_pending=max_pending,
+            telemetry=telemetry,
         ),
     )
     payload = bytes(generate_payload(_DATASET, actual_bytes))
@@ -114,6 +125,7 @@ def run_serve_point(
         ),
         "p50_s": _percentile_or_nan(gateway, 50),
         "p99_s": _percentile_or_nan(gateway, 99),
+        "sample_count": gateway.sample_count,
         "peak_pending": gateway.admission.peak_pending,
         "makespan_s": elapsed,
     }
@@ -150,6 +162,7 @@ def run(
                     "goodput_mb_s": rec["goodput_bytes_s"] / 1e6,
                     "p50_ms": rec["p50_s"] * 1e3,
                     "p99_ms": rec["p99_s"] * 1e3,
+                    "sample_count": rec["sample_count"],
                     "peak_pending": rec["peak_pending"],
                 }
             )
@@ -168,6 +181,7 @@ def run(
             "goodput_mb_s": rr["goodput_bytes_s"] / 1e6,
             "p50_ms": rr["p50_s"] * 1e3,
             "p99_ms": rr["p99_s"] * 1e3,
+            "sample_count": rr["sample_count"],
             "peak_pending": rr["peak_pending"],
         }
     )

@@ -1,34 +1,56 @@
 """``repro.obs`` — observability for the PEDAL reproduction.
 
-Three independent, composable pieces, all defaulting to zero-overhead
-no-ops so the simulation's hot paths cost nothing unless a consumer
-opts in:
+A fleet-grade telemetry plane built from composable pieces, all
+defaulting to zero-overhead no-ops so the simulation's hot paths cost
+nothing unless a consumer opts in:
 
 * **span tracing** (:mod:`repro.obs.tracer`): nested, attributed spans
   on both the simulated and the wall clock;
 * **metrics** (:mod:`repro.obs.metrics`): counters, gauges, and
-  fixed-bucket histograms (queue depths, mempool hit/miss, bytes per
-  codec, SoC fallbacks);
+  sketch-backed histograms on labeled registries;
+* **quantile sketches** (:mod:`repro.obs.sketch`): deterministic
+  DDSketch-style relative-error sketches that merge losslessly — the
+  backing store for every histogram and for fleet percentiles;
+* **fleet aggregation** (:mod:`repro.obs.aggregate`): per-worker /
+  per-gateway / per-tenant registries rolled up into one snapshot
+  (counters sum, gauges last-write, sketches merge) on a sim-clock
+  scrape interval;
+* **SLO monitoring** (:mod:`repro.obs.slo`): per-tenant latency and
+  goodput objectives with multi-window burn-rate alerts, driven off
+  the aggregated sketches;
+* **codec profiling** (:mod:`repro.obs.profile`): seeded, sampled
+  wall-clock attribution per codec kernel with exemplar span links;
 * **export** (:mod:`repro.obs.export`): Chrome trace-event JSON
-  (open in Perfetto / ``chrome://tracing``) and a JSONL event log.
+  (open in Perfetto / ``chrome://tracing``), a JSONL event log, and a
+  collapsed-stack flamegraph.
 
 Plus :mod:`repro.obs.logging`, the ``repro.*`` stdlib-logging helper
-(silent by default, ``REPRO_LOG=debug`` to enable).
+(silent by default; ``REPRO_LOG=debug`` or per-subsystem specs like
+``REPRO_LOG=serve=debug,obs=warning`` to enable).
 
 Typical use (also wired into ``python -m repro.bench --trace``)::
 
     from repro import obs
 
-    with obs.tracing() as tr, obs.collecting() as m:
+    with obs.tracing() as tr, obs.collecting() as m, obs.profiling() as p:
         ...run simulation...
     obs.write_chrome_trace(tr, "run.trace.json")
     obs.write_jsonl(tr, "run.jsonl", metrics=m)
+    obs.write_flamegraph(p, "run.folded")
 """
 
+from repro.obs.aggregate import (
+    FleetAggregator,
+    FleetSnapshot,
+    merge_registries,
+    scrape_process,
+)
 from repro.obs.export import (
     chrome_trace_events,
+    collapsed_stacks,
     span_records,
     write_chrome_trace,
+    write_flamegraph,
     write_jsonl,
     write_metrics_json,
 )
@@ -47,6 +69,24 @@ from repro.obs.metrics import (
     collecting,
     get_metrics,
     set_metrics,
+)
+from repro.obs.profile import (
+    NULL_PROFILER,
+    CodecProfiler,
+    KernelExemplar,
+    KernelStats,
+    NullProfiler,
+    get_profiler,
+    profiling,
+    set_profiler,
+)
+from repro.obs.sketch import DEFAULT_ALPHA, QuantileSketch
+from repro.obs.slo import (
+    DEFAULT_WINDOWS,
+    BurnWindow,
+    SloAlert,
+    SloMonitor,
+    SloObjective,
 )
 from repro.obs.tracer import (
     NULL_SPAN,
@@ -87,12 +127,37 @@ __all__ = [
     "SIM_SECONDS_BUCKETS",
     "BYTES_BUCKETS",
     "RETRY_ATTEMPT_BUCKETS",
+    # sketch
+    "QuantileSketch",
+    "DEFAULT_ALPHA",
+    # aggregation
+    "FleetAggregator",
+    "FleetSnapshot",
+    "merge_registries",
+    "scrape_process",
+    # SLO
+    "SloObjective",
+    "BurnWindow",
+    "SloAlert",
+    "SloMonitor",
+    "DEFAULT_WINDOWS",
+    # profiling
+    "CodecProfiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "KernelStats",
+    "KernelExemplar",
+    "get_profiler",
+    "set_profiler",
+    "profiling",
     # export
     "chrome_trace_events",
     "span_records",
     "write_chrome_trace",
     "write_jsonl",
     "write_metrics_json",
+    "collapsed_stacks",
+    "write_flamegraph",
     # logging
     "get_logger",
     "configure_logging",

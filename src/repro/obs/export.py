@@ -1,4 +1,4 @@
-"""Trace/metric exporters: Chrome trace-event JSON and JSONL.
+"""Trace/metric/profile exporters: Chrome trace JSON, JSONL, flamegraph.
 
 ``write_chrome_trace`` emits the Trace Event Format consumed by
 Perfetto and ``chrome://tracing``: one complete (``ph: "X"``) event per
@@ -7,7 +7,15 @@ wall-clock cost and span attributes carried in ``args``.  Tracks map to
 threads of a single synthetic process, named via ``M`` metadata events.
 
 ``write_jsonl`` emits one self-describing JSON object per line (spans,
-then metric instruments) — the grep/pandas-friendly event log.
+then metric instruments) — the grep/pandas-friendly event log.  The
+per-record shape is a stable contract pinned by
+``tests/obs/test_export.py``.
+
+``write_flamegraph`` renders a :class:`~repro.obs.profile.CodecProfiler`
+as collapsed stacks (``path;to;kernel <self-microseconds>`` per line) —
+the input format of Brendan Gregg's ``flamegraph.pl`` and of the
+speedscope/pyroscope importers — so "which codec kernel burns the
+clock" is one ``--flamegraph out.folded`` away.
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ from typing import TYPE_CHECKING, Any, IO
 
 if TYPE_CHECKING:
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.profile import CodecProfiler
     from repro.obs.tracer import Span, Tracer
 
 __all__ = [
@@ -25,6 +34,8 @@ __all__ = [
     "span_records",
     "write_jsonl",
     "write_metrics_json",
+    "collapsed_stacks",
+    "write_flamegraph",
 ]
 
 _PID = 1
@@ -160,3 +171,27 @@ def write_metrics_json(metrics: "MetricsRegistry", path: str) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(metrics.as_dict(), fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+
+def collapsed_stacks(profiler: "CodecProfiler") -> list[str]:
+    """Collapsed-stack lines (``a;b;c <weight>``), weighted by **self**
+    wall-microseconds per stack path, sorted by path for determinism.
+
+    Zero-weight paths (kernels whose self time rounds below 1 µs) are
+    kept with weight 0 so call counts remain visible to consumers that
+    re-weight by ``calls``."""
+    lines = []
+    for path, stats in sorted(profiler.nodes.items()):
+        weight = int(round(stats.self_s * 1e6))
+        lines.append(f"{';'.join(path)} {weight}")
+    return lines
+
+
+def write_flamegraph(profiler: "CodecProfiler", path: str) -> int:
+    """Write the profiler's collapsed stacks; returns the line count."""
+    lines = collapsed_stacks(profiler)
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(line)
+            fh.write("\n")
+    return len(lines)

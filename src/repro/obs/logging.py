@@ -4,8 +4,22 @@ Every module logs through :func:`get_logger`, which hangs its logger
 off the shared ``repro`` root.  Out of the box the root carries a
 ``NullHandler`` and propagation is off, so library users see nothing
 unless they opt in — either programmatically via :func:`configure` or
-by setting the ``REPRO_LOG`` environment variable (``debug``, ``info``,
-``warning``, ``error``) before the first log call.
+by setting the ``REPRO_LOG`` environment variable before the first log
+call.
+
+``REPRO_LOG`` accepts a comma-separated spec with an optional global
+level and any number of per-subsystem overrides::
+
+    REPRO_LOG=debug                     # everything at debug
+    REPRO_LOG=serve=debug,obs=warning   # only those subsystems speak
+    REPRO_LOG=info,sched=debug          # info everywhere, sched louder
+
+A subsystem name is the first path segment under ``repro`` (``serve``
+maps to the ``repro.serve`` logger and all its children).  Per-
+subsystem levels work both ways: they can make one subsystem *more*
+verbose than the global level or mute a noisy one below it.  Unknown
+level tokens are ignored (an all-unknown spec keeps the logger silent,
+matching the previous behaviour).
 """
 
 from __future__ import annotations
@@ -14,7 +28,7 @@ import logging
 import os
 import sys
 
-__all__ = ["get_logger", "configure", "ENV_VAR"]
+__all__ = ["get_logger", "configure", "parse_spec", "ENV_VAR"]
 
 ENV_VAR = "REPRO_LOG"
 _ROOT_NAME = "repro"
@@ -27,14 +41,51 @@ _LEVELS = {
 }
 
 _configured = False
+# Child loggers whose levels the last configure() set (reset on force).
+_child_overrides: list[str] = []
+
+
+def parse_spec(spec: str) -> "tuple[int | None, dict[str, int]]":
+    """Parse a ``REPRO_LOG`` spec into (global level, per-subsystem).
+
+    Returns ``(None, {})`` for an empty/unrecognised spec.  Subsystem
+    keys keep their given dotted path (``mpi.protocol`` is allowed) —
+    normalisation under the ``repro`` root happens in
+    :func:`configure`.
+    """
+    global_level: "int | None" = None
+    per_subsystem: dict[str, int] = {}
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" in item:
+            subsystem, _, level_name = item.partition("=")
+            subsystem = subsystem.strip()
+            resolved = _LEVELS.get(level_name.strip().lower())
+            if subsystem and resolved is not None:
+                per_subsystem[subsystem] = resolved
+        else:
+            resolved = _LEVELS.get(item.lower())
+            if resolved is not None:
+                global_level = resolved
+    return global_level, per_subsystem
+
+
+def _child_name(subsystem: str) -> str:
+    if subsystem == _ROOT_NAME or subsystem.startswith(_ROOT_NAME + "."):
+        return subsystem
+    return f"{_ROOT_NAME}.{subsystem}"
 
 
 def configure(level: "str | int | None" = None, *, force: bool = False,
               stream=None) -> logging.Logger:
     """Set up the ``repro`` root logger; idempotent unless ``force``.
 
-    ``level=None`` reads :data:`ENV_VAR`; an unset/empty variable keeps
-    the logger silent (``NullHandler`` only).
+    ``level`` may be an int, a level name, or a full per-subsystem spec
+    string (same grammar as :data:`ENV_VAR`); ``None`` reads the
+    environment variable.  An unset/empty/unrecognised spec keeps the
+    logger silent (``NullHandler`` only).
     """
     global _configured
     root = logging.getLogger(_ROOT_NAME)
@@ -42,15 +93,19 @@ def configure(level: "str | int | None" = None, *, force: bool = False,
         return root
     for handler in list(root.handlers):
         root.removeHandler(handler)
+    for name in _child_overrides:
+        logging.getLogger(name).setLevel(logging.NOTSET)
+    _child_overrides.clear()
     root.propagate = False
 
     if level is None:
         level = os.environ.get(ENV_VAR, "")
     if isinstance(level, str):
-        resolved = _LEVELS.get(level.strip().lower())
+        global_level, per_subsystem = parse_spec(level)
     else:
-        resolved = level
-    if resolved is None:
+        global_level, per_subsystem = level, {}
+
+    if global_level is None and not per_subsystem:
         root.addHandler(logging.NullHandler())
         root.setLevel(logging.WARNING)
     else:
@@ -59,7 +114,14 @@ def configure(level: "str | int | None" = None, *, force: bool = False,
             logging.Formatter("[%(name)s] %(levelname)s %(message)s")
         )
         root.addHandler(handler)
-        root.setLevel(resolved)
+        # With only per-subsystem overrides given, everything else
+        # stays at the conservative default.
+        root.setLevel(logging.WARNING if global_level is None
+                      else global_level)
+        for subsystem, sub_level in per_subsystem.items():
+            name = _child_name(subsystem)
+            logging.getLogger(name).setLevel(sub_level)
+            _child_overrides.append(name)
     _configured = True
     return root
 

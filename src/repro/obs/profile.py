@@ -1,0 +1,268 @@
+"""Sampled codec-kernel profiler with deterministic exemplar links.
+
+The ROADMAP's codec-vectorization item needs to know *which* kernels
+burn the clock: the from-scratch codecs (LZ77 hash-chain matching,
+Huffman build/emit, SZ3's Lorenzo predict/quantize) are the wall-clock
+bottleneck of every experiment, and "DEFLATE is slow" is not an
+actionable profile.  This module gives the runtime a zero-overhead-
+when-off kernel profiler, mirroring the tracer/metrics pattern:
+
+* instrumented kernels run under ``with get_profiler().kernel(name):``
+  — a single attribute check and a shared no-op context manager when
+  profiling is disabled;
+* when enabled, each kernel invocation charges **wall-clock** total and
+  self time to its *stack path* (e.g. ``deflate.compress →
+  lz77.match_loop``), so nested kernels attribute correctly and the
+  collapsed-stack exporter (:func:`repro.obs.export.write_flamegraph`)
+  can render a flamegraph;
+* a **seeded xorshift-free LCG** decides which invocations capture an
+  exemplar — a link from the kernel sample back to the innermost open
+  span of the current tracer.  The sampling decisions depend only on
+  the seed and the invocation order, so a deterministic run profiles
+  deterministically (sample *counts and links*; the wall-clock readings
+  themselves are machine-dependent, which is why they never enter the
+  bit-for-bit bench sections).
+
+The profiler never touches the simulation: enabling it cannot move the
+sim clock, and the BENCH_PR6 overhead gate holds the wall-clock cost of
+the whole telemetry plane (profiler included) under 5 % on the serve
+experiment.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Callable
+
+__all__ = [
+    "KernelStats",
+    "KernelExemplar",
+    "CodecProfiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "get_profiler",
+    "set_profiler",
+    "profiling",
+    "DEFAULT_EXEMPLAR_PERIOD",
+]
+
+DEFAULT_EXEMPLAR_PERIOD = 16
+
+_LCG_MULT = 6364136223846793005
+_LCG_INC = 1442695040888963407
+_LCG_MASK = (1 << 64) - 1
+
+
+class KernelStats:
+    """Accumulated cost of one stack path."""
+
+    __slots__ = ("calls", "total_s", "self_s")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.total_s = 0.0
+        self.self_s = 0.0
+
+
+class KernelExemplar:
+    """One sampled invocation, linked back to the active span (if any)."""
+
+    __slots__ = ("path", "span_index", "wall_s")
+
+    def __init__(self, path: "tuple[str, ...]", span_index: "int | None",
+                 wall_s: float) -> None:
+        self.path = path
+        self.span_index = span_index
+        self.wall_s = wall_s
+
+
+class _Frame:
+    """Context manager for one kernel invocation."""
+
+    __slots__ = ("profiler", "name", "_start", "_child_s")
+
+    def __init__(self, profiler: "CodecProfiler", name: str) -> None:
+        self.profiler = profiler
+        self.name = name
+        self._start = 0.0
+        self._child_s = 0.0
+
+    def __enter__(self) -> "_Frame":
+        self.profiler._stack.append(self)
+        self._start = self.profiler._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        profiler = self.profiler
+        duration = profiler._clock() - self._start
+        stack = profiler._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:  # tolerate out-of-order exits rather than corrupt the stack
+            try:
+                stack.remove(self)
+            except ValueError:
+                pass
+        path = tuple(frame.name for frame in stack) + (self.name,)
+        stats = profiler.nodes.get(path)
+        if stats is None:
+            stats = profiler.nodes[path] = KernelStats()
+        stats.calls += 1
+        stats.total_s += duration
+        stats.self_s += duration - self._child_s
+        if stack:
+            stack[-1]._child_s += duration
+        profiler._maybe_sample(path, duration)
+        return False
+
+
+class _NullFrame:
+    """Shared no-op frame: the disabled-profiling fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullFrame":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_FRAME = _NullFrame()
+
+
+class NullProfiler:
+    """Disabled profiler: ``kernel()`` hands back one shared no-op."""
+
+    recording = False
+
+    def kernel(self, name: str) -> _NullFrame:
+        return _NULL_FRAME
+
+
+NULL_PROFILER = NullProfiler()
+
+
+class CodecProfiler:
+    """Wall-clock kernel attribution with seeded exemplar sampling.
+
+    ``exemplar_period`` is the *average* sampling stride: roughly one
+    in every ``period`` invocations captures an exemplar, chosen by a
+    seeded LCG so the selection is a pure function of (seed, invocation
+    order).  ``clock`` is injectable for deterministic tests.
+    """
+
+    recording = True
+
+    def __init__(self, seed: int = 0,
+                 exemplar_period: int = DEFAULT_EXEMPLAR_PERIOD,
+                 clock: "Callable[[], float] | None" = None) -> None:
+        if exemplar_period < 1:
+            raise ValueError(f"exemplar period {exemplar_period} < 1")
+        self.seed = seed
+        self.exemplar_period = exemplar_period
+        self.nodes: dict[tuple[str, ...], KernelStats] = {}
+        self.exemplars: list[KernelExemplar] = []
+        self.invocations = 0
+        self._stack: list[_Frame] = []
+        self._clock = clock or perf_counter
+        self._lcg = (seed * _LCG_MULT + _LCG_INC) & _LCG_MASK
+
+    def kernel(self, name: str) -> _Frame:
+        """A context manager charging the enclosed work to ``name``."""
+        return _Frame(self, name)
+
+    # -- sampling ----------------------------------------------------------
+
+    def _maybe_sample(self, path: "tuple[str, ...]", wall_s: float) -> None:
+        self.invocations += 1
+        self._lcg = (self._lcg * _LCG_MULT + _LCG_INC) & _LCG_MASK
+        if (self._lcg >> 33) % self.exemplar_period == 0:
+            self.exemplars.append(
+                KernelExemplar(path, _open_span_index(), wall_s)
+            )
+
+    # -- views -------------------------------------------------------------
+
+    def self_seconds(self, prefix: "tuple[str, ...]" = ()) -> dict[str, float]:
+        """Self wall-seconds per kernel name under ``prefix`` (summed
+        across distinct stack paths)."""
+        totals: dict[str, float] = {}
+        for path, stats in self.nodes.items():
+            if prefix and path[: len(prefix)] != prefix:
+                continue
+            if prefix and len(path) == len(prefix):
+                continue  # the prefix frame itself, not a child
+            name = path[-1]
+            totals[name] = totals.get(name, 0.0) + stats.self_s
+        return totals
+
+    def top_kernel(self, prefix: "tuple[str, ...]" = ()) -> "str | None":
+        """The kernel with the largest self time under ``prefix``
+        (ties break lexicographically for determinism)."""
+        totals = self.self_seconds(prefix)
+        if not totals:
+            return None
+        return max(sorted(totals), key=lambda name: totals[name])
+
+    def as_records(self) -> "list[dict[str, Any]]":
+        """JSON-ready per-path records, sorted by path."""
+        return [
+            {
+                "type": "kernel",
+                "path": list(path),
+                "calls": stats.calls,
+                "total_s": stats.total_s,
+                "self_s": stats.self_s,
+            }
+            for path, stats in sorted(self.nodes.items())
+        ]
+
+
+def _open_span_index() -> "int | None":
+    """Index of the innermost open span of the current tracer, if any."""
+    from repro.obs.tracer import get_tracer
+
+    tracer = get_tracer()
+    if not tracer.recording:
+        return None
+    best = None
+    for track in tracer.tracks:
+        if track.stack:
+            candidate = track.stack[-1]
+            if best is None or candidate.index > best.index:
+                best = candidate
+    return None if best is None else best.index
+
+
+_current: "CodecProfiler | NullProfiler" = NULL_PROFILER
+
+
+def get_profiler() -> "CodecProfiler | NullProfiler":
+    """The process-wide profiler (no-op :data:`NULL_PROFILER` default)."""
+    return _current
+
+
+def set_profiler(profiler: "CodecProfiler | NullProfiler | None",
+                 ) -> "CodecProfiler | NullProfiler":
+    """Install ``profiler`` globally (None resets); returns the previous."""
+    global _current
+    previous = _current
+    _current = NULL_PROFILER if profiler is None else profiler
+    return previous
+
+
+class profiling:
+    """``with profiling(CodecProfiler()) as p:`` — scoped installation."""
+
+    def __init__(self, profiler: "CodecProfiler | None" = None) -> None:
+        self.profiler = profiler or CodecProfiler()
+        self._previous: "CodecProfiler | NullProfiler | None" = None
+
+    def __enter__(self) -> CodecProfiler:
+        self._previous = set_profiler(self.profiler)
+        return self.profiler
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        set_profiler(self._previous)
+        return False

@@ -192,10 +192,14 @@ class PipelineScheduler:
         device: "BlueFieldDPU",
         config: SchedConfig | None = None,
         pool: "MemoryPool | None" = None,
+        metrics=None,
     ) -> None:
         self.device = device
         self.config = config or SchedConfig()
         self.pool = pool
+        # Optional per-worker registry (fleet telemetry): when set, this
+        # scheduler reports there instead of the process-wide registry.
+        self._metrics_override = metrics
         self._slots = Resource(device.env, capacity=self.config.depth,
                                obs_name="sched")
         self._ring: Store = Store(device.env)
@@ -204,6 +208,13 @@ class PipelineScheduler:
         self.jobs_completed = 0
         self.jobs_stolen = 0  # work-stolen to the SoC
         self._selector = None  # lazy PathSelector (cost_aware_steal)
+
+    def _metrics(self):
+        """The registry this scheduler reports into: its own labeled
+        per-worker registry when one was injected, else the global."""
+        if self._metrics_override is not None:
+            return self._metrics_override
+        return get_metrics()
 
     @property
     def selector(self):
@@ -263,7 +274,7 @@ class PipelineScheduler:
         env = self.device.env
         breakdown = TimeBreakdown()
         submitted_at = env.now
-        metrics = get_metrics()
+        metrics = self._metrics()
         if metrics.recording:
             metrics.inc("sched.jobs")
 
@@ -418,7 +429,7 @@ class PipelineScheduler:
             if not corrupted or crc32(damaged) == crc32(job.payload):
                 return True
             span.set_attr("fault", "corrupt_output")
-            metrics = get_metrics()
+            metrics = self._metrics()
             if metrics.recording:
                 metrics.inc("faults.corruptions_detected")
         return False
@@ -427,7 +438,7 @@ class PipelineScheduler:
                   attempts: int, reason: str) -> Generator:
         """Work-steal: run the job on an SoC core instead."""
         device = self.device
-        metrics = get_metrics()
+        metrics = self._metrics()
         if metrics.recording:
             metrics.inc("sched.soc_steals")
         self.jobs_stolen += 1
@@ -452,7 +463,7 @@ class PipelineScheduler:
     def _finish(self, index: int, job: EngineJob, engine: str, attempts: int,
                 submitted_at: float, breakdown: TimeBreakdown) -> JobOutcome:
         self.jobs_completed += 1
-        metrics = get_metrics()
+        metrics = self._metrics()
         if metrics.recording:
             metrics.inc(f"sched.completed.{engine}")
         return JobOutcome(

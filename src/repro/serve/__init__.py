@@ -28,7 +28,12 @@ Quick tour::
 
 from repro.serve.admission import AdmissionController
 from repro.serve.batcher import Batch, BatchEntry, Batcher, BatchPolicy
-from repro.serve.gateway import DpuWorker, ServeConfig, ServeGateway
+from repro.serve.gateway import (
+    DpuWorker,
+    ServeConfig,
+    ServeGateway,
+    TelemetryConfig,
+)
 from repro.serve.request import ServeRequest, ServeResponse, ServeTicket
 from repro.serve.router import (
     ROUTERS,
@@ -58,5 +63,6 @@ __all__ = [
     "ServeRequest",
     "ServeResponse",
     "ServeTicket",
+    "TelemetryConfig",
     "make_router",
 ]

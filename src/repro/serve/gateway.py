@@ -34,7 +34,9 @@ from typing import TYPE_CHECKING, Generator, Sequence
 from repro.algorithms.deflate import DeflateConfig, deflate_compress, deflate_decompress
 from repro.dpu.specs import Algo, Direction
 from repro.errors import NoLatencySamplesError
-from repro.obs import device_span, get_metrics
+from repro.obs import MetricsRegistry, QuantileSketch, device_span, get_metrics
+from repro.obs.sketch import DEFAULT_ALPHA
+from repro.obs.slo import GOODPUT_COUNTER, LATENCY_METRIC
 from repro.sched import EngineJob, PipelineScheduler, SchedConfig
 from repro.serve.admission import AdmissionController
 from repro.serve.batcher import Batch, BatchEntry, Batcher, BatchPolicy
@@ -43,9 +45,29 @@ from repro.serve.router import Router, make_router
 
 if TYPE_CHECKING:
     from repro.dpu.device import BlueFieldDPU
+    from repro.obs import FleetAggregator
     from repro.sim.engine import Environment, Event
 
-__all__ = ["ServeConfig", "DpuWorker", "ServeGateway"]
+__all__ = ["ServeConfig", "TelemetryConfig", "DpuWorker", "ServeGateway"]
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Fleet-telemetry opt-in for one gateway.
+
+    When set on :class:`ServeConfig`, the gateway builds labeled
+    per-worker registries (``gateway``/``worker`` labels; the worker's
+    scheduler reports occupancy and steal counters there) plus
+    per-(worker, tenant) registries carrying the latency sketch and
+    goodput counter the SLO monitor consumes.  All of them register
+    with ``aggregator`` when one is given.  Telemetry never touches the
+    sim clock: runs are bit-for-bit identical with it on or off.
+    """
+
+    gateway: str = "gw0"
+    alpha: float = DEFAULT_ALPHA
+    default_tenant: str = "default"
+    aggregator: "FleetAggregator | None" = None
 
 
 @dataclass(frozen=True)
@@ -57,16 +79,20 @@ class ServeConfig:
     router: "str | Router" = "least_queue_depth"
     sched: SchedConfig = field(default_factory=SchedConfig)
     deflate: DeflateConfig | None = None
+    telemetry: TelemetryConfig | None = None
 
 
 class DpuWorker:
     """One fleet member: a device plus its pipelined scheduler."""
 
-    __slots__ = ("device", "scheduler", "batches_served", "requests_served")
+    __slots__ = ("device", "scheduler", "batches_served", "requests_served",
+                 "registry")
 
-    def __init__(self, device: "BlueFieldDPU", sched: SchedConfig) -> None:
+    def __init__(self, device: "BlueFieldDPU", sched: SchedConfig,
+                 registry: "MetricsRegistry | None" = None) -> None:
         self.device = device
-        self.scheduler = PipelineScheduler(device, sched)
+        self.registry = registry
+        self.scheduler = PipelineScheduler(device, sched, metrics=registry)
         self.batches_served = 0
         self.requests_served = 0
 
@@ -101,7 +127,16 @@ class ServeGateway:
                 )
         self.env = env
         self.config = config or ServeConfig()
-        self.workers = [DpuWorker(d, self.config.sched) for d in devices]
+        telemetry = self.config.telemetry
+        self.telemetry = telemetry
+        self.workers = [
+            DpuWorker(
+                d,
+                self.config.sched,
+                registry=self._make_registry(worker=d.name),
+            )
+            for d in devices
+        ]
         self.router = make_router(self.config.router)
         self.admission = AdmissionController(self.config.max_pending)
         self.batcher = Batcher(env, self.config.batch, self._dispatch)
@@ -111,6 +146,49 @@ class ServeGateway:
         self.completed = 0
         self.completed_sim_bytes = 0.0  # uncompressed bytes served
         self._latencies: list[float] = []
+        # Always-on percentile store: deterministic, mergeable, O(1)
+        # per observation (the exact list above is kept for tests and
+        # error analysis, not for serving percentiles).
+        alpha = telemetry.alpha if telemetry is not None else DEFAULT_ALPHA
+        self.latency_sketch = QuantileSketch(alpha)
+        # Per-(worker, tenant) registries, created on first completion.
+        self._tenant_registries: "dict[tuple[str, str], MetricsRegistry]" = {}
+
+    # ------------------------------------------------------------------
+    # Telemetry plumbing
+    # ------------------------------------------------------------------
+
+    def _make_registry(self, **labels: str) -> "MetricsRegistry | None":
+        """A labeled registry (auto-registered with the aggregator), or
+        None when telemetry is off."""
+        telemetry = self.telemetry
+        if telemetry is None:
+            return None
+        registry = MetricsRegistry(
+            labels={"gateway": telemetry.gateway, **labels}
+        )
+        if telemetry.aggregator is not None:
+            telemetry.aggregator.register(registry)
+        return registry
+
+    def _tenant_registry(self, worker: "DpuWorker",
+                         tenant: "str | None") -> "MetricsRegistry | None":
+        telemetry = self.telemetry
+        if telemetry is None:
+            return None
+        key = (worker.name, tenant or telemetry.default_tenant)
+        registry = self._tenant_registries.get(key)
+        if registry is None:
+            registry = self._make_registry(worker=key[0], tenant=key[1])
+            self._tenant_registries[key] = registry
+        return registry
+
+    @property
+    def registries(self) -> "tuple[MetricsRegistry, ...]":
+        """Every labeled registry this gateway owns (telemetry on)."""
+        members = [w.registry for w in self.workers if w.registry is not None]
+        members.extend(self._tenant_registries.values())
+        return tuple(members)
 
     # ------------------------------------------------------------------
     # Client surface
@@ -150,21 +228,29 @@ class ServeGateway:
     def latencies(self) -> "tuple[float, ...]":
         return tuple(self._latencies)
 
+    @property
+    def sample_count(self) -> int:
+        """Completed-request latency observations backing the
+        percentiles.  Zero means "no samples yet" — consumers (e.g.
+        the bench rows) must report that state explicitly instead of
+        a ``nan`` that is indistinguishable from a 0.0 latency."""
+        return self.latency_sketch.count
+
     def latency_percentile(self, q: float) -> float:
-        """Nearest-rank percentile (``q`` in [0, 100]) of completed
-        request latencies.
+        """Sketch-backed percentile (``q`` in [0, 100]) of completed
+        request latencies, within the sketch's relative-error bound
+        (``alpha``, default 1 %) of the exact nearest-rank value.
 
         Raises :class:`~repro.errors.NoLatencySamplesError` (a
         :class:`ValueError` subclass) when no request has completed
-        yet — e.g. at very low offered load before the first drain.
+        yet — e.g. at very low offered load before the first drain;
+        check :attr:`sample_count` to branch without catching.
         """
-        if not self._latencies:
-            raise NoLatencySamplesError("no completed requests yet")
         if not 0 <= q <= 100:
             raise ValueError(f"percentile {q} outside [0, 100]")
-        ordered = sorted(self._latencies)
-        rank = max(1, -(-len(ordered) * q // 100))  # ceil, 1-based
-        return ordered[int(rank) - 1]
+        if self.latency_sketch.count == 0:
+            raise NoLatencySamplesError("no completed requests yet")
+        return self.latency_sketch.quantile(q / 100.0)
 
     # ------------------------------------------------------------------
     # Internals
@@ -216,6 +302,7 @@ class ServeGateway:
             soc_sim_bytes=batch.soc_sim_bytes,
         )
         metrics = get_metrics()
+        span_index: "int | None" = None
         try:
             with device_span(
                 "serve.batch",
@@ -224,7 +311,9 @@ class ServeGateway:
                 direction=batch.direction.value,
                 msgs=batch.size,
                 sim_bytes=batch.engine_sim_bytes,
-            ):
+            ) as span:
+                if span.recording:
+                    span_index = span.index
                 outcome = yield worker.scheduler.submit(job).event
         except BaseException as exc:
             # Without SoC fallback an exhausted engine job surfaces its
@@ -252,7 +341,16 @@ class ServeGateway:
             self.completed += 1
             self.completed_sim_bytes += entry.soc_sim_bytes
             self._latencies.append(response.latency_s)
+            self.latency_sketch.add(response.latency_s, exemplar=span_index)
             metrics.observe("serve.latency_s", response.latency_s)
+            tenant_registry = self._tenant_registry(
+                worker, entry.request.tenant
+            )
+            if tenant_registry is not None:
+                tenant_registry.observe(
+                    LATENCY_METRIC, response.latency_s, exemplar=span_index
+                )
+                tenant_registry.inc(GOODPUT_COUNTER, entry.soc_sim_bytes)
             self.admission.complete()
             self._inflight.discard(entry.event)
             entry.event.succeed(response)

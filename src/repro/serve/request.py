@@ -22,12 +22,17 @@ class ServeRequest:
     compress direction, a DEFLATE stream on decompress); ``sim_bytes``
     is the nominal *uncompressed* size the cost model charges for —
     the same two-domain convention the rest of the runtime uses.
+
+    ``tenant`` (optional) names the client the request belongs to; the
+    telemetry plane records latency/goodput into per-tenant labeled
+    registries so the SLO monitor can burn budgets per tenant.
     """
 
     direction: Direction
     payload: bytes
     sim_bytes: float | None = None
     req_id: object = None
+    tenant: str | None = None
 
     def __post_init__(self) -> None:
         if self.sim_bytes is not None and self.sim_bytes < 0:

@@ -1,6 +1,7 @@
 """Regression gates over the committed perf trajectories
 (BENCH_PR3.json — core runtime; BENCH_PR4.json — serving layer;
-BENCH_PR5.json — path-selection crossover sweep).
+BENCH_PR5.json — path-selection crossover sweep; BENCH_PR6.json —
+telemetry plane: deterministic sim section + band-only wall section).
 
 Two layers of protection:
 
@@ -29,6 +30,25 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 REPORT_PATH = REPO_ROOT / regress.DEFAULT_REPORT_PATH
 SERVE_REPORT_PATH = REPO_ROOT / regress.DEFAULT_SERVE_REPORT_PATH
 SELECT_REPORT_PATH = REPO_ROOT / regress.DEFAULT_SELECT_REPORT_PATH
+OBS_REPORT_PATH = REPO_ROOT / regress.DEFAULT_OBS_REPORT_PATH
+
+
+def assert_deep_exact(fresh, recorded, where):
+    """Recursive bit-for-bit comparison (floats at rel=1e-12)."""
+    if isinstance(recorded, float) and isinstance(fresh, float):
+        assert fresh == pytest.approx(recorded, rel=1e-12, abs=0.0), (
+            f"{where} drifted"
+        )
+    elif isinstance(recorded, dict):
+        assert set(fresh) == set(recorded), f"{where} keys drifted"
+        for key in recorded:
+            assert_deep_exact(fresh[key], recorded[key], f"{where}.{key}")
+    elif isinstance(recorded, list):
+        assert len(fresh) == len(recorded), f"{where} length drifted"
+        for i, (f, r) in enumerate(zip(fresh, recorded)):
+            assert_deep_exact(f, r, f"{where}[{i}]")
+    else:
+        assert fresh == recorded, f"{where} drifted"
 
 
 @pytest.fixture(scope="module")
@@ -291,4 +311,102 @@ def test_select_gate_reports_violations():
 def test_select_gate_reports_missing_headline():
     violations = regress.gate_select({"headlines": {}})
     assert len(violations) == len(regress.SELECT_BANDS)
+    assert all("missing" in v for v in violations)
+
+
+# ---------------------------------------------------------------------------
+# Telemetry-plane trajectory (BENCH_PR6.json)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def fresh_obs_report():
+    return regress.collect_obs()
+
+
+@pytest.fixture(scope="module")
+def committed_obs_report():
+    if not OBS_REPORT_PATH.exists():
+        pytest.fail(
+            f"{regress.DEFAULT_OBS_REPORT_PATH} missing — regenerate it "
+            f"with 'python benchmarks/regress.py'"
+        )
+    return regress.load_report(OBS_REPORT_PATH)
+
+
+def test_obs_fresh_numbers_pass_bands(fresh_obs_report):
+    assert regress.gate_obs(fresh_obs_report) == []
+
+
+def test_obs_committed_sim_section_passes_bands(committed_obs_report):
+    """Only the sim section of the committed file is gated: the wall
+    section records the generating host's measurements, which the fresh
+    fixture re-measures on this host instead of trusting."""
+    assert regress._gate_bands(
+        committed_obs_report["sim"], regress.OBS_SIM_BANDS
+    ) == []
+
+
+def test_obs_committed_report_schema(committed_obs_report):
+    assert committed_obs_report["schema"] == regress.OBS_SCHEMA
+    assert set(regress.OBS_SIM_BANDS) <= set(
+        committed_obs_report["sim"]["headlines"]
+    )
+    assert set(regress.OBS_WALL_BANDS) <= set(
+        committed_obs_report["wall"]["headlines"]
+    )
+    assert committed_obs_report["config"]["overhead_ceiling"] \
+        == regress.OBS_OVERHEAD_CEILING
+
+
+def test_obs_sim_trajectory_is_reproduced_exactly(
+    fresh_obs_report, committed_obs_report
+):
+    """The sim section — fleet quantiles, alert stream, per-gateway
+    rows, the serve point — is pure sim-clock arithmetic and must come
+    back bit-for-bit.  The wall section is deliberately excluded."""
+    assert_deep_exact(
+        fresh_obs_report["sim"], committed_obs_report["sim"], "obs sim"
+    )
+
+
+def test_obs_telemetry_is_bit_for_bit(fresh_obs_report):
+    """Tentpole acceptance: the serve experiment's simulated numbers
+    are identical with telemetry on and off."""
+    assert fresh_obs_report["sim"]["headlines"]["obs_bit_for_bit"] == 1.0
+
+
+def test_obs_fleet_quantile_error_within_alpha(fresh_obs_report):
+    headlines = fresh_obs_report["sim"]["headlines"]
+    alpha = headlines["obs_sketch_alpha"]
+    assert headlines["obs_fleet_p50_rel_err"] <= alpha
+    assert headlines["obs_fleet_p99_rel_err"] <= alpha
+
+
+def test_obs_overhead_and_top_kernel(fresh_obs_report):
+    """Tentpole acceptance: telemetry costs <= the ceiling on this
+    host, and the flamegraph names the LZ77 match loop as the top
+    kernel on the DEFLATE compress path."""
+    wall = fresh_obs_report["wall"]
+    assert wall["headlines"]["obs_overhead_ratio"] \
+        <= regress.OBS_OVERHEAD_CEILING
+    assert wall["top_kernel"] == "lz77.match_loop"
+    assert wall["headlines"]["obs_top_kernel_is_lz77"] == 1.0
+
+
+def test_obs_gate_reports_violations():
+    bad = {
+        "sim": {"headlines": {key: -1.0 for key in regress.OBS_SIM_BANDS}},
+        "wall": {"headlines": {key: 9.0 for key in regress.OBS_WALL_BANDS}},
+    }
+    violations = regress.gate_obs(bad)
+    assert violations
+    assert any("below floor" in v for v in violations)
+    assert any("above ceiling" in v for v in violations)
+
+
+def test_obs_gate_reports_missing_sections():
+    violations = regress.gate_obs({})
+    assert len(violations) == (
+        len(regress.OBS_SIM_BANDS) + len(regress.OBS_WALL_BANDS)
+    )
     assert all("missing" in v for v in violations)

@@ -1,0 +1,200 @@
+"""Fleet aggregation: merge semantics, delta scrapes, sim neutrality."""
+
+import pytest
+
+from repro.obs import (
+    FleetAggregator,
+    MetricsRegistry,
+    merge_registries,
+    scrape_process,
+)
+from repro.sim import Environment
+
+
+def make_worker_registry(gateway, worker, requests, latencies):
+    registry = MetricsRegistry(labels={"gateway": gateway, "worker": worker})
+    registry.inc("serve.requests", requests)
+    for latency in latencies:
+        registry.observe("serve.latency_s", latency)
+    return registry
+
+
+class TestMergeRegistries:
+    def test_counters_sum_and_histograms_pool(self):
+        a = make_worker_registry("gw0", "bf2", 3, [1e-3, 2e-3])
+        b = make_worker_registry("gw0", "bf3", 5, [4e-3])
+        merged = merge_registries([a, b])
+        assert merged.counters["serve.requests"].value == 8.0
+        hist = merged.histograms["serve.latency_s"]
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(7e-3)
+        assert hist.sketch.count == 3
+
+    def test_inputs_not_mutated(self):
+        a = make_worker_registry("gw0", "bf2", 1, [1e-3])
+        b = make_worker_registry("gw0", "bf3", 1, [1e-3])
+        merge_registries([a, b])
+        assert a.counters["serve.requests"].value == 1.0
+        assert a.histograms["serve.latency_s"].count == 1
+
+    def test_gauge_last_write_wins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.set_gauge("depth", 3.0)
+        b.set_gauge("depth", 9.0)  # later process-wide seq stamp
+        merged = merge_registries([b, a])  # order must not matter
+        assert merged.gauges["depth"].value == 9.0
+        assert merged.gauges["depth"].updates == 2
+
+    def test_boundary_mismatch_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("h", 1.0, (1.0, 2.0))
+        b.observe("h", 1.0, (5.0,))
+        with pytest.raises(ValueError, match="boundary mismatch"):
+            merge_registries([a, b])
+
+    def test_result_carries_requested_labels(self):
+        merged = merge_registries([MetricsRegistry()],
+                                  labels={"tenant": "hot"})
+        assert merged.label_dict == {"tenant": "hot"}
+
+
+class TestFleetAggregator:
+    def test_register_is_idempotent_per_object(self):
+        aggregator = FleetAggregator()
+        registry = MetricsRegistry()
+        aggregator.register(registry)
+        aggregator.register(registry)
+        assert aggregator.members == (registry,)
+
+    def test_register_rejects_non_registries(self):
+        with pytest.raises(TypeError, match="MetricsRegistry"):
+            FleetAggregator().register({"not": "a registry"})
+
+    def test_scrape_counter_deltas_are_windowed(self):
+        aggregator = FleetAggregator()
+        registry = aggregator.register(MetricsRegistry())
+        registry.inc("serve.requests", 10)
+        first = aggregator.scrape(1.0)
+        assert first.counter_deltas["serve.requests"] == 10.0
+        assert first.interval_s == 0.0  # no previous scrape
+        registry.inc("serve.requests", 4)
+        second = aggregator.scrape(3.0)
+        assert second.counter_deltas["serve.requests"] == 4.0
+        assert second.interval_s == pytest.approx(2.0)
+        assert second.overall.counters["serve.requests"].value == 14.0
+
+    def test_group_by_merges_per_label_value(self):
+        aggregator = FleetAggregator()
+        for worker, tenant, n in (("bf2", "hot", 2), ("bf3", "hot", 3),
+                                  ("bf2", "cold", 5)):
+            registry = aggregator.register(
+                MetricsRegistry(labels={"worker": worker, "tenant": tenant})
+            )
+            registry.inc("serve.requests", n)
+        snapshot = aggregator.scrape(0.0, group_by=("tenant",))
+        assert snapshot.group("hot").counters["serve.requests"].value == 5.0
+        assert snapshot.group("cold").counters["serve.requests"].value == 5.0
+        assert snapshot.group("warm") is None
+
+    def test_members_missing_group_key_land_under_empty_string(self):
+        aggregator = FleetAggregator()
+        aggregator.register(MetricsRegistry()).inc("x", 1)
+        snapshot = aggregator.scrape(0.0, group_by=("tenant",))
+        assert snapshot.group("").counters["x"].value == 1.0
+
+    def test_late_registration_is_picked_up(self):
+        aggregator = FleetAggregator()
+        aggregator.register(MetricsRegistry()).inc("x", 1)
+        aggregator.scrape(0.0)
+        late = aggregator.register(MetricsRegistry())
+        late.inc("x", 2)
+        snapshot = aggregator.scrape(1.0)
+        assert snapshot.overall.counters["x"].value == 3.0
+
+    def test_latest_and_history_bound(self):
+        aggregator = FleetAggregator()
+        assert aggregator.latest() is None
+        aggregator.history_limit = 3
+        for i in range(5):
+            aggregator.scrape(float(i))
+        assert len(aggregator.history) == 3
+        assert aggregator.latest().sim_now == 4.0
+        assert aggregator.scrapes == 5
+
+    def test_snapshot_quantile_and_as_dict(self):
+        import json
+
+        aggregator = FleetAggregator()
+        registry = aggregator.register(
+            MetricsRegistry(labels={"tenant": "hot"})
+        )
+        for latency in (1e-3, 2e-3, 4e-3):
+            registry.observe("serve.latency_s", latency)
+        snapshot = aggregator.scrape(0.5, group_by=("tenant",))
+        assert snapshot.quantile("serve.latency_s", 1.0) == pytest.approx(
+            4e-3, rel=0.01
+        )
+        doc = snapshot.as_dict()
+        json.dumps(doc)
+        assert doc["group_by"] == ["tenant"]
+        assert "hot" in doc["groups"]
+        assert doc["overall"]["histograms"]["serve.latency_s"]["count"] == 3
+
+
+class TestScrapeProcess:
+    def test_scrapes_on_the_sim_interval(self):
+        env = Environment()
+        aggregator = FleetAggregator()
+        seen = []
+        env.process(scrape_process(env, aggregator, 1e-3,
+                                   on_scrape=lambda s: seen.append(s.sim_now)))
+
+        def horizon(env):
+            yield env.timeout(3.5e-3)
+
+        env.run(until=env.process(horizon(env)))
+        assert seen == [pytest.approx(1e-3), pytest.approx(2e-3),
+                        pytest.approx(3e-3)]
+        assert aggregator.scrapes == 3
+
+    def test_interval_must_be_positive(self):
+        env = Environment()
+        with pytest.raises(ValueError, match="positive"):
+            next(scrape_process(env, FleetAggregator(), 0.0))
+
+    def test_scraping_never_moves_the_sim(self):
+        """A run with a scrape loop finishes at the same sim time and
+        serves byte-identical responses — scrapes only read."""
+        from repro.dpu import make_device
+        from repro.dpu.specs import Direction
+        from repro.serve import (
+            ServeConfig,
+            ServeGateway,
+            ServeRequest,
+            TelemetryConfig,
+        )
+
+        def run(with_scrapes):
+            env = Environment()
+            aggregator = FleetAggregator()
+            gateway = ServeGateway(
+                env,
+                [make_device(env, "bf2")],
+                ServeConfig(telemetry=TelemetryConfig(aggregator=aggregator)),
+            )
+            if with_scrapes:
+                env.process(scrape_process(env, aggregator, 1e-4))
+
+            def client(env):
+                for i in range(6):
+                    gateway.submit(ServeRequest(
+                        Direction.COMPRESS, b"scrape-neutral " * 32,
+                        sim_bytes=64 * 1024, req_id=i,
+                    ))
+                    yield env.timeout(1e-4)
+                yield from gateway.drain()
+
+            env.run(until=env.process(client(env)))
+            return env.now, tuple(gateway.latencies)
+
+        assert run(False) == run(True)

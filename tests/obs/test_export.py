@@ -1,16 +1,19 @@
-"""Exporters: Chrome trace-event schema and the JSONL event log."""
+"""Exporters: Chrome trace JSON, the JSONL event log, flamegraphs."""
 
 import json
 
 import pytest
 
 from repro.obs import (
+    CodecProfiler,
     MetricsRegistry,
     chrome_trace_events,
+    collapsed_stacks,
     device_span,
     span_records,
     tracing,
     write_chrome_trace,
+    write_flamegraph,
     write_jsonl,
     write_metrics_json,
 )
@@ -124,3 +127,79 @@ class TestJsonl:
         write_metrics_json(metrics, str(path))
         doc = json.loads(path.read_text())
         assert doc["counters"] == {"a": 3.0}
+
+    def test_histogram_record_shape_is_pinned(self, tmp_path):
+        """Regression pin: the per-line JSONL shape is a stable contract
+        — downstream grep/pandas consumers key on exactly these fields,
+        including the +Inf ``overflow`` break-out added in PR 6."""
+        metrics = MetricsRegistry()
+        metrics.observe("wait", 0.5, (1.0, 2.0))
+        metrics.observe("wait", 99.0, (1.0, 2.0))  # overflow bucket
+        path = tmp_path / "out.jsonl"
+        write_jsonl(None, str(path), metrics=metrics)
+        (record,) = [json.loads(l) for l in path.read_text().splitlines()]
+        assert record == {
+            "type": "histogram",
+            "name": "wait",
+            "boundaries": [1.0, 2.0],
+            "counts": [1, 0, 1],
+            "overflow": 1,
+            "sum": 99.5,
+            "count": 2,
+        }
+
+    def test_span_record_shape_is_pinned(self):
+        record = span_records(record_sample_trace())[0]
+        assert set(record) == {
+            "type", "index", "name", "track", "parent", "sim_start_s",
+            "sim_dur_s", "wall_dur_s", "attrs", "phases",
+        }
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        reading = self.now
+        self.now += 1.0
+        return reading
+
+
+class TestFlamegraph:
+    def profiler(self):
+        p = CodecProfiler(clock=FakeClock())
+        with p.kernel("deflate.compress"):
+            with p.kernel("lz77.match_loop"):
+                pass
+        return p
+
+    def test_collapsed_stacks_weighted_by_self_micros(self):
+        # lz77 self 1 s, deflate self 2 s (child time excluded).
+        assert collapsed_stacks(self.profiler()) == [
+            "deflate.compress 2000000",
+            "deflate.compress;lz77.match_loop 1000000",
+        ]
+
+    def test_write_flamegraph_file(self, tmp_path):
+        path = tmp_path / "out.folded"
+        n = write_flamegraph(self.profiler(), str(path))
+        assert n == 2
+        lines = path.read_text().splitlines()
+        assert lines == collapsed_stacks(self.profiler())
+        for line in lines:
+            stack, weight = line.rsplit(" ", 1)
+            assert stack
+            int(weight)  # flamegraph.pl wants integer sample weights
+
+    def test_zero_weight_paths_kept(self):
+        p = CodecProfiler()  # real clock: a pass body rounds to 0 us
+        with p.kernel("noop"):
+            pass
+        (line,) = collapsed_stacks(p)
+        assert line.startswith("noop ")
+
+    def test_empty_profiler_writes_empty_file(self, tmp_path):
+        path = tmp_path / "empty.folded"
+        assert write_flamegraph(CodecProfiler(), str(path)) == 0
+        assert path.read_text() == ""

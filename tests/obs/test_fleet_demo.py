@@ -1,0 +1,81 @@
+"""Acceptance: the two-gateway fleet telemetry demo end to end.
+
+This is the PR 6 acceptance surface: two gateways' per-worker and
+per-(worker, tenant) registries merge into one fleet snapshot whose
+sketch percentiles sit within the advertised relative-error bound of
+the exact pooled values, sim-clock scrapes feed the SLO monitor, and a
+seeded overload fires a deterministic alert stream.
+"""
+
+import math
+
+import pytest
+
+from repro.bench.experiments.obs_telemetry import run_fleet_demo
+from repro.obs.slo import LATENCY_METRIC
+
+
+@pytest.fixture(scope="module")
+def demo():
+    return run_fleet_demo()
+
+
+def test_two_gateways_feed_the_fleet(demo):
+    assert [row["gateway"] for row in demo["rows"]] == ["gw0", "gw1"]
+    for row in demo["rows"]:
+        assert row["completed"] > 0
+        assert row["sample_count"] == row["completed"]
+        # Each gateway owns >= 2 worker registries + tenant shards.
+        assert row["registries"] >= 4
+    assert demo["headlines"]["obs_member_registries"] >= 4.0
+
+
+def test_fleet_quantiles_within_sketch_bound(demo):
+    """The merged sketch's p50/p99 must sit within alpha of the exact
+    pooled nearest-rank percentiles — the mergeability guarantee the
+    whole roll-up design rests on."""
+    headlines = demo["headlines"]
+    alpha = headlines["obs_sketch_alpha"]
+    assert headlines["obs_fleet_p50_rel_err"] <= alpha
+    assert headlines["obs_fleet_p99_rel_err"] <= alpha
+    assert headlines["obs_fleet_sample_count"] == sum(
+        row["sample_count"] for row in demo["rows"]
+    )
+
+
+def test_scrapes_ran_on_the_sim_clock(demo):
+    assert demo["headlines"]["obs_scrapes"] >= 2.0
+
+
+def test_overload_fires_deterministic_slo_alerts(demo):
+    """Seeded overload: the hot tenant burns latency budget and the
+    cold tenant misses its goodput floor at deterministic sim times."""
+    alerts = demo["alerts"]
+    assert alerts, "overload must fire at least one alert"
+    kinds = {a["kind"] for a in alerts}
+    assert "latency_burn" in kinds
+    assert "goodput_floor" in kinds
+    assert any(a["severity"] == "page" for a in alerts)
+    tenants = {a["tenant"] for a in alerts}
+    assert "hot" in tenants and "cold" in tenants
+    for alert in alerts:
+        assert alert["type"] == "slo_alert"
+        assert alert["fired_at_s"] > 0.0
+
+
+def test_demo_is_deterministic(demo):
+    """Re-running the demo reproduces the identical record — alerts,
+    quantile errors, sample counts, everything."""
+    again = run_fleet_demo()
+    assert again["headlines"] == demo["headlines"]
+    assert again["alerts"] == demo["alerts"]
+    assert again["rows"] == demo["rows"]
+    assert again["exact"] == demo["exact"]
+
+
+def test_metric_name_contract(demo):
+    """The serve layer and the SLO monitor agree on instrument names."""
+    assert LATENCY_METRIC == "serve.latency_s"
+    exact = demo["exact"]
+    assert 0.0 < exact["p50_s"] <= exact["p99_s"]
+    assert not math.isnan(demo["headlines"]["obs_fleet_p99_s"])

@@ -5,7 +5,7 @@ import logging
 
 import pytest
 
-from repro.obs.logging import ENV_VAR, configure, get_logger
+from repro.obs.logging import ENV_VAR, configure, get_logger, parse_spec
 
 
 @pytest.fixture(autouse=True)
@@ -62,3 +62,93 @@ def test_configure_idempotent_without_force():
     handlers = list(first.handlers)
     second = configure("debug")  # ignored: already configured
     assert second.handlers == handlers
+
+
+class TestParseSpec:
+    def test_global_only(self):
+        assert parse_spec("debug") == (logging.DEBUG, {})
+
+    def test_per_subsystem_only(self):
+        assert parse_spec("serve=debug,obs=warning") == (
+            None, {"serve": logging.DEBUG, "obs": logging.WARNING},
+        )
+
+    def test_mixed_global_and_overrides(self):
+        assert parse_spec("info,sched=debug") == (
+            logging.INFO, {"sched": logging.DEBUG},
+        )
+
+    def test_whitespace_case_and_warn_alias(self):
+        assert parse_spec(" Serve = DEBUG , obs=Warn ") == (
+            None, {"Serve": logging.DEBUG, "obs": logging.WARNING},
+        )
+
+    def test_unknown_tokens_ignored(self):
+        assert parse_spec("nonsense,serve=nope,=debug,,") == (None, {})
+
+    def test_dotted_subsystem_paths_allowed(self):
+        assert parse_spec("mpi.protocol=debug") == (
+            None, {"mpi.protocol": logging.DEBUG},
+        )
+
+
+class TestPerSubsystemLevels:
+    def capture(self, spec, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, spec)
+        stream = io.StringIO()
+        configure(force=True, stream=stream)
+        return stream
+
+    def test_only_named_subsystems_speak(self, monkeypatch):
+        stream = self.capture("serve=debug,obs=warning", monkeypatch)
+        get_logger("serve").debug("serve-dbg")
+        get_logger("obs").info("obs-info")       # muted: obs is warning+
+        get_logger("obs").warning("obs-warn")
+        get_logger("sched").info("sched-info")   # muted: global default
+        out = stream.getvalue()
+        assert "[repro.serve] DEBUG serve-dbg" in out
+        assert "obs-info" not in out
+        assert "[repro.obs] WARNING obs-warn" in out
+        assert "sched-info" not in out
+
+    def test_override_applies_to_child_loggers(self, monkeypatch):
+        stream = self.capture("serve=debug", monkeypatch)
+        get_logger("serve.gateway").debug("nested-dbg")
+        assert "[repro.serve.gateway] DEBUG nested-dbg" in stream.getvalue()
+
+    def test_global_with_louder_subsystem(self, monkeypatch):
+        stream = self.capture("info,sched=debug", monkeypatch)
+        get_logger("sched").debug("sched-dbg")
+        get_logger("serve").debug("serve-dbg")  # muted: global is info
+        get_logger("serve").info("serve-info")
+        out = stream.getvalue()
+        assert "sched-dbg" in out
+        assert "serve-dbg" not in out
+        assert "serve-info" in out
+
+    def test_subsystem_can_be_quieter_than_global(self, monkeypatch):
+        stream = self.capture("debug,obs=error", monkeypatch)
+        get_logger("obs").warning("obs-warn")   # muted below error
+        get_logger("obs").error("obs-err")
+        get_logger("serve").debug("serve-dbg")
+        out = stream.getvalue()
+        assert "obs-warn" not in out
+        assert "obs-err" in out
+        assert "serve-dbg" in out
+
+    def test_reconfigure_clears_old_overrides(self, monkeypatch):
+        self.capture("serve=debug", monkeypatch)
+        stream = self.capture("info", monkeypatch)
+        get_logger("serve").debug("stale-dbg")  # old override must be gone
+        get_logger("serve").info("fresh-info")
+        out = stream.getvalue()
+        assert "stale-dbg" not in out
+        assert "fresh-info" in out
+
+    def test_dotted_override_targets_exact_logger(self, monkeypatch):
+        stream = self.capture("serve.gateway=debug", monkeypatch)
+        get_logger("serve.gateway").debug("gw-dbg")
+        get_logger("serve").debug("parent-dbg")  # not covered
+        out = stream.getvalue()
+        assert "gw-dbg" in out
+        assert "parent-dbg" not in out

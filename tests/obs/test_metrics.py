@@ -1,9 +1,11 @@
-"""Metrics registry: counters, gauges, fixed-bucket histograms."""
+"""Metrics registry: counters, gauges, sketch-backed histograms."""
 
 import pytest
 
 from repro.obs import (
     NULL_METRICS,
+    Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
     QUEUE_DEPTH_BUCKETS,
@@ -26,6 +28,13 @@ class TestCounter:
         with pytest.raises(ValueError):
             m.inc("jobs", -1.0)
 
+    def test_merge_sums(self):
+        a, b = Counter("jobs"), Counter("jobs")
+        a.inc(3.0)
+        b.inc(4.0)
+        assert a.merge(b).value == 7.0
+        assert b.value == 4.0  # the source is untouched
+
 
 class TestGauge:
     def test_tracks_min_max_updates(self):
@@ -38,6 +47,25 @@ class TestGauge:
         assert g.min == 1.0
         assert g.max == 7.0
         assert g.updates == 3
+
+    def test_merge_latest_write_wins_by_seq_stamp(self):
+        """The process-wide seq stamp, not merge order, decides 'latest' —
+        the fleet roll-up must be order-independent."""
+        a, b = Gauge("depth"), Gauge("depth")
+        a.set(3.0)
+        b.set(9.0)  # chronologically later write
+        assert b.seq > a.seq
+        merged_ab = Gauge("depth").merge(a).merge(b)
+        merged_ba = Gauge("depth").merge(b).merge(a)
+        assert merged_ab.value == merged_ba.value == 9.0
+        assert merged_ab.updates == merged_ba.updates == 2
+        assert merged_ab.min == 3.0
+        assert merged_ab.max == 9.0
+
+    def test_never_set_gauge_loses_merge(self):
+        a, b = Gauge("depth"), Gauge("depth")
+        a.set(5.0)
+        assert b.merge(a).value == 5.0  # seq 0 never beats a real write
 
 
 class TestHistogram:
@@ -70,6 +98,54 @@ class TestHistogram:
     def test_empty_histogram_mean_zero(self):
         assert Histogram("h", (1.0,)).mean == 0.0
 
+    def test_nan_observation_rejected(self):
+        h = Histogram("h", (1.0,))
+        with pytest.raises(ValueError, match="NaN"):
+            h.observe(float("nan"))
+        assert h.count == 0
+
+    def test_snapshot_breaks_out_overflow(self):
+        h = Histogram("h", (1.0, 2.0))
+        for value in (0.5, 1.5, 10.0, 20.0):
+            h.observe(value)
+        snap = h.snapshot()
+        assert snap["counts"] == [1, 1, 2]
+        assert snap["overflow"] == 2
+        assert snap["count"] == 4  # overflow counted in the total
+
+    def test_sketch_backed_quantile(self):
+        h = Histogram("h", (1.0,))
+        for value in (0.010, 0.020, 0.040, 5.0):
+            h.observe(value)
+        assert h.quantile(1.0) == pytest.approx(5.0, rel=0.01)
+        assert h.quantile(0.5) == pytest.approx(0.020, rel=0.01)
+        with pytest.raises(ValueError):
+            Histogram("empty", (1.0,)).quantile(0.5)
+
+    def test_merge_pools_buckets_and_sketches(self):
+        a = Histogram("h", (1.0, 2.0))
+        b = Histogram("h", (1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(9.0)
+        a.merge(b)
+        assert a.counts == [1, 1, 1]
+        assert a.count == 3
+        assert a.sum == pytest.approx(11.0)
+        assert a.sketch.count == 3
+        assert a.quantile(1.0) == pytest.approx(9.0, rel=0.01)
+
+    def test_merge_boundary_mismatch_rejected(self):
+        a = Histogram("h", (1.0,))
+        b = Histogram("h", (2.0,))
+        with pytest.raises(ValueError, match="boundary mismatch"):
+            a.merge(b)
+
+    def test_exemplar_flows_into_the_sketch(self):
+        h = Histogram("h", (1.0,))
+        h.observe(0.5, exemplar=42)
+        assert h.sketch.exemplars == [(0.5, 42)]
+
 
 class TestRegistry:
     def test_as_dict_snapshot_sorted_and_json_ready(self):
@@ -97,6 +173,26 @@ class TestRegistry:
             return m.as_dict()
 
         assert run() == run()
+
+
+class TestLabels:
+    def test_labels_frozen_and_sorted(self):
+        m = MetricsRegistry(labels={"worker": "bf2", "gateway": "gw0"})
+        assert m.labels == (("gateway", "gw0"), ("worker", "bf2"))
+        assert m.label_dict == {"gateway": "gw0", "worker": "bf2"}
+
+    def test_unlabeled_registry_has_empty_labels(self):
+        m = MetricsRegistry()
+        assert m.labels == ()
+        assert "labels" not in m.as_dict()
+
+    def test_labels_appear_in_snapshot(self):
+        m = MetricsRegistry(labels={"tenant": "hot"})
+        assert m.as_dict()["labels"] == {"tenant": "hot"}
+
+    def test_non_string_labels_rejected(self):
+        with pytest.raises(TypeError, match="str"):
+            MetricsRegistry(labels={"worker": 3})
 
 
 class TestNoOpDefault:

@@ -1,0 +1,222 @@
+"""Codec profiler: stack attribution, seeded exemplars, null path."""
+
+import pytest
+
+from repro.obs import (
+    NULL_PROFILER,
+    CodecProfiler,
+    get_profiler,
+    profiling,
+    set_profiler,
+    tracing,
+)
+
+
+class FakeClock:
+    """Deterministic wall clock: each reading advances by ``step``."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        reading = self.now
+        self.now += self.step
+        return reading
+
+
+def make_profiler(**kwargs):
+    kwargs.setdefault("clock", FakeClock())
+    return CodecProfiler(**kwargs)
+
+
+class TestAttribution:
+    def test_nested_kernels_charge_stack_paths(self):
+        p = make_profiler()
+        with p.kernel("deflate.compress"):
+            with p.kernel("lz77.match_loop"):
+                pass
+        # Clock readings: outer start 0, inner start 1, inner end 2,
+        # outer end 3 → inner total/self 1, outer total 3, self 2.
+        inner = p.nodes[("deflate.compress", "lz77.match_loop")]
+        outer = p.nodes[("deflate.compress",)]
+        assert inner.calls == 1
+        assert inner.total_s == pytest.approx(1.0)
+        assert inner.self_s == pytest.approx(1.0)
+        assert outer.total_s == pytest.approx(3.0)
+        assert outer.self_s == pytest.approx(2.0)  # child time excluded
+
+    def test_same_kernel_under_different_parents(self):
+        p = make_profiler()
+        with p.kernel("a"):
+            with p.kernel("leaf"):
+                pass
+        with p.kernel("b"):
+            with p.kernel("leaf"):
+                pass
+        assert ("a", "leaf") in p.nodes
+        assert ("b", "leaf") in p.nodes
+        # self_seconds() sums the leaf across its distinct stack paths.
+        assert p.self_seconds()["leaf"] == pytest.approx(2.0)
+
+    def test_repeated_calls_accumulate(self):
+        p = make_profiler()
+        for _ in range(3):
+            with p.kernel("k"):
+                pass
+        assert p.nodes[("k",)].calls == 3
+        assert p.nodes[("k",)].total_s == pytest.approx(3.0)
+
+    def test_exception_still_charges_the_frame(self):
+        p = make_profiler()
+        with pytest.raises(RuntimeError):
+            with p.kernel("k"):
+                raise RuntimeError("boom")
+        assert p.nodes[("k",)].calls == 1
+
+
+class TestViews:
+    def build(self):
+        p = make_profiler()
+        with p.kernel("deflate.compress"):
+            with p.kernel("lz77.match_loop"):
+                with p.kernel("hash"):
+                    pass
+            with p.kernel("huffman.emit"):
+                pass
+        with p.kernel("sz3.compress"):
+            pass
+        return p
+
+    def test_self_seconds_prefix_filters_subtree(self):
+        p = self.build()
+        under = p.self_seconds(("deflate.compress",))
+        assert set(under) == {"lz77.match_loop", "hash", "huffman.emit"}
+        assert "sz3.compress" not in under
+        # The prefix frame itself is excluded from its own listing.
+        assert "deflate.compress" not in under
+
+    def test_top_kernel_by_self_time(self):
+        p = make_profiler()
+        with p.kernel("root"):
+            with p.kernel("cheap"):
+                pass  # self 1.0
+            with p.kernel("dear"):
+                with p.kernel("ignored"):
+                    pass
+                with p.kernel("ignored"):
+                    pass  # dear self = total 5 - children 2 = 3
+        assert p.top_kernel(("root",)) == "dear"
+        assert p.top_kernel(("missing",)) is None
+
+    def test_top_kernel_tie_breaks_lexicographically(self):
+        p = make_profiler()
+        with p.kernel("b"):
+            pass
+        with p.kernel("a"):
+            pass  # both self 1.0
+        assert p.top_kernel() == "a"
+
+    def test_as_records_sorted_and_json_ready(self):
+        import json
+
+        records = self.build().as_records()
+        paths = [tuple(r["path"]) for r in records]
+        assert paths == sorted(paths)
+        assert all(r["type"] == "kernel" for r in records)
+        json.dumps(records)
+
+
+class TestExemplars:
+    def test_sampling_is_a_pure_function_of_seed_and_order(self):
+        def run(seed):
+            p = make_profiler(seed=seed)
+            for i in range(200):
+                with p.kernel(f"k{i % 3}"):
+                    pass
+            return [e.path for e in p.exemplars]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)  # different seed, different picks
+        assert len(run(7)) > 0   # period 16 over 200 calls must sample
+
+    def test_exemplars_link_to_the_open_span(self):
+        class FakeDevice:
+            def __init__(self, name="bf2"):
+                self.env = None
+                self.name = name
+
+        from repro.obs import device_span
+
+        p = make_profiler(exemplar_period=1)  # sample every invocation
+        with tracing() as tracer:
+            with device_span("serve.batch", FakeDevice()) as span:
+                with p.kernel("lz77.match_loop"):
+                    pass
+        assert len(p.exemplars) == 1
+        assert p.exemplars[0].span_index == span.index
+        assert p.exemplars[0].path == ("lz77.match_loop",)
+        assert tracer.spans[span.index].name == "serve.batch"
+
+    def test_no_tracer_means_no_span_link(self):
+        p = make_profiler(exemplar_period=1)
+        with p.kernel("k"):
+            pass
+        assert p.exemplars[0].span_index is None
+
+    def test_period_validated(self):
+        with pytest.raises(ValueError, match="period"):
+            CodecProfiler(exemplar_period=0)
+
+
+class TestNullPath:
+    def test_default_is_null_and_inert(self):
+        assert get_profiler() is NULL_PROFILER
+        assert not NULL_PROFILER.recording
+        frame_a = NULL_PROFILER.kernel("x")
+        frame_b = NULL_PROFILER.kernel("y")
+        assert frame_a is frame_b  # one shared no-op frame
+        with frame_a:
+            pass
+
+    def test_profiling_scopes_installation(self):
+        with profiling() as p:
+            assert get_profiler() is p
+            assert p.recording
+            with get_profiler().kernel("k"):
+                pass
+        assert get_profiler() is NULL_PROFILER
+        assert ("k",) in p.nodes
+
+    def test_set_profiler_returns_previous(self):
+        p = CodecProfiler()
+        prev = set_profiler(p)
+        try:
+            assert get_profiler() is p
+        finally:
+            set_profiler(prev)
+        assert get_profiler() is NULL_PROFILER
+
+
+class TestInstrumentedCodecs:
+    def test_deflate_roundtrip_produces_kernel_stacks(self):
+        from repro.algorithms.deflate import deflate_compress, deflate_decompress
+
+        payload = (b"profile me, deflate! " * 64)
+        with profiling() as p:
+            blob = deflate_compress(payload)
+            assert deflate_decompress(blob) == payload
+        names = {path[-1] for path in p.nodes}
+        assert {"deflate.compress", "lz77.match_loop", "huffman.build",
+                "deflate.decompress"} <= names
+        # Kernels nest under their public entry points.
+        assert ("deflate.compress", "lz77.match_loop") in p.nodes
+
+    def test_disabled_profiler_keeps_output_identical(self):
+        from repro.algorithms.deflate import deflate_compress
+
+        payload = (b"bit-for-bit " * 128)
+        plain = deflate_compress(payload)
+        with profiling():
+            profiled = deflate_compress(payload)
+        assert profiled == plain

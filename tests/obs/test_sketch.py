@@ -1,0 +1,205 @@
+"""QuantileSketch: relative-error bound, merging, exemplars, (de)ser."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import DEFAULT_ALPHA, QuantileSketch
+from repro.obs.sketch import EXEMPLAR_CAPACITY
+
+
+def exact_quantile(values, q):
+    """Nearest-rank quantile of a raw sample (the sketch's reference)."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def geometric_stream(n=500, start=1e-6, ratio=1.04):
+    """A deterministic latency-shaped stream spanning several decades."""
+    values = []
+    value = start
+    for _ in range(n):
+        values.append(value)
+        value *= ratio
+    return values
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("q", [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 1.0])
+    def test_within_alpha_of_exact(self, q):
+        values = geometric_stream()
+        sketch = QuantileSketch()
+        for v in values:
+            sketch.add(v)
+        got = sketch.quantile(q)
+        want = exact_quantile(values, q)
+        assert abs(got - want) <= DEFAULT_ALPHA * want
+
+    def test_tighter_alpha_is_tighter(self):
+        values = geometric_stream(n=200)
+        tight = QuantileSketch(alpha=0.001)
+        for v in values:
+            tight.add(v)
+        want = exact_quantile(values, 0.9)
+        assert abs(tight.quantile(0.9) - want) <= 0.001 * want
+
+    def test_single_value_is_exact(self):
+        sketch = QuantileSketch()
+        sketch.add(3.25)
+        for q in (0.0, 0.5, 1.0):
+            assert sketch.quantile(q) == 3.25  # clamped to min==max
+
+    def test_quantile_clamped_into_observed_range(self):
+        sketch = QuantileSketch()
+        for v in (1.0, 2.0, 3.0):
+            sketch.add(v)
+        assert sketch.quantile(0.0) >= sketch.min
+        assert sketch.quantile(1.0) <= sketch.max
+
+    def test_zero_and_negative_values(self):
+        sketch = QuantileSketch()
+        for v in (-2.0, -1.0, 0.0, 1.0, 2.0):
+            sketch.add(v)
+        assert sketch.count == 5
+        assert sketch.quantile(0.5) == pytest.approx(0.0, abs=1e-12)
+        assert sketch.quantile(0.0) == pytest.approx(-2.0, rel=DEFAULT_ALPHA)
+        assert sketch.quantile(1.0) == pytest.approx(2.0, rel=DEFAULT_ALPHA)
+
+    def test_mean_min_max_are_exact(self):
+        values = [0.5, 1.5, 4.5]
+        sketch = QuantileSketch()
+        for v in values:
+            sketch.add(v)
+        assert sketch.mean == pytest.approx(sum(values) / len(values))
+        assert sketch.min == 0.5
+        assert sketch.max == 4.5
+
+
+class TestValidation:
+    def test_nan_rejected(self):
+        sketch = QuantileSketch()
+        with pytest.raises(ValueError, match="NaN"):
+            sketch.add(float("nan"))
+        assert sketch.count == 0
+
+    def test_empty_quantile_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            QuantileSketch().quantile(0.5)
+
+    @pytest.mark.parametrize("q", [-0.1, 1.1])
+    def test_quantile_domain(self, q):
+        sketch = QuantileSketch()
+        sketch.add(1.0)
+        with pytest.raises(ValueError, match="outside"):
+            sketch.quantile(q)
+
+    @pytest.mark.parametrize("alpha", [0.0, 1.0, -0.5])
+    def test_alpha_domain(self, alpha):
+        with pytest.raises(ValueError, match="alpha"):
+            QuantileSketch(alpha=alpha)
+
+
+class TestMerge:
+    def test_merge_is_bit_identical_to_pooled(self):
+        values = geometric_stream(n=300)
+        left, right, pooled = QuantileSketch(), QuantileSketch(), QuantileSketch()
+        for i, v in enumerate(values):
+            (left if i % 2 else right).add(v)
+            pooled.add(v)
+        merged = QuantileSketch.merged([left, right])
+        assert merged.pos == pooled.pos
+        assert merged.count == pooled.count
+        assert merged.sum == pytest.approx(pooled.sum)
+        assert merged.min == pooled.min
+        assert merged.max == pooled.max
+        for q in (0.01, 0.5, 0.99):
+            assert merged.quantile(q) == pooled.quantile(q)
+
+    def test_merge_order_independent(self):
+        parts = []
+        for offset in range(3):
+            part = QuantileSketch()
+            for v in geometric_stream(n=50, start=1e-5 * (offset + 1)):
+                part.add(v)
+            parts.append(part)
+        forward = QuantileSketch.merged(parts)
+        backward = QuantileSketch.merged(reversed(parts))
+        fwd, bwd = forward.to_dict(), backward.to_dict()
+        # sum is float-associativity-sensitive; everything else exact.
+        assert fwd.pop("sum") == pytest.approx(bwd.pop("sum"))
+        assert fwd == bwd
+
+    def test_merge_alpha_mismatch_rejected(self):
+        a = QuantileSketch(alpha=0.01)
+        b = QuantileSketch(alpha=0.02)
+        with pytest.raises(ValueError, match="alpha mismatch"):
+            a.merge(b)
+
+    def test_merge_type_checked(self):
+        with pytest.raises(TypeError):
+            QuantileSketch().merge(object())
+
+    def test_merged_of_nothing_is_empty(self):
+        merged = QuantileSketch.merged([])
+        assert merged.count == 0
+        assert merged.alpha == DEFAULT_ALPHA
+
+
+class TestCountAbove:
+    def test_counts_guaranteed_exceeders(self):
+        sketch = QuantileSketch()
+        for v in (0.001, 0.002, 0.010, 0.020, 0.040):
+            sketch.add(v)
+        # Everything well above 5 ms is counted; the bucket holding the
+        # threshold itself is excluded (bucket-granular under-count).
+        assert sketch.count_above(5e-3) == 3
+        assert sketch.count_above(1.0) == 0
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            QuantileSketch().count_above(0.0)
+
+
+class TestExemplars:
+    def test_keeps_largest_with_links(self):
+        sketch = QuantileSketch()
+        for i in range(20):
+            sketch.add(float(i + 1), exemplar=f"span-{i}")
+        assert len(sketch.exemplars) == EXEMPLAR_CAPACITY
+        values = [v for v, _ in sketch.exemplars]
+        assert min(values) >= 20 - EXEMPLAR_CAPACITY
+        assert ("span-19" in {link for _, link in sketch.exemplars})
+
+    def test_unlinked_observations_keep_exemplars_empty(self):
+        sketch = QuantileSketch()
+        sketch.add(1.0)
+        assert sketch.exemplars == []
+
+    def test_merge_pools_exemplars(self):
+        a, b = QuantileSketch(), QuantileSketch()
+        a.add(1.0, exemplar=1)
+        b.add(2.0, exemplar=2)
+        a.merge(b)
+        assert {link for _, link in a.exemplars} == {1, 2}
+
+
+class TestSerialisation:
+    def test_round_trip_preserves_answers(self):
+        sketch = QuantileSketch()
+        for v in geometric_stream(n=100):
+            sketch.add(v, exemplar=None)
+        sketch.add(0.0)
+        sketch.add(-1.0)
+        state = json.loads(json.dumps(sketch.to_dict()))
+        clone = QuantileSketch.from_dict(state)
+        assert clone.count == sketch.count
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert clone.quantile(q) == sketch.quantile(q)
+        assert clone.to_dict() == sketch.to_dict()
+
+    def test_empty_round_trip(self):
+        clone = QuantileSketch.from_dict(QuantileSketch().to_dict())
+        assert clone.count == 0
+        assert clone.min == math.inf

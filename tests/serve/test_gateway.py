@@ -169,7 +169,8 @@ class TestAccounting:
 
     def test_serve_bench_tolerates_zero_load(self):
         """At a vanishing offered load the bench point reports nan
-        percentiles rather than crashing."""
+        percentiles rather than crashing — with an explicit
+        ``sample_count`` of 0 so the nan is typed, not mysterious."""
         import math
 
         from repro.bench.experiments.serve_gateway import run_serve_point
@@ -180,8 +181,143 @@ class TestAccounting:
         )
         assert row["offered"] == 0
         assert row["completed"] == 0
+        assert row["sample_count"] == 0
         assert math.isnan(row["p50_s"])
         assert math.isnan(row["p99_s"])
+
+    def test_serve_bench_row_carries_sample_count(self):
+        from repro.bench.experiments.serve_gateway import run_serve_point
+
+        row = run_serve_point(
+            offered_req_s=5_000.0, batch_msgs=4, duration_s=2e-3,
+            fleet=("bf2",),
+        )
+        assert isinstance(row["sample_count"], int)
+        assert row["sample_count"] == row["completed"] > 0
+        assert row["p99_s"] >= row["p50_s"] > 0.0
+
+
+class TestTelemetry:
+    """PR 6: sketch-backed percentiles + labeled tenant registries."""
+
+    def _telemetry_run(self, make_requests, aggregator=None, tenants=None):
+        from repro.serve import TelemetryConfig
+
+        env = Environment()
+        devices = [make_device(env, kind) for kind in ("bf2", "bf3")]
+        gateway = ServeGateway(
+            env,
+            devices,
+            ServeConfig(
+                batch=BatchPolicy(max_msgs=4),
+                telemetry=TelemetryConfig(
+                    gateway="gw-test",
+                    aggregator=aggregator,
+                ),
+            ),
+        )
+        requests = make_requests(12)
+        if tenants:
+            import dataclasses
+
+            requests = [
+                dataclasses.replace(r, tenant=tenants[i % len(tenants)])
+                for i, r in enumerate(requests)
+            ]
+        _serve_all(env, gateway, requests)
+        return gateway
+
+    def test_percentile_within_sketch_bound_of_exact(self, env, fleet,
+                                                     make_requests):
+        import math
+
+        gateway = ServeGateway(env, fleet)
+        _serve_all(env, gateway, make_requests(24))
+        ordered = sorted(gateway.latencies)
+        for q in (50, 90, 99, 100):
+            rank = max(1, math.ceil(len(ordered) * q / 100))
+            exact = ordered[rank - 1]
+            got = gateway.latency_percentile(q)
+            assert abs(got - exact) <= gateway.latency_sketch.alpha * exact
+
+    def test_sample_count_tracks_completions(self, env, fleet, make_requests):
+        gateway = ServeGateway(env, fleet)
+        assert gateway.sample_count == 0
+        _serve_all(env, gateway, make_requests(6))
+        assert gateway.sample_count == 6 == gateway.completed
+
+    def test_worker_and_tenant_registries_labeled(self, make_requests):
+        gateway = self._telemetry_run(make_requests, tenants=("hot", "cold"))
+        label_sets = [r.label_dict for r in gateway.registries]
+        worker_labels = [l for l in label_sets if "tenant" not in l]
+        tenant_labels = [l for l in label_sets if "tenant" in l]
+        assert len(worker_labels) == 2  # one per fleet device
+        assert all(l["gateway"] == "gw-test" for l in label_sets)
+        assert {l["tenant"] for l in tenant_labels} == {"hot", "cold"}
+        assert all("worker" in l for l in label_sets)
+
+    def test_tenant_registries_carry_slo_inputs(self, make_requests):
+        from repro.obs.slo import GOODPUT_COUNTER, LATENCY_METRIC
+
+        gateway = self._telemetry_run(make_requests, tenants=("hot",))
+        tenant_registries = [
+            r for r in gateway.registries if "tenant" in r.label_dict
+        ]
+        assert tenant_registries
+        total = 0
+        for registry in tenant_registries:
+            hist = registry.histograms[LATENCY_METRIC]
+            total += hist.count
+            assert registry.counters[GOODPUT_COUNTER].value > 0
+        assert total == gateway.completed
+
+    def test_untenanted_requests_use_default_tenant(self, make_requests):
+        gateway = self._telemetry_run(make_requests)  # no tenant set
+        tenants = {
+            r.label_dict["tenant"]
+            for r in gateway.registries if "tenant" in r.label_dict
+        }
+        assert tenants == {"default"}
+
+    def test_registries_auto_register_with_aggregator(self, make_requests):
+        from repro.obs import FleetAggregator
+
+        aggregator = FleetAggregator()
+        gateway = self._telemetry_run(make_requests, aggregator=aggregator)
+        assert set(aggregator.members) >= set(gateway.registries)
+        snapshot = aggregator.scrape(0.0, group_by=("tenant",))
+        assert snapshot.group("default") is not None
+
+    def test_telemetry_off_means_no_registries(self, env, fleet,
+                                               make_requests):
+        gateway = ServeGateway(env, fleet)
+        _serve_all(env, gateway, make_requests(6))
+        assert gateway.registries == ()
+
+    def test_telemetry_is_sim_neutral(self, make_requests):
+        """Acceptance: telemetry on/off produces bit-identical sim
+        results — same finish time, same latency stream, same bytes."""
+
+        def run(telemetry_on):
+            from repro.serve import TelemetryConfig
+
+            env = Environment()
+            devices = [make_device(env, kind) for kind in ("bf2", "bf3")]
+            gateway = ServeGateway(
+                env,
+                devices,
+                ServeConfig(
+                    batch=BatchPolicy(max_msgs=4),
+                    telemetry=TelemetryConfig() if telemetry_on else None,
+                ),
+            )
+            responses = _serve_all(env, gateway, make_requests(12))
+            payloads = tuple(
+                responses[req_id].payload for req_id in sorted(responses)
+            )
+            return env.now, tuple(gateway.latencies), payloads
+
+        assert run(False) == run(True)
 
 
 class TestDrain:
