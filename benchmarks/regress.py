@@ -7,7 +7,9 @@ carries the serving-layer offered-load vs goodput/p99 curves;
 ``BENCH_PR5.json`` carries the path-selection crossover sweep
 (path="auto" vs the static paths); ``BENCH_PR6.json`` carries the
 telemetry-plane trajectory (deterministic "sim" section) plus the
-band-only wall-clock overhead gate ("wall" section).
+band-only wall-clock overhead gate ("wall" section); ``BENCH_PR7.json``
+carries the adaptive-context coder sweep (ac-vs-DEFLATE ratio trade
+plus the decoupled model/coder pipeline speedup).
 
 Usage::
 
@@ -58,6 +60,12 @@ def main(argv: "list[str] | None" = None) -> int:
              "root)",
     )
     parser.add_argument(
+        "--edpc-out",
+        default=os.path.join(repo_root, regress.DEFAULT_EDPC_REPORT_PATH),
+        help="adaptive-context coder report path (default: BENCH_PR7.json "
+             "at the repo root)",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="gate the freshly collected numbers without writing the files",
@@ -71,6 +79,7 @@ def main(argv: "list[str] | None" = None) -> int:
         ("select", regress.collect_select, regress.gate_select,
          args.select_out),
         ("obs", regress.collect_obs, regress.gate_obs, args.obs_out),
+        ("edpc", regress.collect_edpc, regress.gate_edpc, args.edpc_out),
     ):
         report = collect()
         violations += gate(report)

@@ -11,8 +11,11 @@ LZ4       general data compression (block+frame)   lossless
 SZ3       scientific data compression               lossy
 ========  =======================================  ========
 
-plus their substrates (LZ77 matching, canonical Huffman coding) and a
-small zstd-lite entropy backend used as SZ3's default lossless stage.
+plus their substrates (LZ77 matching, canonical Huffman coding), a
+small zstd-lite entropy backend used as SZ3's default lossless stage,
+and the EDPC-style adaptive-context range coder (``ac``) — an order-N
+byte-context model feeding a carry-aware range coder with a decoupled
+model/coder dataflow (see :mod:`repro.algorithms.ac`).
 
 All codecs here are *pure algorithm* implementations operating on bytes
 in, bytes out — they know nothing about DPUs.  Hardware placement (SoC
@@ -20,7 +23,7 @@ vs C-Engine) is modelled in :mod:`repro.dpu` / :mod:`repro.doca` and
 orchestrated by :mod:`repro.core`.
 """
 
-from repro.algorithms import deflate, lz4, sz3
+from repro.algorithms import ac, deflate, lz4, sz3
 from repro.algorithms.zlib_format import zlib_compress, zlib_decompress
 
-__all__ = ["deflate", "lz4", "sz3", "zlib_compress", "zlib_decompress"]
+__all__ = ["ac", "deflate", "lz4", "sz3", "zlib_compress", "zlib_decompress"]

@@ -1,0 +1,287 @@
+"""``ac`` container format and the decoupled model/coder stages.
+
+Stream layout (little-endian)::
+
+    offset  size  field
+    0       4     magic  b"RAC1"
+    4       1     model order (0..4)
+    5       1     log2(chunk_bytes)
+    6       1     table_bits
+    7       1     reserved (0)
+    8       4     u32 original length
+    12      4     u32 CRC-32 of the original bytes
+    16      ...   range-coded payload (absent when length == 0)
+
+The stream is self-describing: the decoder reconstructs the model
+configuration from the header, so ``ac_decompress`` needs no config.
+The CRC turns any model/coder desync or surviving bit corruption into a
+typed :class:`~repro.errors.ChecksumMismatchError` instead of silent
+wrong output.
+
+Compression is split into two *pure* stages mirroring EDPC's
+model/coder decoupling:
+
+* :func:`model_batches` — per chunk, hash contexts and gather the
+  cumulative-frequency triples (vectorized numpy), then fold the chunk
+  into the model.  Produces :class:`CodingBatch` items.
+* :func:`encode_batches` — feed batches to the carry-aware range
+  encoder.  Knows nothing about the model.
+
+``ac_compress`` drives them back-to-back; ``ac_compress_pipelined``
+drives them through a bounded queue (model may run at most
+``queue_depth`` chunks ahead) and is asserted byte-identical to the
+serial path.  The simulated-hardware twin of this dataflow lives in
+:mod:`repro.sched.decoupled`.
+
+Decompression is inherently single-stage: the model needs chunk *k*'s
+decoded bytes before it can rank chunk *k+1*'s symbols.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.algorithms.ac.model import ACConfig, ContextModel
+from repro.algorithms.ac.rangecoder import RangeDecoder, RangeEncoder
+from repro.errors import (
+    CorruptStreamError,
+    ChecksumMismatchError,
+    OutputOverflowError,
+    UnsupportedDataError,
+)
+
+MAGIC = b"RAC1"
+HEADER_BYTES = 16
+_HEADER = struct.Struct("<4sBBBBII")
+
+#: Default operating point (see ACConfig docstring).
+DEFAULT_CONFIG = ACConfig()
+
+
+@dataclass(frozen=True)
+class CodingBatch:
+    """One chunk's worth of model output, ready for the entropy coder.
+
+    ``cum_lo``/``freq``/``total`` are parallel lists of cumulative
+    frequency triples, one per symbol.  The batch is immutable and
+    self-contained — exactly the unit that crosses the bounded queue
+    between the model and coder stages.
+    """
+
+    chunk_index: int
+    n_symbols: int
+    cum_lo: list[int]
+    freq: list[int]
+    total: list[int]
+
+
+def model_batches(
+    data: bytes, config: ACConfig, model: "ContextModel | None" = None
+) -> Iterator[CodingBatch]:
+    """Stage 1: chunk the message and emit frequency-triple batches.
+
+    The model adapts *after* each chunk, so batch *k*'s triples depend
+    only on chunks ``< k`` — the coder never has to wait for feedback.
+    """
+    if model is None:
+        model = ContextModel(config)
+    arr = np.frombuffer(data, dtype=np.uint8)
+    n = len(arr)
+    chunk = config.chunk_bytes
+    for chunk_index, start in enumerate(range(0, n, chunk)):
+        stop = min(start + chunk, n)
+        cum_lo, freq, total = model.chunk_triples(arr, start, stop)
+        model.update_chunk(arr, start, stop)
+        yield CodingBatch(
+            chunk_index=chunk_index,
+            n_symbols=stop - start,
+            cum_lo=cum_lo,
+            freq=freq,
+            total=total,
+        )
+
+
+def encode_batches(batches: Iterable[CodingBatch]) -> bytes:
+    """Stage 2: run the range encoder over the batch stream."""
+    enc = RangeEncoder()
+    encode = enc.encode
+    for batch in batches:
+        for lo, fr, tot in zip(batch.cum_lo, batch.freq, batch.total):
+            encode(lo, fr, tot)
+    return enc.flush()
+
+
+def _pipelined_batches(
+    batches: Iterator[CodingBatch], queue_depth: int
+) -> Iterator[CodingBatch]:
+    """Bounded-queue driver between the two stages.
+
+    With synchronous generators this is a read-ahead buffer: the model
+    stage runs at most ``queue_depth`` chunks ahead of the coder.  The
+    dataflow (and therefore the bytes) is identical to the serial path;
+    the *time* overlap it enables is modelled in repro.sched.decoupled.
+    """
+    if queue_depth < 1:
+        raise ValueError("queue_depth must be >= 1")
+    queue: deque[CodingBatch] = deque()
+    exhausted = False
+    while True:
+        while not exhausted and len(queue) < queue_depth:
+            try:
+                queue.append(next(batches))
+            except StopIteration:
+                exhausted = True
+        if not queue:
+            return
+        yield queue.popleft()
+
+
+def _header(config: ACConfig, length: int, crc: int) -> bytes:
+    return _HEADER.pack(
+        MAGIC, config.order, config.chunk_log2, config.table_bits, 0,
+        length, crc,
+    )
+
+
+def ac_compress(
+    data: bytes, config: "ACConfig | None" = None
+) -> bytes:
+    """Compress ``data`` with the adaptive-context range coder."""
+    if config is None:
+        config = DEFAULT_CONFIG
+    if len(data) > 0xFFFF_FFFF:
+        raise UnsupportedDataError("ac streams are limited to < 4 GiB")
+    crc = zlib.crc32(data) & 0xFFFF_FFFF
+    head = _header(config, len(data), crc)
+    if not data:
+        return head
+    payload = encode_batches(model_batches(data, config))
+    return head + payload
+
+
+def ac_compress_pipelined(
+    data: bytes, config: "ACConfig | None" = None, queue_depth: int = 2
+) -> bytes:
+    """Two-stage compress through a bounded model→coder queue.
+
+    Byte-identical to :func:`ac_compress` by construction; exists so
+    tests and the ``edpc`` bench can assert that the decoupled dataflow
+    changes *when* work happens, never *what* is produced.
+    """
+    if config is None:
+        config = DEFAULT_CONFIG
+    if len(data) > 0xFFFF_FFFF:
+        raise UnsupportedDataError("ac streams are limited to < 4 GiB")
+    crc = zlib.crc32(data) & 0xFFFF_FFFF
+    head = _header(config, len(data), crc)
+    if not data:
+        return head
+    staged = _pipelined_batches(model_batches(data, config), queue_depth)
+    return head + encode_batches(staged)
+
+
+def parse_header(blob: bytes) -> tuple[ACConfig, int, int]:
+    """Validate the container header; returns (config, length, crc)."""
+    if len(blob) < HEADER_BYTES:
+        raise CorruptStreamError(
+            f"ac stream too short for header ({len(blob)} < {HEADER_BYTES})"
+        )
+    magic, order, chunk_log2, table_bits, reserved, length, crc = \
+        _HEADER.unpack_from(blob)
+    if magic != MAGIC:
+        raise CorruptStreamError(f"bad ac magic {magic!r}")
+    if reserved != 0:
+        raise CorruptStreamError(f"nonzero reserved header byte {reserved}")
+    try:
+        config = ACConfig(
+            order=order,
+            chunk_bytes=1 << chunk_log2,
+            table_bits=table_bits,
+        )
+    except ValueError as exc:
+        raise CorruptStreamError(f"invalid ac header parameters: {exc}") from exc
+    return config, length, crc
+
+
+def ac_decompress(blob: bytes, max_output: "int | None" = None) -> bytes:
+    """Decompress an ``ac`` stream produced by :func:`ac_compress`.
+
+    Raises typed errors on any malformed input: CorruptStreamError for
+    truncation/format violations, ChecksumMismatchError when the CRC
+    disagrees, OutputOverflowError when the declared length exceeds
+    ``max_output``.  The symbol loop is bounded by the declared length
+    and every renormalization consumes interval width, so corrupt
+    streams can never hang the decoder.
+    """
+    config, length, crc = parse_header(blob)
+    if max_output is not None and length > max_output:
+        raise OutputOverflowError(
+            f"declared length {length} exceeds max_output {max_output}"
+        )
+    if length == 0:
+        if crc != 0:
+            raise ChecksumMismatchError("crc32", crc, 0)
+        return b""
+    payload = blob[HEADER_BYTES:]
+    # The dense cumulative matrix costs O(2**table_bits * 257) memory —
+    # only worth it (and only safe against hostile headers declaring a
+    # huge table for a tiny stream) when the output is of comparable
+    # scale; the lazy row cache decodes identically, just slower.
+    track_rows = length * 256 >= 1 << config.table_bits
+    model = ContextModel(config, track_rows=track_rows)
+    dec = RangeDecoder(payload)
+    out = np.empty(length, dtype=np.uint8)
+    outl: list[int] = [0] * length
+    history: list[int] = []
+    chunk = config.chunk_bytes
+    order = config.order
+    hash_scalar = model.context_hash_scalar
+    cum_mat = model.cum_mat
+    decode_target = dec.decode_target
+    consume = dec.consume
+    searchsorted = np.searchsorted
+    start = 0
+    while start < length:
+        stop = min(start + chunk, length)
+        if track_rows:
+            for pos in range(start, stop):
+                ctx = hash_scalar(history)
+                row = cum_mat[ctx]
+                total = row[256].item()
+                target = decode_target(total)
+                sym = searchsorted(row, target, side="right").item() - 1
+                lo = row[sym].item()
+                consume(lo, row[sym + 1].item() - lo, total)
+                outl[pos] = sym
+                history.append(sym)
+                if len(history) > order:
+                    history.pop(0)
+        else:
+            # Lazy-row path (tiny output or oversized declared table):
+            # same arithmetic over python-list rows, no dense matrix.
+            for pos in range(start, stop):
+                ctx = hash_scalar(history)
+                row = model.cum_row(ctx)
+                total = row[256]
+                target = decode_target(total)
+                sym = model.symbol_from_target(ctx, target)
+                lo = row[sym]
+                consume(lo, row[sym + 1] - lo, total)
+                outl[pos] = sym
+                history.append(sym)
+                if len(history) > order:
+                    history.pop(0)
+        out[start:stop] = outl[start:stop]
+        model.update_chunk(out, start, stop)
+        start = stop
+    raw = out.tobytes()
+    actual = zlib.crc32(raw) & 0xFFFF_FFFF
+    if actual != crc:
+        raise ChecksumMismatchError("crc32", crc, actual)
+    return raw

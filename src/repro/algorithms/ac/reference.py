@@ -1,0 +1,197 @@
+"""Deliberately-simple bitwise arithmetic coder (differential oracle).
+
+A textbook Witten–Neal–Cleary coder: 32-bit ``low``/``high`` interval,
+bit-at-a-time renormalization with explicit pending-bit (underflow)
+tracking, MSB-first bit IO.  It is written for obviousness, not speed —
+its only job is to consume the *same* model trace as the production
+range coder (:mod:`repro.algorithms.ac.rangecoder`) and prove, case by
+case, that the fast coder loses nothing: identical decoded output and
+corpus compression ratio within 0.1%.
+
+Kept deliberately independent: no shared coder code, different
+renormalization style (bitwise vs byte-wise), different carry handling
+(pending bits vs cache+0xFF run).  A bug in one is vanishingly unlikely
+to be mirrored in the other.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.algorithms.ac.codec import CodingBatch, model_batches
+from repro.algorithms.ac.model import ACConfig, ContextModel
+from repro.errors import CorruptStreamError
+
+import numpy as np
+
+_CODE_BITS = 32
+_MASK = (1 << _CODE_BITS) - 1
+_HALF = 1 << (_CODE_BITS - 1)
+_QUARTER = 1 << (_CODE_BITS - 2)
+_THREE_QUARTERS = 3 * _QUARTER
+
+
+class _BitWriter:
+    def __init__(self) -> None:
+        self._bits: list[int] = []
+
+    def put(self, bit: int) -> None:
+        self._bits.append(bit)
+
+    def put_with_pending(self, bit: int, pending: int) -> None:
+        self.put(bit)
+        inverse = bit ^ 1
+        for _ in range(pending):
+            self.put(inverse)
+
+    def to_bytes(self) -> bytes:
+        bits = self._bits
+        out = bytearray((len(bits) + 7) // 8)
+        for i, bit in enumerate(bits):
+            if bit:
+                out[i >> 3] |= 0x80 >> (i & 7)
+        return bytes(out)
+
+
+class _BitReader:
+    """MSB-first reader; reads past the end yield 0 (WNC convention)."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def get(self) -> int:
+        i = self._pos
+        self._pos += 1
+        if i >= 8 * len(self._data):
+            return 0
+        return (self._data[i >> 3] >> (7 - (i & 7))) & 1
+
+
+class ReferenceEncoder:
+    """Bit-at-a-time arithmetic encoder over frequency triples."""
+
+    def __init__(self) -> None:
+        self.low = 0
+        self.high = _MASK
+        self.pending = 0
+        self._writer = _BitWriter()
+
+    def encode(self, cum_lo: int, freq: int, total: int) -> None:
+        span = self.high - self.low + 1
+        self.high = self.low + (span * (cum_lo + freq)) // total - 1
+        self.low = self.low + (span * cum_lo) // total
+        while True:
+            if self.high < _HALF:
+                self._writer.put_with_pending(0, self.pending)
+                self.pending = 0
+            elif self.low >= _HALF:
+                self._writer.put_with_pending(1, self.pending)
+                self.pending = 0
+                self.low -= _HALF
+                self.high -= _HALF
+            elif self.low >= _QUARTER and self.high < _THREE_QUARTERS:
+                self.pending += 1
+                self.low -= _QUARTER
+                self.high -= _QUARTER
+            else:
+                break
+            self.low = self.low << 1
+            self.high = (self.high << 1) | 1
+
+    def flush(self) -> bytes:
+        self.pending += 1
+        if self.low < _QUARTER:
+            self._writer.put_with_pending(0, self.pending)
+        else:
+            self._writer.put_with_pending(1, self.pending)
+        return self._writer.to_bytes()
+
+
+class ReferenceDecoder:
+    def __init__(self, data: bytes) -> None:
+        self._reader = _BitReader(data)
+        self.low = 0
+        self.high = _MASK
+        self.value = 0
+        for _ in range(_CODE_BITS):
+            self.value = (self.value << 1) | self._reader.get()
+
+    def decode_target(self, total: int) -> int:
+        span = self.high - self.low + 1
+        target = ((self.value - self.low + 1) * total - 1) // span
+        if not 0 <= target < total:
+            raise CorruptStreamError(
+                f"reference decoder target {target} outside [0, {total})"
+            )
+        return target
+
+    def consume(self, cum_lo: int, freq: int, total: int) -> None:
+        span = self.high - self.low + 1
+        self.high = self.low + (span * (cum_lo + freq)) // total - 1
+        self.low = self.low + (span * cum_lo) // total
+        while True:
+            if self.high < _HALF:
+                pass
+            elif self.low >= _HALF:
+                self.low -= _HALF
+                self.high -= _HALF
+                self.value -= _HALF
+            elif self.low >= _QUARTER and self.high < _THREE_QUARTERS:
+                self.low -= _QUARTER
+                self.high -= _QUARTER
+                self.value -= _QUARTER
+            else:
+                break
+            self.low = self.low << 1
+            self.high = (self.high << 1) | 1
+            self.value = (self.value << 1) | self._reader.get()
+
+
+def reference_encode_batches(batches: Iterable[CodingBatch]) -> bytes:
+    enc = ReferenceEncoder()
+    for batch in batches:
+        for lo, fr, tot in zip(batch.cum_lo, batch.freq, batch.total):
+            enc.encode(lo, fr, tot)
+    return enc.flush()
+
+
+def reference_compress_payload(data: bytes, config: "ACConfig | None" = None) -> bytes:
+    """Coded payload (no container header) for ``data``."""
+    if config is None:
+        config = ACConfig()
+    if not data:
+        return b""
+    return reference_encode_batches(model_batches(data, config))
+
+
+def reference_decompress_payload(
+    payload: bytes, length: int, config: "ACConfig | None" = None
+) -> bytes:
+    """Decode ``length`` symbols from a reference-coded payload."""
+    if config is None:
+        config = ACConfig()
+    if length == 0:
+        return b""
+    model = ContextModel(config)
+    dec = ReferenceDecoder(payload)
+    out = np.empty(length, dtype=np.uint8)
+    history: list[int] = []
+    order = config.order
+    start = 0
+    while start < length:
+        stop = min(start + config.chunk_bytes, length)
+        for pos in range(start, stop):
+            ctx = model.context_hash_scalar(history)
+            total = model.cum_row(ctx)[256]
+            target = dec.decode_target(total)
+            sym = model.symbol_from_target(ctx, target)
+            lo, fr, tot = model.triple(ctx, sym)
+            dec.consume(lo, fr, tot)
+            out[pos] = sym
+            history.append(sym)
+            if len(history) > order:
+                history.pop(0)
+        model.update_chunk(out, start, stop)
+        start = stop
+    return out.tobytes()

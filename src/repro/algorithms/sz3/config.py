@@ -7,7 +7,7 @@ from dataclasses import dataclass
 __all__ = ["SZ3Config", "PREDICTORS", "BACKENDS", "ERROR_MODES"]
 
 PREDICTORS = ("lorenzo", "interp", "none")
-BACKENDS = ("deflate", "lz4", "zstdlite", "none")
+BACKENDS = ("deflate", "lz4", "zstdlite", "ac", "none")
 ERROR_MODES = ("abs", "rel")
 
 

@@ -15,7 +15,7 @@ from repro.errors import CorruptStreamError
 
 __all__ = ["backend_compress", "backend_decompress", "BACKEND_IDS", "BACKEND_NAMES"]
 
-BACKEND_IDS = {"none": 0, "deflate": 1, "lz4": 2, "zstdlite": 3}
+BACKEND_IDS = {"none": 0, "deflate": 1, "lz4": 2, "zstdlite": 3, "ac": 4}
 BACKEND_NAMES = {v: k for k, v in BACKEND_IDS.items()}
 
 
@@ -34,6 +34,10 @@ def _get_codec(name: str) -> tuple[Callable[[bytes], bytes], Callable[[bytes], b
         from repro.algorithms.zstdlite import zstdlite_compress, zstdlite_decompress
 
         return zstdlite_compress, zstdlite_decompress
+    if name == "ac":
+        from repro.algorithms.ac import ac_compress, ac_decompress
+
+        return ac_compress, ac_decompress
     raise CorruptStreamError(f"unknown SZ3 lossless backend {name!r}")
 
 

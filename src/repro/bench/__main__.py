@@ -41,7 +41,7 @@ from repro.bench.harness import run_experiment
 from repro.faults import FaultPlan, parse_fault_spec, set_fault_plan
 
 _ALL = ["table4", "table5", "fig7", "fig8", "fig9", "fig10", "fig11", "sched",
-        "serve", "obs"]
+        "serve", "obs", "edpc"]
 
 log = obs.get_logger("bench")
 

@@ -1,6 +1,7 @@
 """Experiment modules — importing this package registers them all."""
 
 from repro.bench.experiments import (  # noqa: F401
+    edpc_pipeline,
     fig7_lossless_breakdown,
     fig8_raw_times,
     fig9_lossy_breakdown,
@@ -15,6 +16,7 @@ from repro.bench.experiments import (  # noqa: F401
 )
 
 __all__ = [
+    "edpc_pipeline",
     "fig7_lossless_breakdown",
     "fig8_raw_times",
     "fig9_lossy_breakdown",

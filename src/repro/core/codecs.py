@@ -15,6 +15,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.algorithms.ac import ACConfig, ac_compress, ac_decompress
 from repro.algorithms.deflate import DeflateConfig, deflate_compress, deflate_decompress
 from repro.algorithms.lz4 import lz4_compress, lz4_decompress
 from repro.algorithms.sz3 import SZ3Compressor, SZ3Config
@@ -39,6 +40,7 @@ class CodecConfig:
 
     deflate: DeflateConfig | None = None
     sz3: SZ3Config = SZ3Config(error_bound=1e-4)  # the paper's bound
+    ac: ACConfig = ACConfig()  # adaptive-context range coder defaults
 
 
 @dataclass(frozen=True)
@@ -102,7 +104,10 @@ def real_compress(
     design: CompressionDesign, data: Any, config: CodecConfig
 ) -> RealCompression:
     """Run the design's real compressor over ``data`` (memoised)."""
-    key = (design.algo, design.placement, config.deflate, config.sz3, _fingerprint(data))
+    key = (
+        design.algo, design.placement, config.deflate, config.sz3, config.ac,
+        _fingerprint(data),
+    )
     cached = _COMPRESS_CACHE.get(key)
     if cached is not None:
         return cached
@@ -123,6 +128,11 @@ def _real_compress_uncached(
     if algo is Algo.LZ4:
         raw = _as_bytes(data)
         return RealCompression(lz4_compress(raw), len(raw))
+    if algo is Algo.AC:
+        raw = _as_bytes(data)
+        # Single-stage on every placement: no C-Engine generation
+        # accelerates the range coder, so there is no hybrid variant.
+        return RealCompression(ac_compress(raw, config.ac), len(raw))
     if algo is Algo.ZLIB:
         raw = _as_bytes(data)
         stream, sizes = hybrid_zlib_compress(raw, config.deflate)
@@ -170,6 +180,8 @@ def _real_decompress_uncached(algo: Algo, payload: bytes) -> tuple[Any, int | No
         return deflate_decompress(payload), None
     if algo is Algo.LZ4:
         return lz4_decompress(payload), None
+    if algo is Algo.AC:
+        return ac_decompress(payload), None
     if algo is Algo.ZLIB:
         data, sizes = hybrid_zlib_decompress(payload)
         return data, sizes.deflate_payload_bytes

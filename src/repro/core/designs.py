@@ -52,6 +52,7 @@ class CompressionDesign:
             Algo.ZLIB: "zlib",
             Algo.LZ4: "LZ4",
             Algo.SZ3: "SZ3",
+            Algo.AC: "AC",
         }
         return f"{where}_{names[self.algo]}"
 
@@ -85,6 +86,7 @@ ALGO_IDS: dict[Algo, int] = {
     Algo.ZLIB: 2,
     Algo.LZ4: 3,
     Algo.SZ3: 4,
+    Algo.AC: 5,
 }
 ALGO_FROM_ID = {v: k for k, v in ALGO_IDS.items()}
 

@@ -113,7 +113,20 @@ _BF2_SOC = {
     # A8: SZ3 single-core speed class on the A72.
     (Algo.SZ3, Direction.COMPRESS): 90.0 * _MB,
     (Algo.SZ3, Direction.DECOMPRESS): 180.0 * _MB,
+    # Adaptive-context range coder (post-paper EDPC-style backend):
+    # byte-serial entropy coding with a context-model stage, an order
+    # of magnitude below DEFLATE on the A72.  Modeling vectorizes
+    # better than coding, so decode (model batched per chunk) edges
+    # out encode slightly.
+    (Algo.AC, Direction.COMPRESS): 12.0 * _MB,
+    (Algo.AC, Direction.DECOMPRESS): 15.0 * _MB,
 }
+
+#: Fraction of the ``ac`` SoC codec time spent in the context-model
+#: stage (the rest is the range coder).  Measured operating point of
+#: the chunk-vectorized model vs the byte-serial coder; used by
+#: :mod:`repro.sched.decoupled` to split the two pipeline stages.
+AC_MODEL_FRACTION = 0.55
 
 CAL_BF2 = Calibration(
     soc_throughput=_BF2_SOC,

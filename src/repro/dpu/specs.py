@@ -37,6 +37,10 @@ class Algo(str, Enum):
     ZLIB = "zlib"
     LZ4 = "lz4"
     SZ3 = "sz3"
+    # Post-paper extension: EDPC-style adaptive-context range coder
+    # (repro.algorithms.ac).  SoC-only — no C-Engine generation
+    # accelerates it, so every placement resolves to the ARM cores.
+    AC = "ac"
 
 
 class Direction(str, Enum):

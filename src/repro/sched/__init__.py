@@ -8,13 +8,25 @@ on the DES kernel with a bounded-depth slot queue and a double-buffered
 ring of DMA-mapped buffers, so a stream of chunk jobs saturates the
 engine instead of paying ``map + exec + drain`` serially per chunk.
 
+:mod:`repro.sched.decoupled` carries the EDPC-style variant for the
+``ac`` codec: instead of overlapping *jobs* across engine stages, it
+overlaps the codec's own probability-model and entropy-coder stages on
+the SoC core pool with a bounded batch queue between them.
+
 Public API
 ----------
 :class:`SchedConfig`, :class:`EngineJob`, :class:`JobOutcome`,
 :class:`JobTicket`, :class:`PipelineScheduler` from
-:mod:`repro.sched.pipeline`.
+:mod:`repro.sched.pipeline`; :class:`DecoupledConfig`,
+:class:`DecoupledResult`, :class:`DecoupledCodecPipeline` from
+:mod:`repro.sched.decoupled`.
 """
 
+from repro.sched.decoupled import (
+    DecoupledCodecPipeline,
+    DecoupledConfig,
+    DecoupledResult,
+)
 from repro.sched.pipeline import (
     EngineJob,
     JobOutcome,
@@ -24,6 +36,9 @@ from repro.sched.pipeline import (
 )
 
 __all__ = [
+    "DecoupledCodecPipeline",
+    "DecoupledConfig",
+    "DecoupledResult",
     "EngineJob",
     "JobOutcome",
     "JobTicket",

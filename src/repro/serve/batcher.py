@@ -18,7 +18,7 @@ import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Generator
 
-from repro.dpu.specs import Direction
+from repro.dpu.specs import Algo, Direction
 from repro.obs import QUEUE_DEPTH_BUCKETS, get_metrics
 
 if TYPE_CHECKING:
@@ -59,12 +59,14 @@ class BatchEntry:
 
 @dataclass
 class Batch:
-    """An accumulating (then flushed) group of same-direction entries."""
+    """An accumulating (then flushed) group of entries sharing one
+    (direction, algo) — so a flushed batch is exactly one engine job."""
 
     batch_id: int
     direction: Direction
     opened_s: float
     entries: "list[BatchEntry]" = field(default_factory=list)
+    algo: Algo = Algo.DEFLATE
 
     @property
     def size(self) -> int:
@@ -84,7 +86,8 @@ class Batch:
 
 
 class Batcher:
-    """Per-direction accumulators driving an ``on_flush`` callback.
+    """Per-(direction, algo) accumulators driving an ``on_flush``
+    callback.
 
     Flush triggers:
 
@@ -105,8 +108,8 @@ class Batcher:
         self.env = env
         self.policy = policy
         self.on_flush = on_flush
-        self._open: "dict[Direction, Batch]" = {}
-        self._epoch: "dict[Direction, int]" = {}
+        self._open: "dict[tuple[Direction, Algo], Batch]" = {}
+        self._epoch: "dict[tuple[Direction, Algo], int]" = {}
         self._next_batch_id = 0
         self.batches_flushed = 0
 
@@ -116,11 +119,14 @@ class Batcher:
         return sum(b.size for b in self._open.values())
 
     def add(self, entry: BatchEntry) -> None:
-        key = entry.request.direction
+        algo = getattr(entry.request, "algo", Algo.DEFLATE)
+        key = (entry.request.direction, algo)
         batch = self._open.get(key)
         newly_opened = batch is None
         if batch is None:
-            batch = Batch(self._next_batch_id, key, self.env.now)
+            batch = Batch(
+                self._next_batch_id, key[0], self.env.now, algo=algo
+            )
             self._next_batch_id += 1
             self._open[key] = batch
             self._epoch[key] = self._epoch.get(key, 0) + 1
@@ -129,16 +135,29 @@ class Batcher:
             batch.size >= self.policy.max_msgs
             or batch.engine_sim_bytes >= self.policy.max_sim_bytes
         ):
-            self.flush(key)
+            self._flush_key(key)
         elif newly_opened and math.isfinite(self.policy.flush_deadline_s):
             self.env.process(
                 self._deadline(key, self._epoch[key]),
                 name=f"serve:deadline:{batch.batch_id}",
             )
 
-    def flush(self, direction: Direction) -> None:
-        """Close and dispatch the open batch for ``direction`` (if any)."""
-        batch = self._open.pop(direction, None)
+    def flush(self, direction: Direction, algo: "Algo | None" = None) -> None:
+        """Close and dispatch the open batch(es) for ``direction``.
+
+        With ``algo`` given, only that (direction, algo) batch flushes;
+        otherwise every open batch travelling in ``direction`` does —
+        the pre-mixed-algo behaviour callers still rely on.
+        """
+        if algo is not None:
+            self._flush_key((direction, algo))
+            return
+        for key in list(self._open):
+            if key[0] is direction:
+                self._flush_key(key)
+
+    def _flush_key(self, key: "tuple[Direction, Algo]") -> None:
+        batch = self._open.pop(key, None)
         if batch is None or not batch.entries:
             return
         self.batches_flushed += 1
@@ -149,13 +168,13 @@ class Batcher:
         self.on_flush(batch)
 
     def flush_all(self) -> None:
-        for direction in list(self._open):
-            self.flush(direction)
+        for key in list(self._open):
+            self._flush_key(key)
 
-    def _deadline(self, direction: Direction, epoch: int) -> Generator:
+    def _deadline(self, key: "tuple[Direction, Algo]", epoch: int) -> Generator:
         yield self.env.timeout(self.policy.flush_deadline_s)
         # Only fire for the batch that armed this timer: if it already
         # flushed on size (epoch advanced when a successor opened, or
         # the slot is simply empty), do nothing.
-        if self._epoch.get(direction) == epoch and direction in self._open:
-            self.flush(direction)
+        if self._epoch.get(key) == epoch and key in self._open:
+            self._flush_key(key)

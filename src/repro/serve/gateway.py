@@ -3,16 +3,18 @@
 :class:`ServeGateway` fronts a fleet of simulated DPUs (mixed BF-2 /
 BF-3) sharing one sim clock.  A request's life:
 
-1. **codec** — the real DEFLATE work runs eagerly at submit time, so
-   every response's bytes are fixed before any simulated scheduling.
-   Batching, routing, device mix, and faults can only move the clock;
-   batched output is byte-identical to unbatched, per-request output.
+1. **codec** — the real codec work (DEFLATE, LZ4, or the adaptive
+   -context ``ac`` coder, per ``request.algo``) runs eagerly at submit
+   time, so every response's bytes are fixed before any simulated
+   scheduling.  Batching, routing, device mix, and faults can only move
+   the clock; batched output is byte-identical to unbatched,
+   per-request output.
 2. **admission** — :class:`~repro.serve.admission.AdmissionController`
    bounds pending requests; overflow is shed with an explicit refusal
    (backpressure, not an unbounded queue).
 3. **batching** — :class:`~repro.serve.batcher.Batcher` coalesces
-   same-direction requests to amortize the C-Engine's fixed per-job
-   overhead across messages.
+   same-(direction, algo) requests to amortize the C-Engine's fixed
+   per-job overhead across messages.
 4. **routing** — a pluggable :class:`~repro.serve.router.Router` picks
    the device; each device runs its batches through its own
    :class:`~repro.sched.PipelineScheduler`, so engine faults, retries,
@@ -31,7 +33,10 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Generator, Sequence
 
+from repro.algorithms.ac import ACConfig, ac_compress, ac_decompress
 from repro.algorithms.deflate import DeflateConfig, deflate_compress, deflate_decompress
+from repro.algorithms.lz4 import lz4_compress, lz4_decompress
+from repro.core.registry import cengine_core_algo
 from repro.dpu.specs import Algo, Direction
 from repro.errors import NoLatencySamplesError
 from repro.obs import MetricsRegistry, QuantileSketch, device_span, get_metrics
@@ -79,6 +84,7 @@ class ServeConfig:
     router: "str | Router" = "least_queue_depth"
     sched: SchedConfig = field(default_factory=SchedConfig)
     deflate: DeflateConfig | None = None
+    ac: ACConfig | None = None
     telemetry: TelemetryConfig | None = None
 
 
@@ -105,8 +111,11 @@ class DpuWorker:
         """Jobs in flight or queued at this device (router load signal)."""
         return self.scheduler.in_flight + self.scheduler.queued
 
-    def supports(self, direction: Direction) -> bool:
-        return self.device.cengine.supports(Algo.DEFLATE, direction)
+    def supports(self, direction: Direction, algo: Algo = Algo.DEFLATE) -> bool:
+        """True when this device's C-Engine natively runs ``algo`` in
+        ``direction`` (via its engine-core mapping; ``ac`` maps to
+        itself, which no engine implements, so it is SoC-only)."""
+        return self.device.cengine.supports(cengine_core_algo(algo), direction)
 
 
 class ServeGateway:
@@ -256,17 +265,38 @@ class ServeGateway:
     # Internals
     # ------------------------------------------------------------------
 
+    def _codec(self, algo: Algo):
+        """(compress, decompress) callables for a request's algo."""
+        if algo is Algo.DEFLATE:
+            return (
+                lambda raw: deflate_compress(raw, self.config.deflate),
+                deflate_decompress,
+            )
+        if algo is Algo.LZ4:
+            return lz4_compress, lz4_decompress
+        if algo is Algo.AC:
+            ac_config = self.config.ac
+            return (
+                lambda raw: ac_compress(raw, ac_config),
+                ac_decompress,
+            )
+        raise ValueError(
+            f"gateway cannot serve algo {algo.value!r} "
+            "(lossless byte codecs only: deflate, lz4, ac)"
+        )
+
     def _make_entry(self, request: ServeRequest) -> BatchEntry:
         """Run the real codec and fix the two-domain billing sizes."""
+        compress, decompress = self._codec(request.algo)
         if request.direction is Direction.COMPRESS:
-            output = deflate_compress(request.payload, self.config.deflate)
+            output = compress(request.payload)
             sim_in = float(
                 len(request.payload) if request.sim_bytes is None
                 else request.sim_bytes
             )
             engine_sim = soc_sim = sim_in
         else:
-            output = deflate_decompress(request.payload)
+            output = decompress(request.payload)
             sim_out = float(
                 len(output) if request.sim_bytes is None else request.sim_bytes
             )
@@ -294,7 +324,7 @@ class ServeGateway:
 
     def _run_batch(self, worker: DpuWorker, batch: Batch) -> Generator:
         job = EngineJob(
-            Algo.DEFLATE,
+            batch.algo,
             batch.direction,
             batch.engine_sim_bytes,
             payload=batch.payload,

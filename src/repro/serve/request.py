@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator
 
-from repro.dpu.specs import Direction
+from repro.dpu.specs import Algo, Direction
 from repro.errors import AdmissionError
 
 if TYPE_CHECKING:
@@ -26,6 +26,10 @@ class ServeRequest:
     ``tenant`` (optional) names the client the request belongs to; the
     telemetry plane records latency/goodput into per-tenant labeled
     registries so the SLO monitor can burn budgets per tenant.
+
+    ``algo`` picks the lossless codec (DEFLATE, LZ4, or the adaptive
+    -context ``ac`` coder).  Mixed-algo traffic batches separately per
+    (direction, algo) so every batch stays a single engine job.
     """
 
     direction: Direction
@@ -33,6 +37,7 @@ class ServeRequest:
     sim_bytes: float | None = None
     req_id: object = None
     tenant: str | None = None
+    algo: Algo = Algo.DEFLATE
 
     def __post_init__(self) -> None:
         if self.sim_bytes is not None and self.sim_bytes < 0:

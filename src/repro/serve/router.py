@@ -47,6 +47,16 @@ class Router:
                 best = worker
         return best
 
+    @staticmethod
+    def _capable(workers: "Sequence[DpuWorker]",
+                 batch: "Batch") -> "list[DpuWorker]":
+        """Workers whose engine natively runs this batch (empty for
+        SoC-only algos like ``ac`` — callers fall back to the fleet)."""
+        algo = getattr(batch, "algo", None)
+        if algo is None:
+            return [w for w in workers if w.supports(batch.direction)]
+        return [w for w in workers if w.supports(batch.direction, algo)]
+
 
 class RoundRobinRouter(Router):
     """Cycle through the fleet regardless of load or capability."""
@@ -80,7 +90,7 @@ class CapabilityAwareRouter(Router):
     name = "capability"
 
     def pick(self, workers, batch):
-        capable = [w for w in workers if w.supports(batch.direction)]
+        capable = self._capable(workers, batch)
         return self._least_loaded(capable or workers)
 
 
@@ -114,14 +124,15 @@ class CostAwareRouter(Router):
         return selector
 
     def pick(self, workers, batch):
-        capable = [w for w in workers if w.supports(batch.direction)]
+        capable = self._capable(workers, batch)
         best = None
         best_score = None
         from repro.dpu.specs import Algo
 
+        algo = getattr(batch, "algo", Algo.DEFLATE)
         for worker in capable or workers:
             costs = self._selector(worker).job_costs(
-                Algo.DEFLATE, batch.direction,
+                algo, batch.direction,
                 batch.engine_sim_bytes, batch.soc_sim_bytes,
             )
             score = min(costs.values()) * (worker.load + 1.0)

@@ -1,0 +1,1 @@
+"""Adaptive-context range coder test suite (see DESIGN.md §5i)."""

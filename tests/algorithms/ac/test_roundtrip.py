@@ -1,0 +1,123 @@
+"""Round-trip identity and encoder determinism for the ``ac`` codec.
+
+Two complementary corpora, mirroring the library-wide property suite:
+
+* **hypothesis** — generic byte distributions shrink counterexamples;
+* **seeded corpus** — structured shapes (runs, text, float grids,
+  noise) from 0 bytes up to 1 MiB, rotated nightly via
+  ``REPRO_FUZZ_SEED`` like :mod:`tests.algorithms.test_roundtrip_properties`.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.ac import (
+    ACConfig,
+    HEADER_BYTES,
+    ac_compress,
+    ac_compress_pipelined,
+    ac_decompress,
+    parse_header,
+)
+from repro.errors import OutputOverflowError
+from tests.algorithms.test_roundtrip_properties import GENERATORS
+
+BASE_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20260806"))
+
+SMALL_CONFIG = ACConfig(order=1, chunk_bytes=256, table_bits=10)
+
+
+def corpus_case(gen_name: str, size: int, variant: int) -> bytes:
+    rng = np.random.default_rng(
+        [BASE_SEED, sum(gen_name.encode()), size, variant]
+    )
+    return GENERATORS[gen_name](rng, size)
+
+
+@given(data=st.binary(max_size=2048))
+@settings(max_examples=60, deadline=None)
+def test_hypothesis_roundtrip_default_config(data):
+    assert ac_decompress(ac_compress(data)) == data
+
+
+@given(data=st.binary(max_size=2048))
+@settings(max_examples=60, deadline=None)
+def test_hypothesis_roundtrip_small_chunks(data):
+    """Small chunks force many model-adaptation boundaries."""
+    assert ac_decompress(ac_compress(data, SMALL_CONFIG)) == data
+
+
+@given(data=st.binary(max_size=1024))
+@settings(max_examples=30, deadline=None)
+def test_hypothesis_encode_twice_is_deterministic(data):
+    assert ac_compress(data) == ac_compress(data)
+
+
+@pytest.mark.parametrize("gen_name", sorted(GENERATORS))
+@pytest.mark.parametrize("size", (0, 1, 3, 64, 700, 4096, 20_000))
+def test_corpus_roundtrip(gen_name, size):
+    for variant in range(2):
+        payload = corpus_case(gen_name, size, variant)
+        blob = ac_compress(payload)
+        assert ac_decompress(blob) == payload
+        # Deterministic encoder: a second pass emits identical bytes.
+        assert ac_compress(payload) == blob
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("gen_name", ["noise", "text_like"])
+def test_corpus_roundtrip_one_mebibyte(gen_name):
+    """The [0 B, 1 MiB] ceiling of the fuzz envelope: one random and
+    one structured megabyte case (slow — real coding work)."""
+    payload = corpus_case(gen_name, 1 << 20, 0)
+    assert ac_decompress(ac_compress(payload)) == payload
+
+
+@pytest.mark.parametrize("order", range(5))
+def test_every_order_roundtrips(order):
+    config = ACConfig(order=order, chunk_bytes=512, table_bits=12)
+    payload = corpus_case("text_like", 3000, order)
+    assert ac_decompress(ac_compress(payload, config)) == payload
+
+
+def test_empty_input_is_header_only():
+    blob = ac_compress(b"")
+    assert len(blob) == HEADER_BYTES
+    assert ac_decompress(blob) == b""
+
+
+def test_header_is_self_describing():
+    config = ACConfig(order=3, chunk_bytes=1024, table_bits=12)
+    blob = ac_compress(b"abc" * 100, config)
+    parsed, length, _ = parse_header(blob)
+    assert parsed == config
+    assert length == 300
+
+
+def test_pipelined_compress_is_byte_identical():
+    for gen_name in ("runs", "noise", "text_like"):
+        payload = corpus_case(gen_name, 20_000, 1)
+        serial = ac_compress(payload)
+        for depth in (1, 2, 4):
+            assert ac_compress_pipelined(payload, queue_depth=depth) == serial
+
+
+def test_max_output_overflow_is_typed():
+    blob = ac_compress(b"x" * 4096)
+    with pytest.raises(OutputOverflowError):
+        ac_decompress(blob, max_output=100)
+    assert ac_decompress(blob, max_output=4096) == b"x" * 4096
+
+
+def test_adaptation_actually_compresses_skewed_data():
+    """Sanity: the model learns — skewed data beats the 1 MiB noise
+    incompressibility floor by a wide margin."""
+    payload = corpus_case("low_entropy", 50_000, 0)
+    noise = corpus_case("noise", 50_000, 0)
+    assert len(ac_compress(payload)) < len(ac_compress(noise)) * 0.5

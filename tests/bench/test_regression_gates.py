@@ -1,7 +1,8 @@
 """Regression gates over the committed perf trajectories
 (BENCH_PR3.json — core runtime; BENCH_PR4.json — serving layer;
 BENCH_PR5.json — path-selection crossover sweep; BENCH_PR6.json —
-telemetry plane: deterministic sim section + band-only wall section).
+telemetry plane: deterministic sim section + band-only wall section;
+BENCH_PR7.json — EDPC decoupled model/coder pipeline).
 
 Two layers of protection:
 
@@ -31,6 +32,7 @@ REPORT_PATH = REPO_ROOT / regress.DEFAULT_REPORT_PATH
 SERVE_REPORT_PATH = REPO_ROOT / regress.DEFAULT_SERVE_REPORT_PATH
 SELECT_REPORT_PATH = REPO_ROOT / regress.DEFAULT_SELECT_REPORT_PATH
 OBS_REPORT_PATH = REPO_ROOT / regress.DEFAULT_OBS_REPORT_PATH
+EDPC_REPORT_PATH = REPO_ROOT / regress.DEFAULT_EDPC_REPORT_PATH
 
 
 def assert_deep_exact(fresh, recorded, where):
@@ -409,4 +411,90 @@ def test_obs_gate_reports_missing_sections():
     assert len(violations) == (
         len(regress.OBS_SIM_BANDS) + len(regress.OBS_WALL_BANDS)
     )
+    assert all("missing" in v for v in violations)
+
+
+# ---------------------------------------------------------------------------
+# EDPC decoupled-pipeline trajectory (BENCH_PR7.json)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def fresh_edpc_report():
+    return regress.collect_edpc()
+
+
+@pytest.fixture(scope="module")
+def committed_edpc_report():
+    if not EDPC_REPORT_PATH.exists():
+        pytest.fail(
+            f"{regress.DEFAULT_EDPC_REPORT_PATH} missing — regenerate it "
+            f"with 'python benchmarks/regress.py'"
+        )
+    return regress.load_report(EDPC_REPORT_PATH)
+
+
+def test_edpc_fresh_numbers_pass_bands(fresh_edpc_report):
+    assert regress.gate_edpc(fresh_edpc_report) == []
+
+
+def test_edpc_committed_report_passes_bands(committed_edpc_report):
+    assert regress.gate_edpc(committed_edpc_report) == []
+
+
+def test_edpc_committed_report_schema(committed_edpc_report):
+    assert committed_edpc_report["schema"] == regress.EDPC_SCHEMA
+    assert set(regress.EDPC_BANDS) <= set(committed_edpc_report["headlines"])
+    sections = {row["section"] for row in committed_edpc_report["rows"]}
+    assert sections == {"ratio", "pipeline"}
+
+
+def test_edpc_trajectory_is_reproduced_exactly(
+    fresh_edpc_report, committed_edpc_report
+):
+    """Both the sim clock and the real codec bytes are deterministic,
+    so the whole report must come back bit-for-bit."""
+    assert_deep_exact(fresh_edpc_report, committed_edpc_report, "edpc")
+
+
+def test_edpc_pipelined_never_slower_at_any_size(fresh_edpc_report):
+    """Satellite acceptance: pipelined sim time <= unpipelined at every
+    swept size, with the headline speedup at the largest."""
+    pipeline_rows = [
+        row for row in fresh_edpc_report["rows"]
+        if row["section"] == "pipeline"
+    ]
+    assert pipeline_rows
+    for row in pipeline_rows:
+        assert row["pipelined_s"] <= row["serial_s"] * (1 + 1e-12)
+    largest = max(pipeline_rows, key=lambda row: row["sim_mb"])
+    assert largest["speedup"] == pytest.approx(
+        fresh_edpc_report["headlines"]["edpc_pipelined_vs_unpipelined_large"]
+    )
+    # Real bytes ride the sim at the largest size and must be identical.
+    assert largest["bytes_identical"] is True
+
+
+def test_edpc_ratio_rows_are_honest(fresh_edpc_report):
+    """AC trades ratio for adaptivity on these corpora: every dataset
+    row must carry a real measured ratio (> 1) and the deflate
+    comparison the headline bands pin."""
+    ratio = {}
+    for row in fresh_edpc_report["rows"]:
+        if row["section"] == "ratio":
+            assert row["ratio"] > 1.0
+            ratio[(row["dataset"], row["algo"])] = row["ratio"]
+    for dataset in ("silesia/xml", "silesia/mozilla", "obs_error"):
+        assert (dataset, "ac") in ratio and (dataset, "deflate") in ratio
+
+
+def test_edpc_gate_reports_violations():
+    bad = {"headlines": {key: -1.0 for key in regress.EDPC_BANDS}}
+    violations = regress.gate_edpc(bad)
+    assert all("below floor" in v for v in violations)
+    assert violations
+
+
+def test_edpc_gate_reports_missing_headline():
+    violations = regress.gate_edpc({"headlines": {}})
+    assert len(violations) == len(regress.EDPC_BANDS)
     assert all("missing" in v for v in violations)

@@ -23,6 +23,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.algorithms.ac import ac_compress
 from repro.algorithms.deflate import deflate_compress
 from repro.algorithms.gzip_format import gzip_compress
 from repro.algorithms.lz4 import lz4_block_compress, lz4_compress
@@ -39,6 +40,7 @@ BYTE_CODECS = {
     "lz4b": lz4_block_compress,
     "lz4f": lz4_compress,
     "zstdlite": zstdlite_compress,
+    "ac": ac_compress,
 }
 
 SZ3_ERROR_BOUND = 1e-3
@@ -85,6 +87,12 @@ def main() -> None:
     (VECTOR_DIR / "field.f32.in").write_bytes(field.tobytes())
     blob = sz3_compress(field, SZ3Config(error_bound=SZ3_ERROR_BOUND))
     (VECTOR_DIR / "field.sz3.bin").write_bytes(blob)
+    # Same field through SZ3 with the adaptive-context lossless stage:
+    # freezes the backend-id wiring and the ac container inside SZ3.
+    ac_blob = sz3_compress(
+        field, SZ3Config(error_bound=SZ3_ERROR_BOUND, backend="ac")
+    )
+    (VECTOR_DIR / "field.ac-sz3.bin").write_bytes(ac_blob)
     manifest["cases"]["field"] = {
         "input_sha256": hashlib.sha256(field.tobytes()).hexdigest(),
         "input_bytes": field.nbytes,
@@ -93,7 +101,11 @@ def main() -> None:
             "sz3": {
                 "sha256": hashlib.sha256(blob).hexdigest(),
                 "bytes": len(blob),
-            }
+            },
+            "ac-sz3": {
+                "sha256": hashlib.sha256(ac_blob).hexdigest(),
+                "bytes": len(ac_blob),
+            },
         },
     }
 

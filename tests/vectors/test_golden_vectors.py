@@ -23,6 +23,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.algorithms.ac import ac_compress, ac_decompress
 from repro.algorithms.deflate import deflate_compress, deflate_decompress
 from repro.algorithms.gzip_format import gzip_compress, gzip_decompress
 from repro.algorithms.lz4 import (
@@ -45,6 +46,7 @@ CODECS = {
     "lz4b": (lz4_block_compress, lz4_block_decompress),
     "lz4f": (lz4_compress, lz4_decompress),
     "zstdlite": (zstdlite_compress, zstdlite_decompress),
+    "ac": (ac_compress, ac_decompress),
 }
 
 BYTE_CASES = sorted(
@@ -118,4 +120,25 @@ class TestSZ3Vector:
     def test_artifact_checksum(self):
         meta = MANIFEST["cases"]["field"]["artifacts"]["sz3"]
         blob = _read("field.sz3", ".bin")
+        assert hashlib.sha256(blob).hexdigest() == meta["sha256"]
+
+    # -- SZ3 with the adaptive-context lossless stage ------------------
+
+    def test_ac_backend_decoder_reads_frozen_artifact(self):
+        restored = sz3_decompress(_read("field.ac-sz3", ".bin"))
+        bound = MANIFEST["sz3_error_bound"]
+        err = np.abs(restored.astype(np.float64)
+                     - self.field.astype(np.float64))
+        assert err.max() <= bound * (1 + 1e-6)
+
+    def test_ac_backend_encoder_is_byte_stable(self):
+        blob = sz3_compress(
+            self.field,
+            SZ3Config(error_bound=MANIFEST["sz3_error_bound"], backend="ac"),
+        )
+        assert blob == _read("field.ac-sz3", ".bin")
+
+    def test_ac_backend_artifact_checksum(self):
+        meta = MANIFEST["cases"]["field"]["artifacts"]["ac-sz3"]
+        blob = _read("field.ac-sz3", ".bin")
         assert hashlib.sha256(blob).hexdigest() == meta["sha256"]
