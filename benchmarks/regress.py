@@ -66,6 +66,12 @@ def main(argv: "list[str] | None" = None) -> int:
              "at the repo root)",
     )
     parser.add_argument(
+        "--wall-out",
+        default=os.path.join(repo_root, regress.DEFAULT_WALL_REPORT_PATH),
+        help="kernel-vectorization wall report path (default: "
+             "BENCH_PR8.json at the repo root)",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="gate the freshly collected numbers without writing the files",
@@ -80,12 +86,16 @@ def main(argv: "list[str] | None" = None) -> int:
          args.select_out),
         ("obs", regress.collect_obs, regress.gate_obs, args.obs_out),
         ("edpc", regress.collect_edpc, regress.gate_edpc, args.edpc_out),
+        ("wall", regress.collect_wallclock, regress.gate_wallclock,
+         args.wall_out),
     ):
         report = collect()
         violations += gate(report)
         if label == "obs":
             headlines = dict(report["sim"]["headlines"])
             headlines.update(report["wall"]["headlines"])
+        elif label == "wall":
+            headlines = report["wall"]["headlines"]
         else:
             headlines = report["headlines"]
         for key, value in sorted(headlines.items()):

@@ -4,6 +4,13 @@ These measure the *Python implementation's* real speed (pytest-benchmark
 statistics), which is orthogonal to the simulated DPU times: useful for
 tracking regressions in the pure-algorithm layer.
 
+Every benchmark is parametrized over the kernel mode, so one run emits
+a ``[vectorized]`` and a ``[scalar]`` row per codec — the pairwise diff
+is the vectorization win on that host.  Setting ``REPRO_SCALAR_KERNELS``
+in the environment skips the vectorized rows (the env var pins the
+whole process to the scalar reference, so a vectorized row would be
+mislabeled).
+
 ``--repro-bytes`` sets the payload size (default 64 KiB), so
 ``pytest benchmarks --repro-bytes=4096`` is uniformly fast.
 """
@@ -16,8 +23,22 @@ from repro.algorithms.sz3 import SZ3Config, sz3_compress, sz3_decompress
 from repro.algorithms.zlib_format import zlib_compress
 from repro.algorithms.zstdlite import zstdlite_compress
 from repro.datasets import get_dataset
+from repro.util.kernels import SCALAR, VECTORIZED, force_kernel_mode, scalar_kernels
 
 DEFAULT_PAYLOAD_BYTES = 64 * 1024
+
+
+@pytest.fixture(params=[VECTORIZED, SCALAR])
+def kernel(request):
+    """Kernel mode under test; honors a process-wide scalar pin."""
+    if request.param == VECTORIZED and scalar_kernels():
+        pytest.skip("REPRO_SCALAR_KERNELS pins this process to scalar kernels")
+    return request.param
+
+
+def _in_mode(mode, fn, *args):
+    with force_kernel_mode(mode):
+        return fn(*args)
 
 
 @pytest.fixture(scope="module")
@@ -36,41 +57,43 @@ def floats(payload_bytes):
 
 
 class TestLosslessCompress:
-    def test_deflate_compress(self, benchmark, text):
-        stream = benchmark(deflate_compress, text)
+    def test_deflate_compress(self, benchmark, text, kernel):
+        stream = benchmark(_in_mode, kernel, deflate_compress, text)
         assert len(stream) < len(text)
 
-    def test_zlib_compress(self, benchmark, text):
-        stream = benchmark(zlib_compress, text)
+    def test_zlib_compress(self, benchmark, text, kernel):
+        stream = benchmark(_in_mode, kernel, zlib_compress, text)
         assert len(stream) < len(text)
 
-    def test_lz4_compress(self, benchmark, text):
-        stream = benchmark(lz4_compress, text)
+    def test_lz4_compress(self, benchmark, text, kernel):
+        stream = benchmark(_in_mode, kernel, lz4_compress, text)
         assert len(stream) < len(text)
 
-    def test_zstdlite_compress(self, benchmark, text):
-        stream = benchmark(zstdlite_compress, text)
+    def test_zstdlite_compress(self, benchmark, text, kernel):
+        stream = benchmark(_in_mode, kernel, zstdlite_compress, text)
         assert len(stream) < len(text)
 
 
 class TestLosslessDecompress:
-    def test_deflate_decompress(self, benchmark, text):
+    def test_deflate_decompress(self, benchmark, text, kernel):
         stream = deflate_compress(text)
-        out = benchmark(deflate_decompress, stream)
+        out = benchmark(_in_mode, kernel, deflate_decompress, stream)
         assert out == text
 
-    def test_lz4_decompress(self, benchmark, text):
+    def test_lz4_decompress(self, benchmark, text, kernel):
         stream = lz4_compress(text)
-        out = benchmark(lz4_decompress, stream)
+        out = benchmark(_in_mode, kernel, lz4_decompress, stream)
         assert out == text
 
 
 class TestLossy:
-    def test_sz3_compress(self, benchmark, floats):
-        stream = benchmark(sz3_compress, floats, SZ3Config(error_bound=1e-4))
+    def test_sz3_compress(self, benchmark, floats, kernel):
+        stream = benchmark(
+            _in_mode, kernel, sz3_compress, floats, SZ3Config(error_bound=1e-4)
+        )
         assert len(stream) < floats.nbytes
 
-    def test_sz3_decompress(self, benchmark, floats):
+    def test_sz3_decompress(self, benchmark, floats, kernel):
         stream = sz3_compress(floats, SZ3Config(error_bound=1e-4))
-        out = benchmark(sz3_decompress, stream)
+        out = benchmark(_in_mode, kernel, sz3_decompress, stream)
         assert out.shape == floats.shape

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import CorruptStreamError
+from repro.util.kernels import scalar_kernels
 
 MASK64 = (1 << 64) - 1
 
@@ -117,7 +118,17 @@ class ContextModel:
         order = self.config.order
         if order == 0:
             return np.zeros(n, dtype=np.int64)
+        if scalar_kernels():
+            return self._context_hashes_scalar(data, start, stop)
         h = np.zeros(n, dtype=np.uint64)
+        if start >= order:
+            # Fast path (every chunk but the first): each lag's
+            # predecessor bytes are a contiguous zero-copy slice — no
+            # index arrays, no masking.
+            for lag in range(1, order + 1):
+                h += (data[start - lag : stop - lag].astype(np.uint64)
+                      * np.uint64(_LAG_MULTIPLIERS[lag - 1]))
+            return ((h * self._fold) >> self._shift).astype(np.int64)
         idx = np.arange(start, stop, dtype=np.int64)
         for lag in range(1, order + 1):
             prev = np.where(
@@ -125,6 +136,17 @@ class ContextModel:
             ).astype(np.uint64)
             h += prev * np.uint64(_LAG_MULTIPLIERS[lag - 1])
         return ((h * self._fold) >> self._shift).astype(np.int64)
+
+    def _context_hashes_scalar(
+        self, data: np.ndarray, start: int, stop: int
+    ) -> np.ndarray:
+        """Per-position reference for :meth:`context_hashes`, built on
+        the decoder's :meth:`context_hash_scalar` twin."""
+        out = np.empty(stop - start, dtype=np.int64)
+        for k, pos in enumerate(range(start, stop)):
+            history = [int(b) for b in data[max(pos - self.config.order, 0) : pos]]
+            out[k] = self.context_hash_scalar(history)
+        return out
 
     def context_hash_scalar(self, history: list[int]) -> int:
         """Scalar twin of :meth:`context_hashes` for the decoder.

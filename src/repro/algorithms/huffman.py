@@ -20,6 +20,7 @@ import numpy as np
 from repro.errors import CorruptStreamError
 from repro.obs.profile import get_profiler
 from repro.util.bitio import BitReader, reverse_bits
+from repro.util.kernels import scalar_kernels
 
 __all__ = [
     "code_lengths",
@@ -121,10 +122,27 @@ def canonical_codes(lengths: np.ndarray) -> np.ndarray:
         if code + int(bl_count[bits]) > (1 << bits):
             raise CorruptStreamError(f"over-subscribed Huffman tree at length {bits}")
 
-    for sym in np.flatnonzero(lengths > 0):
-        bits = int(lengths[sym])
-        codes[sym] = next_code[bits]
-        next_code[bits] += 1
+    if scalar_kernels():
+        # Scalar reference: walk symbols in order, consuming next_code.
+        for sym in np.flatnonzero(lengths > 0):
+            bits = int(lengths[sym])
+            codes[sym] = next_code[bits]
+            next_code[bits] += 1
+        return codes
+
+    # Vectorized assignment: within one length, canonical codes are
+    # consecutive in symbol order, so each symbol's code is
+    # ``next_code[len] + rank-within-length``.  A stable argsort by
+    # length yields (length, symbol) order; the rank is the distance to
+    # the first entry of the same length.
+    syms = np.flatnonzero(lengths > 0)
+    if syms.size:
+        lens = lengths[syms].astype(np.int64)
+        by_len = np.argsort(lens, kind="stable")
+        sorted_lens = lens[by_len]
+        first_of_len = np.searchsorted(sorted_lens, sorted_lens, side="left")
+        ranks = np.arange(sorted_lens.size, dtype=np.int64) - first_of_len
+        codes[syms[by_len]] = (next_code[sorted_lens] + ranks).astype(np.uint32)
     return codes
 
 

@@ -5,10 +5,30 @@ A hash-chain matcher in the spirit of zlib's ``deflate_slow``: a rolling
 newest-first; an optional one-step *lazy* evaluation defers a match when
 the next position matches longer.
 
-Hash values for every position are precomputed with numpy in one shot
-(the per-position Python work is the bottleneck, so anything hoistable
-is hoisted).  Match extension compares 16-byte slices before falling
-back to per-byte comparison.
+Two byte-identical implementations live here, selected via
+:mod:`repro.util.kernels`:
+
+* :func:`_tokenize` — the scalar reference: per-position hash-chain
+  inserts and a head-table walk, exactly as zlib structures it.
+* :func:`_tokenize_vec` — the vectorized kernel.  Every position is
+  inserted into its chain exactly once, in increasing position order,
+  *before* it can ever be a candidate, so the entire chain table is a
+  pure function of the input and can be precomputed in one shot: a
+  stable argsort by hash links each position to the most recent earlier
+  position in its bucket (``prev_all``).  The per-byte insert work
+  vanishes from the scan loop, and literal runs are emitted in bulk: a
+  second table keyed on exact *trigrams* (not hashes, which alias)
+  marks the positions with an in-window 3-byte-equal predecessor — any
+  match is at least ``min_match >= 3`` long, so every other position
+  provably emits a literal and is skipped without a walk.  The chain walk
+  itself keeps the scalar's exact candidate order, quick-reject,
+  ``good_match`` shortening and lazy semantics, so the token streams
+  are identical (enforced by ``tests/algorithms/test_kernel_equivalence``
+  and by the golden vectors, which predate the rewrite).
+
+Match extension compares 16-byte slices before falling back to per-byte
+comparison; inputs may be ``bytes`` or ``memoryview`` (slicing stays
+zero-copy either way).
 
 The output is a token stream of literals and ``(length, distance)``
 copies, encoded as two parallel Python lists for cheap conversion to
@@ -22,6 +42,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.obs.profile import get_profiler
+from repro.util.kernels import scalar_kernels
 
 __all__ = ["MatcherConfig", "TokenStream", "tokenize", "reconstruct"]
 
@@ -107,9 +128,16 @@ def _match_length(data: bytes, cand: int, pos: int, limit: int) -> int:
 
 
 def tokenize(data: bytes, config: MatcherConfig | None = None) -> TokenStream:
-    """Factor ``data`` into an LZ77 token stream."""
+    """Factor ``data`` into an LZ77 token stream.
+
+    Dispatches to the vectorized kernel unless the scalar reference is
+    selected (``REPRO_SCALAR_KERNELS`` / ``force_kernel_mode``); both
+    produce identical token streams.
+    """
     with get_profiler().kernel("lz77.match_loop"):
-        return _tokenize(data, config)
+        if scalar_kernels():
+            return _tokenize(data, config)
+        return _tokenize_vec(data, config)
 
 
 def _tokenize(data: bytes, config: MatcherConfig | None) -> TokenStream:
@@ -220,6 +248,170 @@ def _tokenize(data: bytes, config: MatcherConfig | None) -> TokenStream:
 
     if pending is not None:
         # Stream ended while deferring: the pending match still applies.
+        lengths.append(pending[0])
+        values.append(pending[1])
+    return TokenStream(lengths, values, n)
+
+
+def _tokenize_vec(data: bytes, config: MatcherConfig | None) -> TokenStream:
+    """Vectorized tokenizer; token-identical to :func:`_tokenize`.
+
+    Correctness argument for the precomputed chain table: in the scalar
+    matcher every position ``p < n_hash`` is inserted into its bucket
+    exactly once and in increasing position order (the match-emission
+    paths insert every covered position in their catch-up loops), and
+    always *before* any later position examines the chain.  Therefore
+    at the moment position ``pos`` is examined, ``head[hash(pos)]`` is
+    precisely the largest ``p < pos`` with the same hash, and the walk
+    visits same-hash predecessors in strictly decreasing position
+    order.  ``prev_all`` below encodes exactly that relation for every
+    position at once, which makes the walk's candidate sequence — and
+    hence the emitted tokens — identical by induction.
+    """
+    cfg = config or MatcherConfig()
+    n = len(data)
+    lengths: list[int] = []
+    values: list[int] = []
+    if n == 0:
+        return TokenStream(lengths, values, 0)
+
+    hashes = _hash_all(data)
+    n_hash = hashes.shape[0]
+    window = cfg.window_size
+    if n_hash:
+        # Batched hash-chain build: one stable argsort groups the
+        # buckets; adjacent same-hash entries link each position to its
+        # most recent same-hash predecessor.
+        # numpy's stable argsort is radix sort only for <= 16-bit keys
+        # (timsort otherwise, ~6x slower on megabyte inputs), so sort
+        # the 15-bit hashes as uint16 ...
+        order = np.argsort(hashes.astype(np.uint16), kind="stable")
+        prev_all = np.full(n_hash, -1, dtype=np.int64)
+        same = hashes[order[1:]] == hashes[order[:-1]]
+        prev_all[order[1:][same]] = order[:-1][same]
+        # Literal-run skip table, keyed on exact *trigrams* rather than
+        # hashes: any match has length >= min_match >= 3, so its first
+        # three bytes agree and the match source is a trigram-equal
+        # predecessor inside the window.  A position with no such
+        # predecessor provably emits a literal, and every run between
+        # two match-capable positions is emitted in bulk below.  Trigram
+        # chains are what make this effective on low-redundancy data:
+        # hash chains alias ~every position into some bucket
+        # (2**15 buckets vs a 32768-byte window), while exact trigram
+        # repeats within the window are rare.
+        # ... and the 24-bit trigrams with a two-pass LSD radix: stable
+        # argsort by the low 16 bits, then by the high byte.
+        buf = np.frombuffer(data, dtype=np.uint8).astype(np.uint32)
+        tri = (buf[:-2] << np.uint32(16)) | (buf[1:-1] << np.uint32(8)) | buf[2:]
+        t_lo = np.argsort(tri.astype(np.uint16), kind="stable")
+        t_hi = (tri >> np.uint32(16)).astype(np.uint8)[t_lo]
+        t_order = t_lo[np.argsort(t_hi, kind="stable")]
+        prev_tri = np.full(n_hash, -1, dtype=np.int64)
+        t_same = tri[t_order[1:]] == tri[t_order[:-1]]
+        prev_tri[t_order[1:][t_same]] = t_order[:-1][t_same]
+        pos_idx = np.arange(n_hash, dtype=np.int64)
+        has_cand = prev_tri >= np.maximum(pos_idx - window, 0)
+        cand_list = np.flatnonzero(has_cand).tolist()
+        prev_l = prev_all.tolist()
+    else:
+        cand_list = []
+        prev_l = []
+    ncand = len(cand_list)
+
+    min_match = cfg.min_match
+    max_match = cfg.max_match
+    max_chain = cfg.max_chain
+    good = cfg.good_match
+    lazy = cfg.lazy
+
+    def longest_match(pos: int) -> tuple[int, int]:
+        """Best (length, distance) at ``pos``; (0, 0) if none."""
+        best_len = min_match - 1
+        best_dist = 0
+        limit = min(max_match, n - pos)
+        if limit < min_match:
+            return 0, 0
+        chain = max_chain
+        cand = prev_l[pos]
+        low = pos - window
+        while cand >= 0 and cand >= low and chain > 0:
+            # Quick reject: a longer match must extend past the current best.
+            if data[cand + best_len] == data[pos + best_len]:
+                l = _match_length(data, cand, pos, limit)
+                if l > best_len:
+                    best_len = l
+                    best_dist = pos - cand
+                    if l >= limit:
+                        break
+                    if l >= good:
+                        chain >>= 2
+            cand = prev_l[cand]
+            chain -= 1
+        if best_dist == 0:
+            return 0, 0
+        return best_len, best_dist
+
+    i = 0
+    ci = 0  # cursor into cand_list (monotone; amortized O(ncand) total)
+    pending: tuple[int, int] | None = None  # deferred (length, dist) at i-1
+    while i < n:
+        if pending is None:
+            # Bulk-emit the literal run up to the next position that has
+            # an in-window candidate (no such position can match).  The
+            # cursor re-syncs by galloping: long match jumps would cost
+            # one step per covered byte with a linear scan.
+            if ci < ncand and cand_list[ci] < i:
+                step = 1
+                while ci + step < ncand and cand_list[ci + step] < i:
+                    step <<= 1
+                lo, hi = ci + (step >> 1) + 1, min(ci + step, ncand)
+                while lo < hi:
+                    mid = (lo + hi) >> 1
+                    if cand_list[mid] < i:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                ci = lo
+            j = cand_list[ci] if ci < ncand else n
+            if j > i:
+                values.extend(data[i:j])
+                lengths.extend([0] * (j - i))
+                i = j
+                if i >= n:
+                    break
+        if i < n_hash:
+            cur_len, cur_dist = longest_match(i)
+        else:
+            cur_len, cur_dist = 0, 0
+
+        if pending is not None:
+            pend_len, pend_dist = pending
+            if cur_len > pend_len:
+                lengths.append(0)
+                values.append(data[i - 1])
+                pending = (cur_len, cur_dist)
+                i += 1
+                continue
+            lengths.append(pend_len)
+            values.append(pend_dist)
+            i = i - 1 + pend_len
+            pending = None
+            continue
+
+        if cur_len >= min_match:
+            if lazy and cur_len < max_match and i + 1 < n:
+                pending = (cur_len, cur_dist)
+                i += 1
+                continue
+            lengths.append(cur_len)
+            values.append(cur_dist)
+            i += cur_len
+        else:
+            lengths.append(0)
+            values.append(data[i])
+            i += 1
+
+    if pending is not None:
         lengths.append(pending[0])
         values.append(pending[1])
     return TokenStream(lengths, values, n)

@@ -38,6 +38,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.obs.profile import get_profiler
+from repro.util.kernels import scalar_kernels
 
 __all__ = ["quantize", "dequantize"]
 
@@ -50,6 +51,8 @@ def quantize(data: np.ndarray, abs_error_bound: float) -> np.ndarray:
     """
     with get_profiler().kernel("lorenzo.quantize"):
         pitch = 2.0 * abs_error_bound
+        if scalar_kernels():
+            return _quantize_scalar(data, pitch)
         return np.rint(data.astype(np.float64) / pitch).astype(np.int64)
 
 
@@ -59,4 +62,28 @@ def dequantize(
     """Reconstruct grid values from ``int64`` codes."""
     with get_profiler().kernel("lorenzo.dequantize"):
         pitch = 2.0 * abs_error_bound
+        if scalar_kernels():
+            return _dequantize_scalar(codes, pitch, dtype)
         return (codes.astype(np.float64) * pitch).astype(dtype)
+
+
+def _quantize_scalar(data: np.ndarray, pitch: float) -> np.ndarray:
+    """Per-element reference for :func:`quantize` (classic sequential SZ
+    shape).  Uses numpy *scalar* ops so rounding and the NaN/Inf →
+    ``int64`` cast behave exactly like the whole-array kernel."""
+    flat = np.asarray(data).reshape(-1)
+    out = np.empty(flat.size, dtype=np.int64)
+    for i in range(flat.size):
+        out[i] = np.rint(np.float64(flat[i]) / pitch).astype(np.int64)
+    return out.reshape(np.asarray(data).shape)
+
+
+def _dequantize_scalar(
+    codes: np.ndarray, pitch: float, dtype: np.dtype
+) -> np.ndarray:
+    """Per-element reference for :func:`dequantize`."""
+    flat = np.asarray(codes).reshape(-1)
+    out = np.empty(flat.size, dtype=dtype)
+    for i in range(flat.size):
+        out[i] = (np.float64(flat[i]) * pitch).astype(dtype)
+    return out.reshape(np.asarray(codes).shape)

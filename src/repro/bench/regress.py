@@ -45,6 +45,8 @@ import math
 import time
 from typing import Any
 
+import numpy as np
+
 from repro import obs
 from repro.bench.harness import run_naive_roundtrip, run_pedal_roundtrip
 from repro.core.parallel import ParallelCompressor, ParallelConfig
@@ -54,16 +56,18 @@ from repro.dpu.specs import Direction
 from repro.sim import Environment
 
 __all__ = ["collect", "collect_serve", "collect_select", "collect_obs",
-           "collect_edpc",
+           "collect_edpc", "collect_wallclock",
            "gate", "gate_serve", "gate_select", "gate_obs", "gate_edpc",
+           "gate_wallclock",
            "write_report", "load_report", "BANDS",
            "SERVE_BANDS", "SELECT_BANDS", "OBS_SIM_BANDS", "OBS_WALL_BANDS",
-           "EDPC_BANDS",
+           "EDPC_BANDS", "WALL_BANDS", "WALL_CODEC_FLOORS_MBPS",
            "DEFAULT_REPORT_PATH",
            "DEFAULT_SERVE_REPORT_PATH", "DEFAULT_SELECT_REPORT_PATH",
            "DEFAULT_OBS_REPORT_PATH", "DEFAULT_EDPC_REPORT_PATH",
+           "DEFAULT_WALL_REPORT_PATH",
            "SCHEMA", "SERVE_SCHEMA", "SELECT_SCHEMA", "OBS_SCHEMA",
-           "EDPC_SCHEMA",
+           "EDPC_SCHEMA", "WALL_SCHEMA",
            "SELECT_TOLERANCE", "OBS_OVERHEAD_CEILING"]
 
 SCHEMA = 1
@@ -76,6 +80,53 @@ OBS_SCHEMA = 1
 DEFAULT_OBS_REPORT_PATH = "BENCH_PR6.json"
 EDPC_SCHEMA = 1
 DEFAULT_EDPC_REPORT_PATH = "BENCH_PR7.json"
+WALL_SCHEMA = 1
+DEFAULT_WALL_REPORT_PATH = "BENCH_PR8.json"
+
+# -- BENCH_PR8 (kernel vectorization wall clock) -----------------------
+_WALL_REPS = 3            # min-of-N per timing
+_WALL_SUITE_BYTES = 1 << 20
+_WALL_CODEC_BYTES = 1 << 18
+#: DEFLATE suite members whose scalar pipeline is literal/emit-heavy —
+#: the structures the vectorized kernels batch; their geomean is the
+#: headline aggregate.
+_WALL_LIT_SUITE = ("noise", "ascii")
+#: Deep-chain / degenerate members: the candidate walk (identical in
+#: both modes by construction) dominates, so these gate on
+#: non-inferiority floors only.
+_WALL_PARITY_SUITE = ("silesia/xml", "silesia/samba", "runs2")
+
+#: Band gates for BENCH_PR8 — wall clock, floors only, deliberately
+#: generous (roughly half of what a loaded CI host measures; recorded
+#: trajectory values run 1.5-2x above every floor).
+WALL_BANDS: "dict[str, tuple[float | None, float | None]]" = {
+    # Aggregate: vectorized kernels vs the full-scalar reference
+    # pipeline on the match_loop-dominated literal suite (recorded ~3.5x).
+    "wall_vec_speedup_lit_geomean": (1.8, None),
+    "wall_vec_speedup_noise": (1.5, None),
+    "wall_vec_speedup_ascii": (1.5, None),
+    # Non-inferiority on the deep-chain suite (both modes walk the same
+    # candidate sequence; vectorized pays a small precompute constant).
+    "wall_vec_speedup_silesia_xml": (0.6, None),
+    "wall_vec_speedup_silesia_samba": (0.6, None),
+    "wall_vec_speedup_runs2": (0.45, None),
+    # The headline suite must be measuring what it claims to measure.
+    "wall_top_kernel_is_lz77": (1.0, 1.0),
+}
+
+#: Per-codec compress-throughput floors (MB/s, vectorized mode, 256 KiB
+#: silesia/xml sample; sz3 on a float32 field).  Set to roughly 1/6 of
+#: a development-host measurement so loaded CI machines clear them.
+WALL_CODEC_FLOORS_MBPS: "dict[str, float]" = {
+    "deflate": 0.12,
+    "zlib": 0.12,
+    "gzip": 0.12,
+    "lz4b": 0.5,
+    "lz4f": 0.4,
+    "zstdlite": 0.2,
+    "ac": 0.2,
+    "sz3": 1.5,
+}
 
 # Small real payloads: the sim-clock headlines are independent of the
 # actual byte budget, so the harness stays fast.
@@ -149,7 +200,7 @@ SELECT_BANDS: dict[str, tuple[float | None, float | None]] = {
 # Telemetry-plane gates (BENCH_PR6.json).  Sim-section bands hold on
 # deterministic numbers; the wall section re-measures at gate time.
 OBS_OVERHEAD_CEILING = 1.05  # telemetry-on wall clock <= 5% over off
-_OBS_WALL_REPS = 3
+_OBS_WALL_REPS = 7
 _OBS_SERVE_LOAD = 12_000.0
 _OBS_FLAME_BYTES = 64 * 1024
 
@@ -393,6 +444,33 @@ def _wall_serve_seconds(telemetry_on: bool, actual_bytes: int) -> float:
     return best
 
 
+def _wall_serve_pair(actual_bytes: int) -> "tuple[float, float]":
+    """Trimmed-total (off, on) wall seconds, reps *interleaved*.
+
+    The vectorized kernels shrank the serve point to ~0.5 s, where this
+    host's run-to-run jitter is the same order as the telemetry
+    overhead being measured, so two things keep the ratio honest:
+    off/on reps are interleaved (slow drift — thermal, noisy
+    neighbours — can't land entirely on one side and fake an
+    overhead), and each side drops its fastest and slowest rep before
+    summing (a min-of-N ratio is the quotient of two extreme order
+    statistics, far noisier than the trimmed totals).
+    """
+    offs: "list[float]" = []
+    ons: "list[float]" = []
+    for _ in range(_OBS_WALL_REPS):
+        started = time.perf_counter()
+        _serve_point_record(False, actual_bytes)
+        offs.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        _serve_point_record(True, actual_bytes)
+        ons.append(time.perf_counter() - started)
+    trim = 1 if _OBS_WALL_REPS >= 3 else 0
+    off_s = sum(sorted(offs)[trim:_OBS_WALL_REPS - trim])
+    on_s = sum(sorted(ons)[trim:_OBS_WALL_REPS - trim])
+    return off_s, on_s
+
+
 def collect_obs(actual_bytes: int = 1024) -> dict[str, Any]:
     """Run the telemetry-plane demo + overhead gate; BENCH_PR6 report.
 
@@ -415,8 +493,7 @@ def collect_obs(actual_bytes: int = 1024) -> dict[str, Any]:
     )
 
     # Wall section: overhead ratio (min-of-N either way) + top kernel.
-    off_s = _wall_serve_seconds(False, actual_bytes)
-    on_s = _wall_serve_seconds(True, actual_bytes)
+    off_s, on_s = _wall_serve_pair(actual_bytes)
     profiler = obs.CodecProfiler()
     payload = bytes(generate_payload(_ROUNDTRIP_DATASET, _OBS_FLAME_BYTES))
     prev = obs.set_profiler(profiler)
@@ -480,6 +557,167 @@ def collect_edpc() -> dict[str, Any]:
     }
 
 
+def _wall_payload(name: str, nbytes: int) -> bytes:
+    """Deterministic wall-bench payloads (independent of the sim datasets
+    where noted, so the suite composition is explicit in this file)."""
+    if name == "noise":
+        return np.random.default_rng(0x9E3779B9).bytes(nbytes)
+    if name == "ascii":
+        rng = np.random.default_rng(0x85EBCA6B)
+        return bytes(rng.integers(32, 127, nbytes, dtype=np.uint8))
+    if name == "runs2":
+        pattern = (
+            b"\x00" * 1024          # beyond-max-match zero run
+            + b"\x7f\x80" * 300     # period-2 alternation
+            + b"PQRS" * 200         # period-4
+            + bytes(range(64)) * 3  # short ramp tail
+        )
+        reps = nbytes // len(pattern) + 1
+        return (pattern * reps)[:nbytes]
+    return bytes(get_dataset(name).generate(nbytes))
+
+
+def _wall_deflate_seconds(data: bytes, mode: str) -> float:
+    from repro.algorithms.deflate import deflate_compress
+    from repro.util.kernels import force_kernel_mode
+
+    best = float("inf")
+    with force_kernel_mode(mode):
+        deflate_compress(data[:4096])  # warm numpy/codepaths
+        for _ in range(_WALL_REPS):
+            started = time.perf_counter()
+            deflate_compress(data)
+            best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _wall_codec_mbps() -> "dict[str, float]":
+    """Vectorized-mode compress throughput (MB/s) per codec."""
+    from repro.algorithms.ac import ac_compress
+    from repro.algorithms.deflate import deflate_compress
+    from repro.algorithms.gzip_format import gzip_compress
+    from repro.algorithms.lz4 import lz4_block_compress, lz4_compress
+    from repro.algorithms.sz3 import SZ3Config, sz3_compress
+    from repro.algorithms.zlib_format import zlib_compress
+    from repro.algorithms.zstdlite import zstdlite_compress
+    from repro.util.kernels import force_kernel_mode
+
+    payload = _wall_payload("silesia/xml", _WALL_CODEC_BYTES)
+    t = np.linspace(0.0, 40.0, _WALL_CODEC_BYTES // 8)
+    field = (np.sin(t) + 0.25 * np.sin(6.3 * t)).astype(np.float32)
+    codecs: "dict[str, tuple[Any, Any]]" = {
+        "deflate": (deflate_compress, payload),
+        "zlib": (zlib_compress, payload),
+        "gzip": (gzip_compress, payload),
+        "lz4b": (lz4_block_compress, payload),
+        "lz4f": (lz4_compress, payload),
+        "zstdlite": (zstdlite_compress, payload),
+        "ac": (ac_compress, payload),
+        "sz3": (lambda d: sz3_compress(d, SZ3Config(error_bound=1e-3)), field),
+    }
+    out = {}
+    with force_kernel_mode("vectorized"):
+        for name, (fn, data) in codecs.items():
+            nbytes = data.nbytes if isinstance(data, np.ndarray) else len(data)
+            fn(data)  # warm
+            best = float("inf")
+            for _ in range(_WALL_REPS):
+                started = time.perf_counter()
+                fn(data)
+                best = min(best, time.perf_counter() - started)
+            out[name] = nbytes / best / 1e6
+    return out
+
+
+def collect_wallclock() -> dict[str, Any]:
+    """Measure the kernel-vectorization wall trajectory; BENCH_PR8 report.
+
+    Everything in here is host-local wall clock, so the entire report is
+    band-gated (floors only, generous) and re-measured wherever the gate
+    runs — recorded values document the trajectory, they are never
+    compared bit-for-bit.  Two row families:
+
+    * the DEFLATE compress suite at 1 MiB, scalar reference vs
+      vectorized kernels (byte-identical outputs, asserted per row).
+      The *literal-dominated* members (``noise``, ``ascii``) are where
+      vectorization restructures the work — their geomean is the
+      headline aggregate; the deep-chain members (``silesia/*``,
+      ``runs2``) gate on non-inferiority floors because scalar and
+      vectorized walk the identical candidate sequence there.
+    * per-codec compress throughput floors in vectorized mode.
+    """
+    from repro.algorithms.deflate import deflate_compress
+    from repro.util.kernels import force_kernel_mode
+
+    rows = []
+    speedups: "dict[str, float]" = {}
+    for name in _WALL_LIT_SUITE + _WALL_PARITY_SUITE:
+        data = _wall_payload(name, _WALL_SUITE_BYTES)
+        with force_kernel_mode("scalar"):
+            blob_scalar = deflate_compress(data)
+        with force_kernel_mode("vectorized"):
+            blob_vec = deflate_compress(data)
+        if blob_scalar != blob_vec:  # pragma: no cover - equivalence bug
+            raise AssertionError(f"kernel divergence on wall dataset {name!r}")
+        scalar_s = _wall_deflate_seconds(data, "scalar")
+        vec_s = _wall_deflate_seconds(data, "vectorized")
+        speedups[name] = scalar_s / vec_s
+        rows.append({
+            "dataset": name,
+            "input_bytes": len(data),
+            "scalar_s": scalar_s,
+            "vectorized_s": vec_s,
+            "speedup": scalar_s / vec_s,
+            "vectorized_mb_s": len(data) / vec_s / 1e6,
+        })
+
+    lit_geomean = math.exp(
+        sum(math.log(speedups[n]) for n in _WALL_LIT_SUITE)
+        / len(_WALL_LIT_SUITE)
+    )
+
+    # The headline suite must actually be match_loop-dominated: profile
+    # the scalar reference on the first literal-suite member.
+    profiler = obs.CodecProfiler()
+    prev = obs.set_profiler(profiler)
+    try:
+        with force_kernel_mode("scalar"):
+            deflate_compress(_wall_payload(_WALL_LIT_SUITE[0], _WALL_SUITE_BYTES))
+    finally:
+        obs.set_profiler(prev)
+    top = profiler.top_kernel(("deflate.compress",))
+
+    headlines: "dict[str, float]" = {
+        "wall_vec_speedup_lit_geomean": lit_geomean,
+        "wall_top_kernel_is_lz77": 1.0 if top == "lz77.match_loop" else 0.0,
+    }
+    for name, value in speedups.items():
+        headlines[f"wall_vec_speedup_{_wall_key(name)}"] = value
+    for codec, mbps in _wall_codec_mbps().items():
+        headlines[f"wall_mbps_{codec}"] = mbps
+
+    return {
+        "schema": WALL_SCHEMA,
+        "generator": "repro.bench.regress",
+        "config": {
+            "suite_bytes": _WALL_SUITE_BYTES,
+            "codec_bytes": _WALL_CODEC_BYTES,
+            "wall_repetitions": _WALL_REPS,
+            "lit_suite": list(_WALL_LIT_SUITE),
+            "parity_suite": list(_WALL_PARITY_SUITE),
+        },
+        "wall": {
+            "headlines": headlines,
+            "rows": rows,
+            "top_kernel": top,
+        },
+    }
+
+
+def _wall_key(dataset: str) -> str:
+    return dataset.replace("/", "_").replace("-", "_")
+
+
 def _gate_bands(report: dict[str, Any],
                 bands: "dict[str, tuple[float | None, float | None]]") -> list[str]:
     violations = []
@@ -526,6 +764,28 @@ def gate_obs(report: dict[str, Any]) -> list[str]:
 def gate_edpc(report: dict[str, Any]) -> list[str]:
     """Check every BENCH_PR7 headline band; returns the violations."""
     return _gate_bands(report, EDPC_BANDS)
+
+
+def gate_wallclock(report: dict[str, Any]) -> list[str]:
+    """Check the BENCH_PR8 wall bands; returns the violations.
+
+    Per-codec throughput headlines gate on floors declared *in the
+    report itself* (``config`` has no say): every ``wall_mbps_<codec>``
+    headline must clear :data:`WALL_CODEC_FLOORS_MBPS`.
+    """
+    wall = report.get("wall", {})
+    violations = _gate_bands(wall, WALL_BANDS)
+    headlines = wall.get("headlines", {})
+    for codec, floor in WALL_CODEC_FLOORS_MBPS.items():
+        key = f"wall_mbps_{codec}"
+        if key not in headlines:
+            violations.append(f"{key}: missing from report")
+            continue
+        if headlines[key] < floor:
+            violations.append(
+                f"{key}: {headlines[key]:.6g} MB/s below floor {floor:.6g}"
+            )
+    return violations
 
 
 def write_report(report: dict[str, Any], path: str) -> None:

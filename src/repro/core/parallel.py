@@ -85,14 +85,21 @@ class ParallelResult:
         return self.breakdown.total()
 
 
-def _split_even(data: bytes, parts: int) -> list[bytes]:
-    n = len(data)
+def _split_even(data: "bytes | memoryview", parts: int) -> list[memoryview]:
+    """Split ``data`` into ``parts`` zero-copy memoryview slices.
+
+    The codecs consume memoryviews directly (slicing stays zero-copy all
+    the way into the LZ77 matcher), so chunking a large payload costs no
+    byte copies at all.
+    """
+    view = memoryview(data)
+    n = len(view)
     base, rem = divmod(n, parts)
     out = []
     pos = 0
     for i in range(parts):
         take = base + (1 if i < rem else 0)
-        out.append(data[pos : pos + take])
+        out.append(view[pos : pos + take])
         pos += take
     return out
 
@@ -115,7 +122,7 @@ class ParallelCompressor:
         """Compress ``data`` chunk-parallel; returns :class:`ParallelResult`."""
         cfg = self.config
         sim_total = float(len(data) if sim_bytes is None else sim_bytes)
-        chunks = _split_even(bytes(data), cfg.n_chunks)
+        chunks = _split_even(data, cfg.n_chunks)
         compressed = [deflate_compress(chunk, cfg.deflate) for chunk in chunks]
 
         container = bytearray()

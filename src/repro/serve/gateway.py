@@ -37,6 +37,7 @@ from repro.algorithms.ac import ACConfig, ac_compress, ac_decompress
 from repro.algorithms.deflate import DeflateConfig, deflate_compress, deflate_decompress
 from repro.algorithms.lz4 import lz4_compress, lz4_decompress
 from repro.core.registry import cengine_core_algo
+from repro.util.scratch import get_scratch_pool
 from repro.dpu.specs import Algo, Direction
 from repro.errors import NoLatencySamplesError
 from repro.obs import MetricsRegistry, QuantileSketch, device_span, get_metrics
@@ -86,6 +87,9 @@ class ServeConfig:
     deflate: DeflateConfig | None = None
     ac: ACConfig | None = None
     telemetry: TelemetryConfig | None = None
+    # Host-side scratch prewarm: bytes of codec pack-buffer seeded per
+    # device at gateway construction (0 disables).  Wall-clock only.
+    scratch_prewarm_bytes: int = 1 << 20
 
 
 class DpuWorker:
@@ -148,6 +152,13 @@ class ServeGateway:
         ]
         self.router = make_router(self.config.router)
         self.admission = AdmissionController(self.config.max_pending)
+        # Seed the host-side scratch pool so the per-algo codecs hit
+        # warm pack buffers from the first request (mirrors PEDAL_init's
+        # DOCA buffer prewarm, but for real wall-clock allocations).
+        if self.config.scratch_prewarm_bytes > 0:
+            get_scratch_pool().prewarm(
+                self.config.scratch_prewarm_bytes, count=len(self.workers)
+            )
         self.batcher = Batcher(env, self.config.batch, self._dispatch)
         self._inflight: "set[Event]" = set()
         self._auto_id = 0

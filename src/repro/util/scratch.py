@@ -1,0 +1,208 @@
+"""Host-side scratch-buffer pool for the hot codec kernels.
+
+:mod:`repro.core.mempool` models the *device* buffer pool (DOCA
+``doca_buf`` inventory, simulated clock).  This module is its host-side
+counterpart: a real, wall-clock buffer-reuse pool that the vectorized
+kernels draw their numpy scratch arenas from, so the per-call hot path
+stops allocating (PR 8 tentpole).  ``core.mempool`` re-exports it so
+both halves of the story live behind one import.
+
+Design points:
+
+* **Power-of-two size classes.**  An ``acquire(nbytes)`` is served from
+  the smallest arena class that fits; arenas are recycled per class.
+* **Zero-on-acquire.**  The returned view is zero-filled every time.  A
+  pooled buffer is handed to a *different* request on reuse, and codec
+  scratch regularly holds plaintext — zeroing is the invariant that no
+  request can observe another request's bytes through the pool
+  (enforced by ``tests/core/test_scratch_pool.py``).
+* **Guarded lifecycle.**  Double release and foreign-buffer release
+  raise :class:`ScratchLifecycleError` instead of silently corrupting
+  the free list.
+* **Thread-safe.**  One lock; the serve gateway and the parallel
+  compressor share the process-global pool.
+
+The process-global pool (:func:`get_scratch_pool`) is what the kernels
+use; :class:`~repro.core.api.PedalContext`, the parallel compressor and
+the serve gateway prewarm it for their expected payload sizes and
+surface its stats.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "ScratchLifecycleError",
+    "ScratchStats",
+    "ScratchPool",
+    "get_scratch_pool",
+    "set_scratch_pool",
+    "scratch_lease",
+]
+
+#: Smallest arena ever allocated; sub-KiB requests share one class.
+MIN_CLASS_BYTES = 1024
+
+
+class ScratchLifecycleError(RuntimeError):
+    """A scratch buffer was released twice, or was never acquired here."""
+
+
+@dataclass
+class ScratchStats:
+    """Counters for one :class:`ScratchPool`."""
+
+    hits: int = 0            # acquires served from a recycled arena
+    misses: int = 0          # acquires that allocated a fresh arena
+    releases: int = 0
+    bytes_served: int = 0    # sum of requested nbytes over all acquires
+    high_water_outstanding: int = 0
+    retired: int = 0         # arenas dropped because a class was full
+
+    @property
+    def acquires(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.acquires
+        return self.hits / total if total else 0.0
+
+
+def _size_class(nbytes: int) -> int:
+    """Smallest power-of-two arena size >= max(nbytes, MIN_CLASS_BYTES)."""
+    want = max(int(nbytes), MIN_CLASS_BYTES)
+    return 1 << (want - 1).bit_length()
+
+
+class ScratchPool:
+    """Recycling pool of zeroed ``uint8`` numpy arenas."""
+
+    def __init__(self, max_buffers_per_class: int = 8) -> None:
+        if max_buffers_per_class < 1:
+            raise ValueError("max_buffers_per_class must be >= 1")
+        self.max_buffers_per_class = max_buffers_per_class
+        self._free: "dict[int, list[np.ndarray]]" = {}
+        # id(view) -> (view, arena, size_class); holding the view keeps
+        # its id stable for the lifetime of the lease.
+        self._outstanding: "dict[int, tuple[np.ndarray, np.ndarray, int]]" = {}
+        self._lock = threading.Lock()
+        self.stats = ScratchStats()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def acquire(self, nbytes: int) -> np.ndarray:
+        """Borrow a zeroed ``uint8`` array of exactly ``nbytes`` elements.
+
+        The returned array is a view into a pooled arena; hand it back
+        with :meth:`release` (or use :meth:`lease`).  The view is
+        zero-filled on every acquire — see the module docstring for why
+        that is load-bearing.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        cls = _size_class(nbytes)
+        with self._lock:
+            free = self._free.get(cls)
+            if free:
+                arena = free.pop()
+                self.stats.hits += 1
+            else:
+                arena = np.empty(cls, dtype=np.uint8)
+                self.stats.misses += 1
+            view = arena[:nbytes]
+            view.fill(0)
+            self._outstanding[id(view)] = (view, arena, cls)
+            self.stats.bytes_served += nbytes
+            self.stats.high_water_outstanding = max(
+                self.stats.high_water_outstanding, len(self._outstanding)
+            )
+        return view
+
+    def release(self, view: np.ndarray) -> None:
+        """Return a borrowed view; raises on double/foreign release."""
+        with self._lock:
+            entry = self._outstanding.pop(id(view), None)
+            if entry is None or entry[0] is not view:
+                if entry is not None:  # id collision with a live lease
+                    self._outstanding[id(view)] = entry
+                raise ScratchLifecycleError(
+                    "release of a buffer this pool does not have outstanding "
+                    "(double release, or a foreign buffer)"
+                )
+            _, arena, cls = entry
+            free = self._free.setdefault(cls, [])
+            if len(free) < self.max_buffers_per_class:
+                free.append(arena)
+            else:
+                self.stats.retired += 1
+            self.stats.releases += 1
+
+    @contextmanager
+    def lease(self, nbytes: int) -> Iterator[np.ndarray]:
+        """``with pool.lease(n) as buf:`` — acquire/release pairing."""
+        view = self.acquire(nbytes)
+        try:
+            yield view
+        finally:
+            self.release(view)
+
+    # ------------------------------------------------------------------
+    # Management
+    # ------------------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._outstanding)
+
+    def prewarm(self, nbytes: int, count: int = 1) -> None:
+        """Pre-populate ``count`` arenas of the class serving ``nbytes``.
+
+        The allocations count as misses in the stats — they document
+        where the arenas came from; real traffic lands hits on top.
+        """
+        views = [self.acquire(nbytes) for _ in range(count)]
+        for view in views:
+            self.release(view)
+
+    def drain(self) -> None:
+        """Drop every free arena; raises if leases are outstanding."""
+        with self._lock:
+            if self._outstanding:
+                raise ScratchLifecycleError(
+                    f"drain with {len(self._outstanding)} leases outstanding"
+                )
+            self._free.clear()
+
+
+_global_pool = ScratchPool()
+_global_lock = threading.Lock()
+
+
+def get_scratch_pool() -> ScratchPool:
+    """The process-global pool the vectorized kernels allocate from."""
+    return _global_pool
+
+
+def set_scratch_pool(pool: ScratchPool) -> ScratchPool:
+    """Swap the global pool; returns the previous one (tests use this)."""
+    global _global_pool
+    with _global_lock:
+        prev = _global_pool
+        _global_pool = pool
+    return prev
+
+
+@contextmanager
+def scratch_lease(nbytes: int) -> Iterator[np.ndarray]:
+    """Lease from the process-global pool."""
+    with get_scratch_pool().lease(nbytes) as view:
+        yield view

@@ -51,6 +51,11 @@ def byte_inputs() -> "dict[str, bytes]":
     return {
         "text": b"PEDAL offloads compression to the BlueField C-Engine. " * 20,
         "runs": b"\x00" * 600 + b"\x7f" * 600 + b"ab" * 150,
+        # Adversarial for the vectorized matcher's literal-skip table:
+        # a zero run longer than 2x the 258-byte match cap, short-period
+        # repeats and a ramp tail with no 3-byte repeats at all.
+        "runs2": b"\x00" * 1024 + b"\x7f\x80" * 300 + b"PQRS" * 200
+        + bytes(range(64)) * 3,
         "ramp": (np.arange(1200) % 251).astype(np.uint8).tobytes(),
         "noise": rng.bytes(900),
     }
