@@ -9,7 +9,9 @@ carries the serving-layer offered-load vs goodput/p99 curves;
 telemetry-plane trajectory (deterministic "sim" section) plus the
 band-only wall-clock overhead gate ("wall" section); ``BENCH_PR7.json``
 carries the adaptive-context coder sweep (ac-vs-DEFLATE ratio trade
-plus the decoupled model/coder pipeline speedup).
+plus the decoupled model/coder pipeline speedup); ``BENCH_PR9.json``
+carries the fleet-cluster sweep (goodput saturation at 10-100x the
+PR 4 offered loads, plus the mid-run worker-kill failover record).
 
 Usage::
 
@@ -72,6 +74,12 @@ def main(argv: "list[str] | None" = None) -> int:
              "BENCH_PR8.json at the repo root)",
     )
     parser.add_argument(
+        "--cluster-out",
+        default=os.path.join(repo_root, regress.DEFAULT_CLUSTER_REPORT_PATH),
+        help="fleet-cluster report path (default: BENCH_PR9.json at the "
+             "repo root)",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="gate the freshly collected numbers without writing the files",
@@ -88,6 +96,8 @@ def main(argv: "list[str] | None" = None) -> int:
         ("edpc", regress.collect_edpc, regress.gate_edpc, args.edpc_out),
         ("wall", regress.collect_wallclock, regress.gate_wallclock,
          args.wall_out),
+        ("cluster", regress.collect_cluster, regress.gate_cluster,
+         args.cluster_out),
     ):
         report = collect()
         violations += gate(report)

@@ -32,6 +32,7 @@ from repro.algorithms.lz4 import lz4_compress, lz4_decompress
 from repro.algorithms.sz3 import SZ3Config, sz3_compress, sz3_decompress
 from repro.algorithms.zlib_format import zlib_compress, zlib_decompress
 from repro.core import ALL_DESIGNS, CompressionDesign, PedalContext, design
+from repro.cluster import ClusterConfig, ServeCluster
 from repro.dpu import BLUEFIELD2, BLUEFIELD3, make_device
 from repro.errors import ReproError
 from repro.mpi import CommConfig, CommMode, RankContext, run_mpi
@@ -50,8 +51,10 @@ __all__ = [
     "Environment",
     "PedalContext",
     "RankContext",
+    "ClusterConfig",
     "ReproError",
     "SZ3Config",
+    "ServeCluster",
     "ServeConfig",
     "ServeGateway",
     "ServeRequest",

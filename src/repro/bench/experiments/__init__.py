@@ -1,6 +1,7 @@
 """Experiment modules — importing this package registers them all."""
 
 from repro.bench.experiments import (  # noqa: F401
+    cluster_fleet,
     edpc_pipeline,
     fig7_lossless_breakdown,
     fig8_raw_times,
@@ -16,6 +17,7 @@ from repro.bench.experiments import (  # noqa: F401
 )
 
 __all__ = [
+    "cluster_fleet",
     "edpc_pipeline",
     "fig7_lossless_breakdown",
     "fig8_raw_times",

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.dpu.calibration import Calibration, calibration_for
 from repro.dpu.cengine import CEngine
 from repro.dpu.memory import MemoryModel
@@ -50,12 +52,20 @@ _SPECS = {
 }
 
 
-def make_device(env: Environment, kind: str) -> BlueFieldDPU:
-    """Create a DPU by name (``"bf2"`` or ``"bf3"``)."""
+def make_device(env: Environment, kind: str,
+                name: "str | None" = None) -> BlueFieldDPU:
+    """Create a DPU by kind (``"bf2"`` or ``"bf3"``).
+
+    ``name`` overrides the spec's display name — fleets with several
+    devices of one kind (every cluster) need unique worker names for
+    routing logs and targeted kills; timing is untouched.
+    """
     try:
         spec = _SPECS[kind.lower()]
     except KeyError:
         raise ValueError(
             f"unknown device {kind!r}; expected one of {sorted(set(_SPECS))}"
         ) from None
+    if name is not None:
+        spec = dataclasses.replace(spec, name=name)
     return BlueFieldDPU(env, spec)

@@ -145,6 +145,49 @@ class NoLatencySamplesError(ServeError, ValueError):
     """
 
 
+class NoCapableWorkerError(ServeError):
+    """No live worker in the fleet can serve the requested (direction,
+    algo) — either every capable worker died or the pool is empty.
+
+    Replaces the bare ``IndexError``/``ZeroDivisionError`` routers used
+    to raise when the capable set was empty, so gateway failure paths
+    can distinguish a routing dead-end from a programming error.
+    """
+
+    def __init__(self, direction: str = "", algo: object = None,
+                 message: str = "") -> None:
+        if not message:
+            what = f"{direction} {getattr(algo, 'name', algo)}".strip()
+            message = f"no live worker capable of {what or 'request'}"
+        super().__init__(message)
+        self.direction = direction
+        self.algo = algo
+
+
+class WorkerDiedError(ServeError):
+    """The worker executing a batch died before the batch completed.
+
+    Carries enough context for failover layers to re-dispatch the batch
+    to a surviving replica.
+    """
+
+    def __init__(self, worker_name: str) -> None:
+        super().__init__(f"worker {worker_name} died mid-batch")
+        self.worker_name = worker_name
+
+
+# ---------------------------------------------------------------------------
+# Cluster errors
+# ---------------------------------------------------------------------------
+
+class ClusterError(ReproError):
+    """Base class for errors raised by the sharded serving cluster."""
+
+
+class ShardMapError(ClusterError):
+    """Invalid shard-map operation (unknown worker, empty ring, stale epoch)."""
+
+
 # ---------------------------------------------------------------------------
 # Simulator errors
 # ---------------------------------------------------------------------------

@@ -45,6 +45,11 @@ from repro.faults.policy import (
     RetryPolicy,
     engine_job_with_retry,
 )
+from repro.faults.workers import (
+    WorkerKill,
+    WorkerKillSchedule,
+    worker_kill_process,
+)
 
 __all__ = [
     # plan
@@ -67,4 +72,8 @@ __all__ = [
     "corrupt_buffer",
     "flip_bits",
     "truncate",
+    # whole-worker kills
+    "WorkerKill",
+    "WorkerKillSchedule",
+    "worker_kill_process",
 ]

@@ -1,0 +1,103 @@
+"""Whole-worker kill schedules: deterministic DPU death on the sim clock.
+
+:mod:`repro.faults.plan` perturbs individual engine *operations*; the
+cluster layer needs a coarser failure unit — an entire DPU worker
+falling off the bus mid-run.  A :class:`WorkerKillSchedule` is an
+explicit, sorted list of ``(sim time, worker name)`` kills, either
+written out by hand (the bench pins one mid-run kill) or drawn from a
+seed (:meth:`WorkerKillSchedule.seeded`) with the same BLAKE2b
+keyed-draw idiom the fault plans use, so a soak run's kill sequence is
+reproducible from its seed alone.
+
+:func:`worker_kill_process` replays a schedule against any object with
+a ``kill_worker(name)`` method (a :class:`~repro.serve.ServeGateway`
+or :class:`~repro.cluster.ServeCluster`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Generator, Iterable, Sequence
+
+__all__ = ["WorkerKill", "WorkerKillSchedule", "worker_kill_process"]
+
+
+@dataclass(frozen=True, order=True)
+class WorkerKill:
+    """One scheduled whole-worker death."""
+
+    at_s: float
+    worker: str
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError(f"kill time {self.at_s} must be >= 0")
+
+
+def _draw(seed: int, site: str, index: int) -> float:
+    """Uniform [0, 1) from a BLAKE2b keyed draw (plan.py's idiom)."""
+    payload = f"{seed}:{site}:{index}".encode()
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+class WorkerKillSchedule:
+    """A sorted sequence of worker kills."""
+
+    __slots__ = ("kills",)
+
+    def __init__(self, kills: "Iterable[WorkerKill]") -> None:
+        self.kills = tuple(sorted(kills))
+
+    def __len__(self) -> int:
+        return len(self.kills)
+
+    def __iter__(self):
+        return iter(self.kills)
+
+    @classmethod
+    def seeded(
+        cls,
+        workers: "Sequence[str]",
+        seed: int,
+        duration_s: float,
+        kills: int = 1,
+    ) -> "WorkerKillSchedule":
+        """Draw ``kills`` distinct victims at seeded times in
+        ``(0, duration_s)``.
+
+        At most ``len(workers) - 1`` kills are drawn so at least one
+        worker always survives (a fully dead fleet is a different test,
+        written explicitly, not stumbled into by a seed).
+        """
+        if duration_s <= 0:
+            raise ValueError(f"duration {duration_s} must be > 0")
+        kills = min(kills, max(0, len(workers) - 1))
+        victims: list[str] = []
+        remaining = list(workers)
+        out = []
+        for i in range(kills):
+            pick = int(_draw(seed, "faults.worker_kill.victim", i)
+                       * len(remaining))
+            victims.append(remaining.pop(min(pick, len(remaining) - 1)))
+            at = _draw(seed, "faults.worker_kill.time", i) * duration_s
+            out.append(WorkerKill(at_s=at, worker=victims[-1]))
+        return cls(out)
+
+
+def worker_kill_process(env, target, schedule: WorkerKillSchedule,
+                        ) -> Generator:
+    """Sim process: apply each kill at its scheduled instant.
+
+    ``target`` is anything with ``kill_worker(name)`` — gateway or
+    cluster.  Returns the list of kills applied (for assertions).
+    """
+    applied = []
+    for kill in schedule:
+        delay = kill.at_s - env.now
+        if delay > 0.0:
+            yield env.timeout(delay)
+        target.kill_worker(kill.worker)
+        applied.append(kill)
+    return applied

@@ -51,10 +51,20 @@ def merge_registries(registries: "Iterable[MetricsRegistry]",
 
     The inputs are read, never mutated.  Instrument-level semantics are
     the ``merge`` methods on Counter/Gauge/Histogram (sum / last-write
-    / bucket+sketch pool), so the result is independent of input order.
+    / bucket+sketch pool).
+
+    The fold runs in **sorted label order**, not input order: gauge
+    last-write-by-seq keeps the first-seen value on *equal* seq stamps,
+    so folding in caller order made the merged snapshot depend on
+    scrape/registration ordering whenever two registries carried the
+    same seq (common when gauges are restored from serialized snapshots
+    that share stamps).  Sorting on each member's immutable label tuple
+    — its identity within a fleet — makes merges byte-identical across
+    orderings; equal-label members (rare, discouraged) keep input order
+    via sort stability.
     """
     out = MetricsRegistry(labels=labels)
-    for registry in registries:
+    for registry in sorted(registries, key=lambda r: r.labels):
         for name, counter in registry.counters.items():
             out.counter(name).merge(counter)
         for name, gauge in registry.gauges.items():

@@ -39,7 +39,7 @@ from repro.algorithms.lz4 import lz4_compress, lz4_decompress
 from repro.core.registry import cengine_core_algo
 from repro.util.scratch import get_scratch_pool
 from repro.dpu.specs import Algo, Direction
-from repro.errors import NoLatencySamplesError
+from repro.errors import NoCapableWorkerError, NoLatencySamplesError, WorkerDiedError
 from repro.obs import MetricsRegistry, QuantileSketch, device_span, get_metrics
 from repro.obs.sketch import DEFAULT_ALPHA
 from repro.obs.slo import GOODPUT_COUNTER, LATENCY_METRIC
@@ -74,6 +74,9 @@ class TelemetryConfig:
     alpha: float = DEFAULT_ALPHA
     default_tenant: str = "default"
     aggregator: "FleetAggregator | None" = None
+    # Cluster deployments set the owning shard so fleet scrapes can
+    # group_by=("tenant", "shard"); None omits the label entirely.
+    shard: "str | None" = None
 
 
 @dataclass(frozen=True)
@@ -90,13 +93,19 @@ class ServeConfig:
     # Host-side scratch prewarm: bytes of codec pack-buffer seeded per
     # device at gateway construction (0 disables).  Wall-clock only.
     scratch_prewarm_bytes: int = 1 << 20
+    # Worker-death failover: when on, every in-flight batch races its
+    # scheduler completion against the worker's death event and
+    # re-dispatches to a surviving replica on loss.  Off by default:
+    # the race inserts one extra event per batch into the sim queue,
+    # which would perturb the pinned single-gateway bench trajectories.
+    failover: bool = False
 
 
 class DpuWorker:
     """One fleet member: a device plus its pipelined scheduler."""
 
     __slots__ = ("device", "scheduler", "batches_served", "requests_served",
-                 "registry")
+                 "registry", "alive", "died")
 
     def __init__(self, device: "BlueFieldDPU", sched: SchedConfig,
                  registry: "MetricsRegistry | None" = None) -> None:
@@ -105,6 +114,21 @@ class DpuWorker:
         self.scheduler = PipelineScheduler(device, sched, metrics=registry)
         self.batches_served = 0
         self.requests_served = 0
+        # Whole-worker death: routers skip dead workers; failover-enabled
+        # batch runners race their completion against ``died``.
+        self.alive = True
+        self.died = device.env.event()
+
+    def kill(self) -> None:
+        """Mark this worker dead and wake every batch racing on it.
+
+        Idempotent: a second kill is a no-op (the death event is
+        one-shot, like the real DPU falling off the PCIe bus once).
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.died.succeed(self.name)
 
     @property
     def name(self) -> str:
@@ -150,7 +174,13 @@ class ServeGateway:
             )
             for d in devices
         ]
-        self.router = make_router(self.config.router)
+        router = make_router(self.config.router)
+        if router is self.config.router:
+            # A shared Router *instance* was passed in (two gateways over
+            # one pool must not alias one round-robin cursor or cost
+            # cache); name specs already built a fresh instance above.
+            router = router.clone()
+        self.router = router
         self.admission = AdmissionController(self.config.max_pending)
         # Seed the host-side scratch pool so the per-algo codecs hit
         # warm pack buffers from the first request (mirrors PEDAL_init's
@@ -160,6 +190,9 @@ class ServeGateway:
                 self.config.scratch_prewarm_bytes, count=len(self.workers)
             )
         self.batcher = Batcher(env, self.config.batch, self._dispatch)
+        # Append-only routing trace: (batch_id, kind, worker) per pick.
+        # The cluster bench digests this for bit-for-bit gating.
+        self.routing_log: "list[tuple[int, str, str]]" = []
         self._inflight: "set[Event]" = set()
         self._auto_id = 0
         self.submitted = 0
@@ -235,10 +268,38 @@ class ServeGateway:
         return ServeTicket(request, entry.event)
 
     def drain(self) -> Generator:
-        """Flush partial batches and wait for every admitted request."""
+        """Flush partial batches and wait out every admitted request —
+        completed *or* failed.  A failing request (worker died with no
+        replica, engine exhausted) fails the in-flight barrier; the
+        drain absorbs it and keeps waiting on the survivors rather than
+        surfacing one request's error to whoever is draining."""
         self.batcher.flush_all()
         while self._inflight:
-            yield self.env.all_of(list(self._inflight))
+            try:
+                yield self.env.all_of(list(self._inflight))
+            except BaseException:
+                continue
+
+    def kill_worker(self, name: str) -> DpuWorker:
+        """Kill the named worker (fault injection / cluster failover).
+
+        Routers stop picking it immediately.  With ``failover`` enabled
+        in :class:`ServeConfig`, batches in flight on it lose their
+        death race (:class:`~repro.errors.WorkerDiedError` internally)
+        and re-dispatch to a surviving replica — or fail their tickets
+        with :class:`~repro.errors.NoCapableWorkerError` when none is
+        left.  Without ``failover`` the kill only stops *new*
+        placements: in-flight batches run to completion against the
+        cost model (their bytes were pinned at submit).  Either way
+        every admitted request releases its admission slot exactly
+        once.
+        """
+        for worker in self.workers:
+            if worker.name == name:
+                worker.kill()
+                get_metrics().inc("serve.worker_kills")
+                return worker
+        raise ValueError(f"no worker named {name!r} in this gateway")
 
     # ------------------------------------------------------------------
     # Stats
@@ -326,12 +387,33 @@ class ServeGateway:
         )
 
     def _dispatch(self, batch: Batch) -> None:
-        """Batcher flush callback: route and launch the batch."""
-        worker = self.router.pick(self.workers, batch)
+        """Batcher flush callback: route and launch the batch.
+
+        A routing dead-end (every capable worker dead — possible when a
+        deadline timer flushes after a kill) must not escape into the
+        batcher's timer process: it would strand the open batch AND leak
+        its admission slots.  Fail the batch's tickets here instead.
+        """
+        try:
+            worker = self.router.pick(self.workers, batch)
+        except NoCapableWorkerError as exc:
+            self._fail_batch(batch, exc)
+            return
+        self.routing_log.append((batch.batch_id, "dispatch", worker.name))
         self.env.process(
             self._run_batch(worker, batch),
             name=f"serve:batch:{batch.batch_id}",
         )
+
+    def _fail_batch(self, batch: Batch, exc: BaseException) -> None:
+        """Fail every ticket in ``batch``, releasing each admission slot
+        exactly once (the leak this guards against: a batch that failed
+        *after* admission kept its slots forever)."""
+        for entry in batch.entries:
+            self.admission.complete()
+            self._inflight.discard(entry.event)
+            if not entry.event.triggered:
+                entry.event.fail(exc)
 
     def _run_batch(self, worker: DpuWorker, batch: Batch) -> Generator:
         job = EngineJob(
@@ -345,24 +427,46 @@ class ServeGateway:
         metrics = get_metrics()
         span_index: "int | None" = None
         try:
-            with device_span(
-                "serve.batch",
-                worker.device,
-                batch=batch.batch_id,
-                direction=batch.direction.value,
-                msgs=batch.size,
-                sim_bytes=batch.engine_sim_bytes,
-            ) as span:
-                if span.recording:
-                    span_index = span.index
-                outcome = yield worker.scheduler.submit(job).event
+            while True:
+                try:
+                    with device_span(
+                        "serve.batch",
+                        worker.device,
+                        batch=batch.batch_id,
+                        direction=batch.direction.value,
+                        msgs=batch.size,
+                        sim_bytes=batch.engine_sim_bytes,
+                    ) as span:
+                        if span.recording:
+                            span_index = span.index
+                        completion = worker.scheduler.submit(job).event
+                        if not self.config.failover:
+                            outcome = yield completion
+                        else:
+                            # Race the job against whole-worker death.  A
+                            # losing completion that fires later is ignored
+                            # (the orphan job finishes against a dead
+                            # device; its bytes were fixed at submit).
+                            winner, value = yield self.env.any_of(
+                                [completion, worker.died]
+                            )
+                            if winner is not completion:
+                                raise WorkerDiedError(worker.name)
+                            outcome = value
+                    break
+                except WorkerDiedError:
+                    # Re-dispatch to a surviving replica; raises
+                    # NoCapableWorkerError into the outer handler when
+                    # nobody is left.
+                    metrics.inc("serve.failovers")
+                    worker = self.router.pick(self.workers, batch)
+                    self.routing_log.append(
+                        (batch.batch_id, "failover", worker.name)
+                    )
         except BaseException as exc:
             # Without SoC fallback an exhausted engine job surfaces its
             # DOCA error here; fan it out so no ticket waits forever.
-            for entry in batch.entries:
-                self.admission.complete()
-                self._inflight.discard(entry.event)
-                entry.event.fail(exc)
+            self._fail_batch(batch, exc)
             return
         now = self.env.now
         worker.batches_served += 1

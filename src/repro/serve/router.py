@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Sequence
 
+from repro.errors import NoCapableWorkerError
+
 if TYPE_CHECKING:
     from repro.serve.batcher import Batch
     from repro.serve.gateway import DpuWorker
@@ -32,15 +34,36 @@ __all__ = [
 
 
 class Router:
-    """Base class: pick a worker for each flushed batch."""
+    """Base class: pick a worker for each flushed batch.
+
+    Routers may hold private per-gateway state (the round-robin cursor,
+    cost-model caches); gateways that are handed a *shared instance*
+    call :meth:`clone` so two gateways over one worker pool never alias
+    one cursor.
+    """
 
     name = "base"
 
     def pick(self, workers: "Sequence[DpuWorker]", batch: "Batch") -> "DpuWorker":
         raise NotImplementedError
 
+    def clone(self) -> "Router":
+        """A fresh router of the same policy with pristine private state."""
+        return type(self)()
+
     @staticmethod
-    def _least_loaded(workers: "Sequence[DpuWorker]") -> "DpuWorker":
+    def _alive(workers: "Sequence[DpuWorker]") -> "list[DpuWorker]":
+        """Workers still accepting batches (test doubles without an
+        ``alive`` attribute count as alive)."""
+        return [w for w in workers if getattr(w, "alive", True)]
+
+    @staticmethod
+    def _least_loaded(workers: "Sequence[DpuWorker]",
+                      batch: "Batch | None" = None) -> "DpuWorker":
+        if not workers:
+            raise NoCapableWorkerError(
+                getattr(batch, "direction", ""), getattr(batch, "algo", None)
+            )
         best = workers[0]
         for worker in workers[1:]:
             if worker.load < best.load:  # strict: first wins ties
@@ -59,7 +82,12 @@ class Router:
 
 
 class RoundRobinRouter(Router):
-    """Cycle through the fleet regardless of load or capability."""
+    """Cycle through the fleet regardless of load or capability.
+
+    The cursor is instance state: each gateway owns its own router (see
+    :meth:`Router.clone`), so gateways sharing one worker pool advance
+    independent cursors and stay individually deterministic.
+    """
 
     name = "round_robin"
 
@@ -67,7 +95,12 @@ class RoundRobinRouter(Router):
         self._next = 0
 
     def pick(self, workers, batch):
-        worker = workers[self._next % len(workers)]
+        alive = self._alive(workers)
+        if not alive:
+            raise NoCapableWorkerError(
+                getattr(batch, "direction", ""), getattr(batch, "algo", None)
+            )
+        worker = alive[self._next % len(alive)]
         self._next += 1
         return worker
 
@@ -79,7 +112,7 @@ class LeastQueueDepthRouter(Router):
     name = "least_queue_depth"
 
     def pick(self, workers, batch):
-        return self._least_loaded(workers)
+        return self._least_loaded(self._alive(workers), batch)
 
 
 class CapabilityAwareRouter(Router):
@@ -90,8 +123,9 @@ class CapabilityAwareRouter(Router):
     name = "capability"
 
     def pick(self, workers, batch):
-        capable = self._capable(workers, batch)
-        return self._least_loaded(capable or workers)
+        alive = self._alive(workers)
+        capable = self._capable(alive, batch)
+        return self._least_loaded(capable or alive, batch)
 
 
 class CostAwareRouter(Router):
@@ -124,13 +158,18 @@ class CostAwareRouter(Router):
         return selector
 
     def pick(self, workers, batch):
-        capable = self._capable(workers, batch)
+        alive = self._alive(workers)
+        capable = self._capable(alive, batch)
+        if not capable and not alive:
+            raise NoCapableWorkerError(
+                getattr(batch, "direction", ""), getattr(batch, "algo", None)
+            )
         best = None
         best_score = None
         from repro.dpu.specs import Algo
 
         algo = getattr(batch, "algo", Algo.DEFLATE)
-        for worker in capable or workers:
+        for worker in capable or alive:
             costs = self._selector(worker).job_costs(
                 algo, batch.direction,
                 batch.engine_sim_bytes, batch.soc_sim_bytes,

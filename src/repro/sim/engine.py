@@ -15,7 +15,7 @@ from typing import Any, Callable, Generator, Iterable
 
 from repro.errors import SimDeadlockError, SimulationError
 
-__all__ = ["Environment", "Event", "Timeout", "Process", "AllOf"]
+__all__ = ["Environment", "Event", "Timeout", "Process", "AllOf", "AnyOf"]
 
 SimGenerator = Generator["Event", Any, Any]
 
@@ -178,6 +178,39 @@ class AllOf(Event):
             self.succeed([ev._value for ev in self._events])
 
 
+class AnyOf(Event):
+    """Fires when the first of the given events fires.
+
+    The value is ``(winner, winner.value)`` so waiters can tell *which*
+    event won the race without re-inspecting every candidate.  A failing
+    child fails the race with the child's exception.  Children that fire
+    after the race is decided are ignored — they are not cancelled, so
+    side effects of losing events still happen in the background.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        if not self._events:
+            raise SimulationError("AnyOf requires at least one event")
+        for ev in self._events:
+            if ev._processed:
+                # Already fired: the race is decided at construction.
+                self._on_child(ev)
+                break
+            ev.callbacks.append(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self._triggered:
+            return
+        if child._exc is not None:
+            self.fail(child._exc)
+            return
+        self.succeed((child, child._value))
+
+
 class Environment:
     """The event loop: a time-ordered heap of (time, seq, event)."""
 
@@ -210,6 +243,10 @@ class Environment:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """An event firing once every event in ``events`` has fired."""
         return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event firing when the first event in ``events`` fires."""
+        return AnyOf(self, events)
 
     def step(self) -> None:
         """Fire the next scheduled event."""

@@ -1,0 +1,78 @@
+"""Fixtures for the fleet-cluster suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.deflate import deflate_compress
+from repro.cluster import ClusterConfig, ServeCluster
+from repro.dpu import make_device
+from repro.dpu.specs import Direction
+from repro.faults import NULL_PLAN, set_fault_plan
+from repro.serve import BatchPolicy, ServeConfig, ServeRequest
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_faults():
+    previous = set_fault_plan(NULL_PLAN)
+    yield
+    set_fault_plan(previous)
+
+
+@pytest.fixture
+def fleet(env):
+    """Six named devices: four BF-2 (compress-capable) + two BF-3."""
+    return [
+        make_device(env, kind, name=name)
+        for kind, name in (
+            ("bf2", "bf2-0"), ("bf2", "bf2-1"), ("bf2", "bf2-2"),
+            ("bf2", "bf2-3"), ("bf3", "bf3-0"), ("bf3", "bf3-1"),
+        )
+    ]
+
+
+@pytest.fixture
+def make_cluster(env, fleet):
+    """Cluster factory over the six-device fleet (2 shards by default)."""
+
+    def _make(num_shards=2, global_max_pending=64, shard_max_pending=16,
+              **kwargs):
+        return ServeCluster(
+            env,
+            fleet,
+            ClusterConfig(
+                num_shards=num_shards,
+                global_max_pending=global_max_pending,
+                shard_max_pending=shard_max_pending,
+                serve=ServeConfig(
+                    batch=BatchPolicy(max_msgs=4), router="capability"
+                ),
+                **kwargs,
+            ),
+        )
+
+    return _make
+
+
+@pytest.fixture
+def make_requests():
+    """Deterministic mixed-direction, multi-tenant request trace."""
+
+    def _make(n: int, nominal: float = 64 * 1024):
+        requests = []
+        for i in range(n):
+            raw = (b"cluster-req-%04d " % i) * 64
+            tenant = f"tenant-{i % 5}"
+            if i % 3 == 2:
+                requests.append(ServeRequest(
+                    Direction.DECOMPRESS, deflate_compress(raw),
+                    sim_bytes=nominal, req_id=i, tenant=tenant,
+                ))
+            else:
+                requests.append(ServeRequest(
+                    Direction.COMPRESS, raw, sim_bytes=nominal, req_id=i,
+                    tenant=tenant,
+                ))
+        return requests
+
+    return _make

@@ -1,0 +1,123 @@
+"""ServeCluster behavior: the global-vs-per-shard admission split,
+routing determinism, and cluster-wide stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NoLatencySamplesError
+from repro.serve import ServeRequest
+from repro.dpu.specs import Direction
+from tests.conftest import drive
+
+PAYLOAD = b"cluster-admission " * 64
+
+
+def _compress_request(i: int, tenant: str) -> ServeRequest:
+    return ServeRequest(Direction.COMPRESS, PAYLOAD, sim_bytes=64e3,
+                        req_id=i, tenant=tenant)
+
+
+def _drain(env, cluster):
+    drive(env, cluster.drain())
+
+
+def test_submit_routes_by_tenant_hash(env, make_cluster, make_requests):
+    cluster = make_cluster()
+    tickets = [cluster.submit(r) for r in make_requests(12)]
+    assert all(not t.shed for t in tickets)
+    # Every admitted request got a routed log entry agreeing with the map.
+    assert len(cluster.routing_log) == 12
+    for _, tenant, shard, epoch in cluster.routing_log:
+        assert shard == cluster.shard_for(tenant)
+        assert epoch == 0
+    _drain(env, cluster)
+    assert cluster.completed == 12
+    assert cluster.pending == 0
+
+
+def test_many_tenants_spread_over_all_shards(env, make_cluster):
+    cluster = make_cluster()
+    for i in range(64):
+        cluster.submit(_compress_request(i, f"tenant-{i % 16}"))
+    shards_hit = {rec[2] for rec in cluster.routing_log}
+    assert shards_hit == set(cluster.shard_names)
+    _drain(env, cluster)
+    assert cluster.pending == 0
+
+
+def test_shard_shed_releases_the_global_slot(env, make_cluster):
+    """A shard refusal must not burn global budget: the cluster's
+    pending count equals only the *shard-admitted* requests."""
+    cluster = make_cluster(global_max_pending=64, shard_max_pending=16)
+    tenant = "hot-tenant"
+    tickets = [cluster.submit(_compress_request(i, tenant))
+               for i in range(40)]
+    accepted = [t for t in tickets if not t.shed]
+    assert len(accepted) == 16          # the shard budget
+    assert cluster.shed_shard == 24
+    assert cluster.shed_global == 0
+    # Global slots held == shard-admitted only (sheds released theirs).
+    assert cluster.pending == 16
+    _drain(env, cluster)
+    assert cluster.pending == 0
+    assert cluster.completed == 16
+
+
+def test_global_budget_sheds_before_shard_lookup(env, make_cluster):
+    cluster = make_cluster(global_max_pending=8, shard_max_pending=64)
+    tickets = [cluster.submit(_compress_request(i, f"tenant-{i % 16}"))
+               for i in range(20)]
+    assert sum(1 for t in tickets if t.shed) == 12
+    assert cluster.shed_global == 12
+    assert cluster.shed_shard == 0
+    # Globally shed requests never reach the shard map or its log.
+    assert len(cluster.routing_log) == 8
+    _drain(env, cluster)
+    assert cluster.pending == 0
+
+
+def test_global_release_is_exactly_once(env, make_cluster):
+    """Over-releasing the global controller raises inside complete();
+    a clean overloaded run + drain is the regression probe."""
+    cluster = make_cluster(global_max_pending=12, shard_max_pending=8)
+    for i in range(48):
+        cluster.submit(_compress_request(i, f"tenant-{i % 16}"))
+    _drain(env, cluster)
+    assert cluster.pending == 0
+    assert cluster.admission.peak_pending <= 12
+    for name in cluster.shard_names:
+        assert cluster.gateways[name].admission.pending == 0
+    # The budget is usable again: nothing leaked, nothing double-freed.
+    ticket = cluster.submit(_compress_request(99, "tenant-0"))
+    assert not ticket.shed
+    _drain(env, cluster)
+    assert cluster.pending == 0
+
+
+def test_peak_shard_pending_respects_budget(env, make_cluster):
+    cluster = make_cluster(global_max_pending=64, shard_max_pending=4)
+    for i in range(64):
+        cluster.submit(_compress_request(i, f"tenant-{i % 16}"))
+    _drain(env, cluster)
+    peaks = cluster.peak_shard_pending()
+    assert set(peaks) == set(cluster.shard_names)
+    assert all(peak <= 4 for peak in peaks.values())
+
+
+def test_cluster_stats_roll_up(env, make_cluster, make_requests):
+    cluster = make_cluster()
+    with pytest.raises(NoLatencySamplesError):
+        cluster.latency_percentile(99)
+    requests = make_requests(16)
+    for request in requests:
+        cluster.submit(request)
+    _drain(env, cluster)
+    assert cluster.completed == 16
+    assert cluster.sample_count == 16
+    assert cluster.completed_sim_bytes == sum(r.sim_bytes for r in requests)
+    assert cluster.latency_percentile(99) > 0.0
+    with pytest.raises(ValueError):
+        cluster.latency_percentile(101)
+    assert len(cluster.workers) == 6
+    assert cluster.shed == cluster.shed_global + cluster.shed_shard == 0

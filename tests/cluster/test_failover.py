@@ -1,0 +1,143 @@
+"""Worker death in the cluster: in-shard failover, deterministic
+shard-map healing, and the no-survivors failure path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ClusterError, NoCapableWorkerError
+from repro.faults.workers import WorkerKill, WorkerKillSchedule, worker_kill_process
+from repro.serve import ServeRequest
+from repro.dpu.specs import Direction
+
+PAYLOAD = b"failover-payload " * 64
+
+
+def _requests(n: int, tenant: str):
+    return [
+        ServeRequest(Direction.COMPRESS, PAYLOAD, sim_bytes=64e3,
+                     req_id=i, tenant=tenant)
+        for i in range(n)
+    ]
+
+
+def _run(env, cluster, kill_after_s, victims, tenant, n=8):
+    """Submit ``n`` one-tenant requests, kill ``victims`` mid-flight,
+    drain; returns the tickets."""
+    tickets = [cluster.submit(r) for r in _requests(n, tenant)]
+    assert all(not t.shed for t in tickets)
+
+    def killer(env):
+        yield env.timeout(kill_after_s)
+        for name in victims:
+            cluster.kill_worker(name)
+
+    env.process(killer(env))
+
+    def driver(env):
+        yield env.timeout(0.0)
+        yield from cluster.drain()
+
+    env.run(until=env.process(driver(env)))
+    return tickets
+
+
+def test_replica_kill_fails_over_in_shard(env, make_cluster):
+    cluster = make_cluster()
+    tenant = "tenant-ha"
+    shard = cluster.shard_for(tenant)
+    gateway = cluster.gateways[shard]
+    victim = gateway.workers[0].name
+    tickets = _run(env, cluster, 1e-6, [victim], tenant)
+
+    # Every in-flight batch on the dead worker re-dispatched and every
+    # request completed on a surviving replica.
+    assert all(t.event.ok for t in tickets)
+    assert cluster.completed == len(tickets)
+    assert cluster.pending == 0
+    assert gateway.admission.pending == 0
+    kinds = [rec[1] for rec in gateway.routing_log]
+    assert "failover" in kinds
+    # A replica died but the shard survived: the map never healed.
+    assert cluster.shard_map.epoch == 0
+    assert shard in cluster.shard_map.shards
+
+
+def test_whole_shard_death_heals_the_map(env, make_cluster):
+    cluster = make_cluster()
+    tenant = "tenant-doomed"
+    shard = cluster.shard_for(tenant)
+    victims = [w.name for w in cluster.gateways[shard].workers]
+    tickets = _run(env, cluster, 1e-6, victims, tenant)
+
+    # No survivors: the in-flight requests fail with the typed error...
+    for ticket in tickets:
+        assert ticket.event.triggered and not ticket.event.ok
+        with pytest.raises(NoCapableWorkerError):
+            ticket.event.value
+    # ...both admission layers drained anyway (the slot-leak fix)...
+    assert cluster.pending == 0
+    assert cluster.gateways[shard].admission.pending == 0
+    # ...and the map healed deterministically at the kill instant.
+    assert cluster.shard_map.epoch == 1
+    assert shard not in cluster.shard_map.shards
+    assert cluster.shard_map.assignment_log == [(1, "remove", shard)]
+
+    # Future submits for the dead shard's tenants remap and complete.
+    new_shard = cluster.shard_for(tenant)
+    assert new_shard != shard
+    ticket = cluster.submit(_requests(1, tenant)[0])
+    assert not ticket.shed
+    assert cluster.routing_log[-1][2] == new_shard
+    assert cluster.routing_log[-1][3] == 1
+
+    def driver(env):
+        yield from cluster.drain()
+
+    env.run(until=env.process(driver(env)))
+    assert ticket.event.ok
+    assert cluster.pending == 0
+
+
+def test_kill_unknown_worker_raises(env, make_cluster):
+    cluster = make_cluster()
+    with pytest.raises(ClusterError):
+        cluster.kill_worker("no-such-dpu")
+
+
+def test_worker_kill_process_applies_schedule(env, make_cluster):
+    cluster = make_cluster()
+    tenant = "tenant-sched"
+    shard = cluster.shard_for(tenant)
+    victim = cluster.gateways[shard].workers[0].name
+    schedule = WorkerKillSchedule([WorkerKill(1e-6, victim)])
+    tickets = [cluster.submit(r) for r in _requests(8, tenant)]
+    kill_proc = env.process(worker_kill_process(env, cluster, schedule))
+
+    def driver(env):
+        yield env.timeout(0.0)
+        yield from cluster.drain()
+
+    env.run(until=env.process(driver(env)))
+    assert env.run(until=kill_proc) == [WorkerKill(1e-6, victim)]
+    dead = [w for w in cluster.workers if not w.alive]
+    assert [w.name for w in dead] == [victim]
+    assert all(t.event.ok for t in tickets)
+
+
+def test_seeded_kill_schedule_is_deterministic_and_bounded():
+    workers = [f"w{i}" for i in range(5)]
+    a = WorkerKillSchedule.seeded(workers, seed=7, duration_s=1.0, kills=3)
+    b = WorkerKillSchedule.seeded(workers, seed=7, duration_s=1.0, kills=3)
+    assert list(a) == list(b)
+    assert len(a) == 3
+    assert len({k.worker for k in a}) == 3       # distinct victims
+    assert all(0.0 <= k.at_s < 1.0 for k in a)
+    assert [k.at_s for k in a] == sorted(k.at_s for k in a)
+    # A different seed draws a different schedule.
+    assert list(WorkerKillSchedule.seeded(workers, 8, 1.0, kills=3)) != list(a)
+    # Never kills the whole fleet: capped at len(workers) - 1.
+    capped = WorkerKillSchedule.seeded(workers, 7, 1.0, kills=99)
+    assert len(capped) == len(workers) - 1
+    with pytest.raises(ValueError):
+        WorkerKillSchedule.seeded(workers, 7, duration_s=0.0)

@@ -1,0 +1,88 @@
+"""Property tests (hypothesis) for the consistent-hash shard map.
+
+The two claims the cluster stands on, under adversarial member sets:
+
+* **bounded movement** — removing (or adding) one member moves only
+  ~K/N of K keys, not the whole tenant space;
+* **coordination-free agreement** — gateways that build their rings
+  independently from the same member set resolve every key to the
+  same owner at the same epoch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ConsistentHashRing, ShardMap
+
+members = st.lists(
+    st.text(alphabet="abcdefghijklmnop-0123456789", min_size=1, max_size=12),
+    min_size=2, max_size=8, unique=True,
+)
+
+KEYS = [f"tenant-{i}" for i in range(400)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(members=members)
+def test_removal_moves_about_k_over_n_keys(members):
+    """Dropping one of N members moves ~K/N keys; the rest stay put.
+
+    The expected fraction is 1/N; virtual nodes keep the variance small
+    but not zero, so the bound allows 3x the expectation plus an
+    absolute slack for tiny rings.
+    """
+    ring = ConsistentHashRing(members)
+    victim = members[0]
+    before = {k: ring.lookup(k) for k in KEYS}
+    shrunk = ring.without_member(victim)
+    moved = sum(
+        1 for k in KEYS
+        if before[k] != victim and shrunk.lookup(k) != before[k]
+    )
+    assert moved == 0  # non-victim keys never move on a removal
+    stolen = sum(1 for k in KEYS if before[k] == victim)
+    assert stolen <= 3.0 * len(KEYS) / len(members) + 25
+
+
+@settings(max_examples=40, deadline=None)
+@given(members=members)
+def test_join_moves_about_k_over_n_keys(members):
+    ring = ConsistentHashRing(members[:-1])
+    before = {k: ring.lookup(k) for k in KEYS}
+    grown = ring.with_member(members[-1])
+    moved = [k for k in KEYS if grown.lookup(k) != before[k]]
+    assert all(grown.lookup(k) == members[-1] for k in moved)
+    n = len(members)
+    assert len(moved) <= 3.0 * len(KEYS) / n + 25
+
+
+@settings(max_examples=40, deadline=None)
+@given(members=members, key=st.text(min_size=1, max_size=20))
+def test_independent_rings_agree(members, key):
+    """Construction order and object identity never matter."""
+    a = ConsistentHashRing(list(members))
+    b = ConsistentHashRing(list(reversed(members)))
+    assert a.lookup(key) == b.lookup(key)
+
+
+@settings(max_examples=30, deadline=None)
+@given(members=members)
+def test_shard_maps_agree_after_identical_heal_sequences(members):
+    """Two gateways replaying the same membership deltas stay in
+    lock-step: same epoch, same owner for every key."""
+    a = ShardMap(members)
+    b = ShardMap(tuple(reversed(members)))
+    victim = sorted(members)[0]
+    a.remove_shard(victim)
+    b.remove_shard(victim)
+    a.add_shard("late-joiner")
+    b.add_shard("late-joiner")
+    assert a.epoch == b.epoch == 2
+    for key in KEYS[:100]:
+        assert a.lookup_versioned(key) == b.lookup_versioned(key)

@@ -1,0 +1,136 @@
+"""Cluster soak: seeded traffic + fault injection until a wall budget.
+
+The fast CI job runs one iteration (the default budget is zero wall
+seconds, which still guarantees a single pass); the nightly job exports
+``REPRO_SOAK_SECONDS=600`` and this test keeps running freshly seeded
+iterations — new environment, new cluster, new traffic schedule, new
+worker-kill schedule — until the budget is spent.  Every iteration
+checks the same invariants the bench gates pin: both admission layers
+drain to zero, per-shard peaks respect the budget, and every admitted
+request resolves exactly once (completed or failed, never leaked).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.cluster import (
+    ClusterConfig,
+    ServeCluster,
+    TenantProfile,
+    TrafficConfig,
+    build_schedule,
+    traffic_process,
+)
+from repro.dpu import make_device
+from repro.dpu.specs import Direction
+from repro.faults.workers import WorkerKillSchedule, worker_kill_process
+from repro.serve import BatchPolicy, ServeConfig
+from repro.sim import Environment
+
+SOAK_SECONDS = float(os.environ.get("REPRO_SOAK_SECONDS", "0"))
+
+_DURATION_S = 0.004
+_RATE_REQ_S = 40_000.0
+_SHARD_MAX_PENDING = 16
+_GLOBAL_MAX_PENDING = 128
+
+_TENANTS = tuple(
+    TenantProfile(f"writer-{i}", weight=2.0, direction=Direction.COMPRESS,
+                  size_dist="pareto", median_bytes=32e3, pareto_alpha=1.4)
+    for i in range(4)
+) + tuple(
+    TenantProfile(f"reader-{i}", weight=3.0, direction=Direction.DECOMPRESS,
+                  size_dist="lognormal", median_bytes=16e3, sigma=0.8)
+    for i in range(4)
+)
+
+
+def _soak_iteration(seed: int) -> dict:
+    env = Environment()
+    devices = [
+        make_device(env, kind, name=f"{kind}-{i}")
+        for i, kind in enumerate(("bf2", "bf2", "bf2", "bf2", "bf3", "bf3"))
+    ]
+    cluster = ServeCluster(
+        env,
+        devices,
+        ClusterConfig(
+            num_shards=2,
+            global_max_pending=_GLOBAL_MAX_PENDING,
+            shard_max_pending=_SHARD_MAX_PENDING,
+            serve=ServeConfig(batch=BatchPolicy(max_msgs=4),
+                              router="capability"),
+        ),
+    )
+    schedule = build_schedule(TrafficConfig(
+        rate_req_s=_RATE_REQ_S,
+        duration_s=_DURATION_S,
+        seed=seed,
+        tenants=_TENANTS,
+    ))
+    kills = WorkerKillSchedule.seeded(
+        [w.name for w in cluster.workers], seed=seed,
+        duration_s=_DURATION_S, kills=1,
+    )
+    env.process(worker_kill_process(env, cluster, kills))
+
+    def driver(env):
+        tickets = yield from traffic_process(env, schedule, cluster.submit)
+        yield from cluster.drain()
+        return tickets
+
+    tickets = env.run(until=env.process(driver(env)))
+
+    # -- invariants -----------------------------------------------------
+    accepted = [t for t in tickets if not t.shed]
+    shed = len(tickets) - len(accepted)
+    assert shed == cluster.shed
+    # Exactly-once resolution: every admitted ticket's event fired.
+    resolved_ok = sum(1 for t in accepted if t.event.processed and t.event.ok)
+    resolved_bad = sum(
+        1 for t in accepted if t.event.processed and not t.event.ok
+    )
+    assert resolved_ok + resolved_bad == len(accepted)
+    assert resolved_ok == cluster.completed
+    # Both admission layers drained: no leaked slots anywhere.
+    assert cluster.pending == 0
+    for name in cluster.shard_names:
+        assert cluster.gateways[name].admission.pending == 0
+    # Backpressure held even with a worker dying mid-run.
+    assert all(
+        peak <= _SHARD_MAX_PENDING
+        for peak in cluster.peak_shard_pending().values()
+    )
+    assert cluster.admission.peak_pending <= _GLOBAL_MAX_PENDING
+    # The seeded kill actually happened.
+    assert sum(1 for w in cluster.workers if not w.alive) == len(kills) == 1
+    return {
+        "arrivals": len(tickets),
+        "completed": resolved_ok,
+        "failed": resolved_bad,
+        "shed": shed,
+    }
+
+
+def test_soak_survives_seeded_traffic_and_kills():
+    deadline = time.monotonic() + SOAK_SECONDS
+    iteration = 0
+    totals = {"arrivals": 0, "completed": 0, "failed": 0, "shed": 0}
+    while True:
+        stats = _soak_iteration(seed=iteration)
+        for key, value in stats.items():
+            totals[key] += value
+        iteration += 1
+        if time.monotonic() >= deadline:
+            break
+    assert iteration >= 1
+    assert totals["arrivals"] > 0
+    assert totals["completed"] > 0
+
+
+def test_soak_iteration_is_seed_deterministic():
+    a = _soak_iteration(seed=1234)
+    b = _soak_iteration(seed=1234)
+    assert a == b

@@ -1,0 +1,65 @@
+"""merge_registries order-independence, including the equal-seq gauge
+tie (the nondeterminism this PR fixes: folding in caller order made the
+merged gauge depend on scrape/registration ordering whenever two
+members carried the same update stamp)."""
+
+from __future__ import annotations
+
+from repro.obs import MetricsRegistry, merge_registries
+
+
+def _registry(labels, gauge_value, seq):
+    registry = MetricsRegistry(labels=labels)
+    gauge = registry.gauge("pending")
+    gauge.set(gauge_value)
+    gauge.seq = seq  # simulate a restored snapshot sharing stamps
+    registry.counter("reqs").inc(3.0)
+    return registry
+
+
+def test_equal_seq_gauges_merge_identically_in_both_orders():
+    a = _registry({"gateway": "gw0", "worker": "bf2-0"}, 7.0, seq=100)
+    b = _registry({"gateway": "gw1", "worker": "bf2-1"}, 9.0, seq=100)
+
+    forward = merge_registries([a, b])
+    backward = merge_registries([b, a])
+    assert forward.as_dict() == backward.as_dict()
+    # The sorted-label fold makes the winner well-defined: equal seqs
+    # keep the first-folded (lexically smallest labels) value.
+    assert forward.gauges["pending"].value == 7.0
+    assert forward.counters["reqs"].value == 6.0
+
+
+def test_distinct_seq_still_means_latest_write_wins():
+    a = _registry({"gateway": "gw0"}, 7.0, seq=100)
+    b = _registry({"gateway": "gw1"}, 9.0, seq=200)
+    for ordering in ([a, b], [b, a]):
+        merged = merge_registries(ordering)
+        assert merged.gauges["pending"].value == 9.0
+        assert merged.gauges["pending"].min == 7.0
+        assert merged.gauges["pending"].max == 9.0
+        assert merged.gauges["pending"].updates == 2
+
+
+def test_equal_label_members_keep_input_order():
+    """Equal-label members (rare, discouraged) tie-break by input
+    position via sort stability — still deterministic for a fixed
+    caller order."""
+    a = _registry({"gateway": "gw0"}, 7.0, seq=100)
+    b = _registry({"gateway": "gw0"}, 9.0, seq=100)
+    merged = merge_registries([a, b])
+    assert merged.gauges["pending"].value == 7.0
+    again = merge_registries([a, b])
+    assert merged.as_dict() == again.as_dict()
+
+
+def test_three_way_merge_is_order_independent():
+    members = [
+        _registry({"shard": f"shard{i}", "worker": f"w{i}"},
+                  float(i), seq=50)
+        for i in range(3)
+    ]
+    want = merge_registries(members).as_dict()
+    assert merge_registries(list(reversed(members))).as_dict() == want
+    assert merge_registries([members[1], members[2], members[0]]
+                            ).as_dict() == want
