@@ -11,7 +11,9 @@ band-only wall-clock overhead gate ("wall" section); ``BENCH_PR7.json``
 carries the adaptive-context coder sweep (ac-vs-DEFLATE ratio trade
 plus the decoupled model/coder pipeline speedup); ``BENCH_PR9.json``
 carries the fleet-cluster sweep (goodput saturation at 10-100x the
-PR 4 offered loads, plus the mid-run worker-kill failover record).
+PR 4 offered loads, plus the mid-run worker-kill failover record);
+``BENCH_PR10.json`` carries the streaming-rendezvous sweep (streamed
+vs whole-message latency on the hypersparse telemetry stream).
 
 Usage::
 
@@ -80,6 +82,12 @@ def main(argv: "list[str] | None" = None) -> int:
              "repo root)",
     )
     parser.add_argument(
+        "--stream-out",
+        default=os.path.join(repo_root, regress.DEFAULT_STREAM_REPORT_PATH),
+        help="streaming-rendezvous report path (default: BENCH_PR10.json "
+             "at the repo root)",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="gate the freshly collected numbers without writing the files",
@@ -98,6 +106,8 @@ def main(argv: "list[str] | None" = None) -> int:
          args.wall_out),
         ("cluster", regress.collect_cluster, regress.gate_cluster,
          args.cluster_out),
+        ("stream", regress.collect_stream, regress.gate_stream,
+         args.stream_out),
     ):
         report = collect()
         violations += gate(report)

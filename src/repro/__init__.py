@@ -23,6 +23,7 @@ Subpackages
 ``repro.mpi``         simulated MPICH with the PEDAL shim,
 ``repro.host``        host-offload deployment scenario (paper §VI),
 ``repro.serve``       multi-DPU serving gateway (batching + backpressure),
+``repro.stream``      chunked streaming container + feed/flush codecs,
 ``repro.datasets``    synthetic Table IV corpora,
 ``repro.bench``       experiment harness for every table/figure.
 """
@@ -38,6 +39,13 @@ from repro.errors import ReproError
 from repro.mpi import CommConfig, CommMode, RankContext, run_mpi
 from repro.serve import ServeConfig, ServeGateway, ServeRequest
 from repro.sim import Environment
+from repro.stream import (
+    Compressor,
+    Decompressor,
+    StreamConfig,
+    stream_compress,
+    stream_decompress,
+)
 
 __version__ = "1.0.0"
 
@@ -48,6 +56,8 @@ __all__ = [
     "CommConfig",
     "CommMode",
     "CompressionDesign",
+    "Compressor",
+    "Decompressor",
     "Environment",
     "PedalContext",
     "RankContext",
@@ -58,6 +68,7 @@ __all__ = [
     "ServeConfig",
     "ServeGateway",
     "ServeRequest",
+    "StreamConfig",
     "__version__",
     "deflate_compress",
     "deflate_decompress",
@@ -66,6 +77,8 @@ __all__ = [
     "lz4_decompress",
     "make_device",
     "run_mpi",
+    "stream_compress",
+    "stream_decompress",
     "sz3_compress",
     "sz3_decompress",
     "zlib_compress",

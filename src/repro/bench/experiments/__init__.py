@@ -12,6 +12,7 @@ from repro.bench.experiments import (  # noqa: F401
     sched_pipeline,
     select_crossover,
     serve_gateway,
+    stream_fabric,
     table4_datasets,
     table5_ratios,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "sched_pipeline",
     "select_crossover",
     "serve_gateway",
+    "stream_fabric",
     "table4_datasets",
     "table5_ratios",
 ]

@@ -1,0 +1,162 @@
+"""Stream — ZipLine-style streaming rendezvous vs whole-message PEDAL.
+
+OSU-style pt2pt one-way latency and a binomial-tree bcast over the
+hypersparse network-telemetry stream, with the compression either
+whole-message (the paper's PEDAL path: sender codec, wire, receiver
+codec fully serialized) or streamed through the RST1 container
+(:mod:`repro.mpi.streaming`: per-chunk codec work overlapping fabric
+transfer on both sides).
+
+Headlines (gated in BENCH_PR10.json):
+
+* ``stream_vs_whole_latency_{1,4,16}mib`` — whole/stream latency on
+  the SoC DEFLATE design.  Streaming must be no worse at 4 MiB and
+  strictly better at 16 MiB: the overlap win grows with message size
+  while the container overhead is amortized away.
+* ``bcast_speedup_4mib`` — whole/stream on a 4-rank binomial bcast;
+  every hop re-streams, so the win compounds and must be > 1.
+* ``stream_byte_identical`` — 1.0 iff every streamed payload decoded
+  byte-identical to its whole-message twin across the sweep.
+
+The C-Engine design rows are reported un-gated: per-chunk engine jobs
+pay the fixed DOCA job overhead per chunk, so chunked streaming only
+beats whole-message there once chunks are large relative to the
+overhead (the crossover is chunk-size dependent — see DESIGN.md §5l).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import (
+    ExperimentResult,
+    generate_payload,
+    register_experiment,
+)
+from repro.mpi import CommConfig, CommMode, run_mpi
+
+__all__ = ["run", "stream_pt2pt", "stream_bcast"]
+
+# Each run performs several real codec passes over the payload; the
+# telemetry stream compresses fast, so a moderate budget suffices.
+DEFAULT_ACTUAL_BYTES = 64 * 1024
+
+# Real chunk size: 8 chunks over the default budget, so the pipeline
+# is deep enough to overlap and shallow enough to stay readable.
+_CHUNK_BYTES = 8 * 1024
+
+_SIM_MB = [1.0, 4.0, 16.0]
+_GATE_DESIGN = "SoC_DEFLATE"
+_DESIGNS = [_GATE_DESIGN, "C-Engine_DEFLATE"]
+
+COLUMNS = [
+    "bench",
+    "design",
+    "sim_mb",
+    "mode",
+    "latency_s",
+    "speedup_vs_whole",
+    "identical",
+]
+
+
+def _config(design: str, streaming: bool) -> CommConfig:
+    return CommConfig(
+        mode=CommMode.PEDAL,
+        design=design,
+        streaming=streaming,
+        stream_chunk_bytes=_CHUNK_BYTES,
+        stream_depth=4,
+    )
+
+
+def stream_pt2pt(
+    design: str, streaming: bool, payload: bytes, sim_bytes: float
+) -> tuple[float, bool]:
+    """One-way pt2pt latency; returns ``(seconds, byte_identical)``."""
+
+    def program(ctx):
+        if ctx.rank == 0:
+            t0 = ctx.wtime()
+            yield from ctx.send(1, payload, sim_bytes=sim_bytes)
+            yield from ctx.recv(source=1)
+            return (ctx.wtime() - t0) / 2.0
+        data = yield from ctx.recv(source=0)
+        yield from ctx.send(0, data, sim_bytes=sim_bytes)
+        return bytes(data) == payload
+
+    result = run_mpi(program, 2, "bf2", _config(design, streaming))
+    return result.returns[0], bool(result.returns[1])
+
+
+def stream_bcast(
+    design: str, streaming: bool, payload: bytes, sim_bytes: float, n_ranks: int = 4
+) -> tuple[float, bool]:
+    """Binomial bcast completion time; returns ``(seconds, identical)``."""
+
+    def program(ctx):
+        data = payload if ctx.rank == 0 else None
+        data = yield from ctx.bcast(data, root=0, sim_bytes=sim_bytes)
+        yield from ctx.barrier()
+        return bytes(data) == payload
+
+    result = run_mpi(program, n_ranks, "bf2", _config(design, streaming))
+    return result.elapsed_seconds, all(result.returns)
+
+
+@register_experiment("stream")
+def run(actual_bytes: int = DEFAULT_ACTUAL_BYTES) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="stream",
+        title="Stream: streaming rendezvous vs whole-message PEDAL",
+        columns=COLUMNS,
+    )
+    payload = generate_payload("net_telemetry", actual_bytes)
+    identical = True
+
+    for design in _DESIGNS:
+        for sim_mb in _SIM_MB:
+            sim_bytes = sim_mb * 1024 * 1024
+            whole, ok_w = stream_pt2pt(design, False, payload, sim_bytes)
+            streamed, ok_s = stream_pt2pt(design, True, payload, sim_bytes)
+            identical = identical and ok_w and ok_s
+            speedup = whole / streamed
+            for mode, latency, rel in (
+                ("whole", whole, 1.0),
+                ("stream", streamed, speedup),
+            ):
+                result.rows.append(
+                    {
+                        "bench": "pt2pt",
+                        "design": design,
+                        "sim_mb": sim_mb,
+                        "mode": mode,
+                        "latency_s": latency,
+                        "speedup_vs_whole": rel,
+                        "identical": ok_w and ok_s,
+                    }
+                )
+            if design == _GATE_DESIGN:
+                label = f"{sim_mb:g}mib".replace(".", "p")
+                result.headlines[f"stream_vs_whole_latency_{label}"] = speedup
+
+    sim_bytes = 4.0 * 1024 * 1024
+    whole, ok_w = stream_bcast(_GATE_DESIGN, False, payload, sim_bytes)
+    streamed, ok_s = stream_bcast(_GATE_DESIGN, True, payload, sim_bytes)
+    identical = identical and ok_w and ok_s
+    for mode, latency, rel in (
+        ("whole", whole, 1.0),
+        ("stream", streamed, whole / streamed),
+    ):
+        result.rows.append(
+            {
+                "bench": "bcast4",
+                "design": _GATE_DESIGN,
+                "sim_mb": 4.0,
+                "mode": mode,
+                "latency_s": latency,
+                "speedup_vs_whole": rel,
+                "identical": ok_w and ok_s,
+            }
+        )
+    result.headlines["bcast_speedup_4mib"] = whole / streamed
+    result.headlines["stream_byte_identical"] = 1.0 if identical else 0.0
+    return result

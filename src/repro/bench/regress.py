@@ -57,18 +57,20 @@ from repro.sim import Environment
 
 __all__ = ["collect", "collect_serve", "collect_select", "collect_obs",
            "collect_edpc", "collect_wallclock", "collect_cluster",
+           "collect_stream",
            "gate", "gate_serve", "gate_select", "gate_obs", "gate_edpc",
-           "gate_wallclock", "gate_cluster",
+           "gate_wallclock", "gate_cluster", "gate_stream",
            "write_report", "load_report", "BANDS",
            "SERVE_BANDS", "SELECT_BANDS", "OBS_SIM_BANDS", "OBS_WALL_BANDS",
            "EDPC_BANDS", "WALL_BANDS", "WALL_CODEC_FLOORS_MBPS",
-           "CLUSTER_BANDS",
+           "CLUSTER_BANDS", "STREAM_BANDS",
            "DEFAULT_REPORT_PATH",
            "DEFAULT_SERVE_REPORT_PATH", "DEFAULT_SELECT_REPORT_PATH",
            "DEFAULT_OBS_REPORT_PATH", "DEFAULT_EDPC_REPORT_PATH",
            "DEFAULT_WALL_REPORT_PATH", "DEFAULT_CLUSTER_REPORT_PATH",
+           "DEFAULT_STREAM_REPORT_PATH",
            "SCHEMA", "SERVE_SCHEMA", "SELECT_SCHEMA", "OBS_SCHEMA",
-           "EDPC_SCHEMA", "WALL_SCHEMA", "CLUSTER_SCHEMA",
+           "EDPC_SCHEMA", "WALL_SCHEMA", "CLUSTER_SCHEMA", "STREAM_SCHEMA",
            "SELECT_TOLERANCE", "OBS_OVERHEAD_CEILING"]
 
 SCHEMA = 1
@@ -85,6 +87,8 @@ WALL_SCHEMA = 1
 DEFAULT_WALL_REPORT_PATH = "BENCH_PR8.json"
 CLUSTER_SCHEMA = 1
 DEFAULT_CLUSTER_REPORT_PATH = "BENCH_PR9.json"
+STREAM_SCHEMA = 1
+DEFAULT_STREAM_REPORT_PATH = "BENCH_PR10.json"
 
 # -- BENCH_PR8 (kernel vectorization wall clock) -----------------------
 _WALL_REPS = 3            # min-of-N per timing
@@ -821,6 +825,57 @@ def collect_cluster() -> dict[str, Any]:
     }
 
 
+# Streaming-rendezvous gates (BENCH_PR10.json).  Deterministic
+# sim-clock numbers from the `stream` experiment: pt2pt/bcast on the
+# hypersparse telemetry payload, SoC DEFLATE design (whole-message vs
+# streamed through the RST1 container).  Recorded speedups sit ~4.26x;
+# the floors encode the tentpole's ordering claims, not the exact
+# operating point.
+STREAM_BANDS: "dict[str, tuple[float | None, float | None]]" = {
+    # At >= 4 MiB streaming must be no worse than whole-message
+    # rendezvous (the acceptance bar), and strictly better at 16 MiB
+    # where the overlap win dwarfs container overhead.
+    "stream_vs_whole_latency_4mib": (1.0, None),
+    "stream_vs_whole_latency_16mib": (1.05, None),
+    # Binomial bcast re-streams every hop, so the win must survive
+    # composition (strictly better on the collective sweep).
+    "bcast_speedup_4mib": (1.01, None),
+    # Streamed payloads decode byte-identical to their whole-message
+    # twins everywhere in the sweep — exact, both sides.
+    "stream_byte_identical": (1.0, 1.0),
+}
+
+
+def collect_stream() -> dict[str, Any]:
+    """Run the streaming-rendezvous sweep; returns the BENCH_PR10 dict.
+
+    Thin shell over the ``stream`` experiment: the report carries its
+    rows verbatim (exact-gateable — the sim clock is deterministic)
+    plus the headline speedups the bands condense.
+    """
+    from repro.bench.experiments.stream_fabric import (
+        _CHUNK_BYTES,
+        _GATE_DESIGN,
+        _SIM_MB,
+        DEFAULT_ACTUAL_BYTES,
+        run as run_stream,
+    )
+
+    result = run_stream()
+    return {
+        "schema": STREAM_SCHEMA,
+        "generator": "repro.bench.regress",
+        "config": {
+            "actual_bytes": DEFAULT_ACTUAL_BYTES,
+            "chunk_bytes": _CHUNK_BYTES,
+            "gate_design": _GATE_DESIGN,
+            "sim_mb": list(_SIM_MB),
+        },
+        "rows": result.rows,
+        "headlines": dict(result.headlines),
+    }
+
+
 def _wall_key(dataset: str) -> str:
     return dataset.replace("/", "_").replace("-", "_")
 
@@ -898,6 +953,11 @@ def gate_wallclock(report: dict[str, Any]) -> list[str]:
 def gate_cluster(report: dict[str, Any]) -> list[str]:
     """Check every BENCH_PR9 headline band; returns the violations."""
     return _gate_bands(report, CLUSTER_BANDS)
+
+
+def gate_stream(report: dict[str, Any]) -> list[str]:
+    """Check every BENCH_PR10 headline band; returns the violations."""
+    return _gate_bands(report, STREAM_BANDS)
 
 
 def write_report(report: dict[str, Any], path: str) -> None:

@@ -1,0 +1,76 @@
+"""Hypersparse network-telemetry stream generator.
+
+The GraphBLAS-on-DPU line of work (PAPERS.md) streams network traffic
+as *hypersparse* adjacency updates: traffic matrices over the full
+32-bit address space where the number of observed (src, dst) pairs is
+vanishingly small relative to the matrix, endpoint popularity is
+Zipf-heavy, and most counter space is zeros.  This generator emits a
+byte-faithful stand-in for one telemetry window:
+
+* a sorted coordinate block — delta-encoded u32 (src, dst) pairs whose
+  high bytes are almost always zero (small deltas dominate a sorted
+  hypersparse coordinate list);
+* a packet-count block — Zipf-distributed u32 counters, overwhelmingly
+  1–3 packets, again zero in the high bytes;
+* a histogram block — fixed-width degree-histogram regions that are
+  mostly zero runs with a few hot buckets.
+
+The mix is extremely compressible but *not* trivially so (the low
+bytes carry real entropy), which is exactly what stresses the ratio
+model and the select crossover cache: a naive estimator that assumes
+text-like or float-like statistics misprices it badly, and the
+streaming fabric path sees long zero runs punctuated by dense bursts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.generators import rng_for
+
+__all__ = ["generate_net_telemetry"]
+
+# Block mix (fractions of the requested byte budget).
+_COORD_FRACTION = 0.5
+_COUNT_FRACTION = 0.25  # histogram block takes the remainder
+
+
+def _zipf_counts(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Zipf-ish packet counters: almost all tiny, a heavy tail."""
+    raw = rng.zipf(1.7, size=n)
+    return np.minimum(raw, 1_000_000).astype(np.uint32)
+
+
+def generate_net_telemetry(nbytes: int) -> bytes:
+    """Deterministic hypersparse telemetry bytes (~``nbytes`` long)."""
+    rng = rng_for("net_telemetry", nbytes)
+    out = bytearray()
+
+    # -- sorted coordinate block (delta-encoded u32 pairs) ---------------
+    n_pairs = max(nbytes * _COORD_FRACTION / 8, 16)
+    n_pairs = int(n_pairs)
+    # Zipf endpoint popularity: a few talkers dominate, so the sorted
+    # (src, dst) list clusters and its deltas are tiny.
+    src = np.minimum(rng.zipf(1.3, size=n_pairs), 2**31).astype(np.uint32)
+    dst = np.minimum(rng.zipf(1.3, size=n_pairs), 2**31).astype(np.uint32)
+    keys = (src.astype(np.uint64) << np.uint64(32)) | dst.astype(np.uint64)
+    keys.sort()
+    deltas = np.diff(keys, prepend=keys[:1]).astype(np.uint64)
+    coord = np.empty(n_pairs * 2, dtype=np.uint32)
+    coord[0::2] = (deltas >> np.uint64(32)).astype(np.uint32)  # ~all zero
+    coord[1::2] = (deltas & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+    out += coord.tobytes()
+
+    # -- packet-count block ----------------------------------------------
+    n_counts = max(int(nbytes * _COUNT_FRACTION / 4), 16)
+    out += _zipf_counts(rng, n_counts).tobytes()
+
+    # -- histogram block: mostly-zero regions with hot buckets -----------
+    remaining = max(nbytes - len(out), 16)
+    hist = np.zeros(remaining, dtype=np.uint8)
+    n_hot = max(remaining // 256, 4)  # ~0.4% occupancy
+    hot_at = rng.integers(0, remaining, size=n_hot)
+    hist[hot_at] = rng.integers(1, 255, size=n_hot).astype(np.uint8)
+    out += hist.tobytes()
+
+    return bytes(out[:nbytes])

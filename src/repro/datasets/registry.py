@@ -12,7 +12,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.datasets import exaalt, obs_error, silesia
+from repro.datasets import exaalt, net_telemetry, obs_error, silesia
 
 __all__ = [
     "Dataset",
@@ -85,6 +85,14 @@ DATASETS: dict[str, Dataset] = {
         Dataset(
             "silesia/mozilla", "exe", 48.85 * _MB, "lossless",
             silesia.generate_mozilla,
+        ),
+        # -- streaming telemetry (post-paper; GraphBLAS-on-DPU-shaped) ----
+        # kind "telemetry" keeps it out of the paper-figure lossless/
+        # lossy sweeps (their row counts are pinned to Table IV) while
+        # the stream bench and select/ratio stress tests pick it up.
+        Dataset(
+            "net_telemetry", "hypersparse network-telemetry stream",
+            16.0 * _MB, "telemetry", net_telemetry.generate_net_telemetry,
         ),
         # -- lossy (Table IV bottom half; paper lists 10/31/64 MB) --------
         Dataset(

@@ -41,6 +41,35 @@ class OutputOverflowError(CodecError):
     """Decompressed output exceeded the caller-provided bound."""
 
 
+# ---------------------------------------------------------------------------
+# Streaming-container errors (repro.stream)
+# ---------------------------------------------------------------------------
+
+class StreamError(CodecError):
+    """Base class for streaming Compressor/Decompressor failures."""
+
+
+class StreamStateError(StreamError):
+    """A streaming object was used out of protocol order (feed after
+    flush, flush twice, reading a result before flush, ...)."""
+
+
+class StreamTruncatedError(StreamError, CorruptStreamError):
+    """The container ended mid-frame: more bytes were promised by the
+    framing than were ever fed.  Raised by ``Decompressor.flush`` —
+    truncation is detectable only at end-of-input, never by waiting."""
+
+
+class StreamCorruptError(StreamError, CorruptStreamError):
+    """The container violates the RST1 framing specification (bad
+    magic, unknown frame kind, impossible lengths, trailing garbage)."""
+
+
+class StreamChecksumError(StreamError, ChecksumMismatchError):
+    """A per-chunk or whole-stream CRC stored in the container does not
+    match the recomputed value."""
+
+
 class ErrorBoundViolation(CodecError):
     """A lossy codec produced reconstruction error above the configured bound."""
 
@@ -206,6 +235,12 @@ class SimDeadlockError(SimulationError):
 
 class MpiError(ReproError):
     """Base class for simulated-MPI errors."""
+
+
+class MpiConfigError(MpiError):
+    """The communication-layer configuration is internally inconsistent
+    (e.g. ``rndv_threshold`` != ``eager_threshold``, which would produce
+    compressed-eager or uncompressed-rendezvous messages)."""
 
 
 class MpiAbortError(MpiError):

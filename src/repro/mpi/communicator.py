@@ -100,7 +100,14 @@ class Communicator:
     ) -> Generator:
         """Blocking send (MPI_Send semantics over eager/rendezvous)."""
         meta = dict(meta or {})
-        proto = protocol_for(wire_bytes, self.eager_threshold)
+        # Protocol choice is pinned to the *pre-compression* size (the
+        # shim records it as ``sim_uncompressed``), so a message that
+        # compresses below the eager threshold stays rendezvous — the
+        # decision compression was predicated on.  Bare sends without
+        # shim metadata fall back to the wire size (the two are equal
+        # when nothing was compressed).
+        decision_bytes = meta.get("sim_uncompressed", wire_bytes)
+        proto = protocol_for(decision_bytes, self.eager_threshold)
         envlp = Envelope(
             source=source,
             dest=dest,
@@ -142,5 +149,11 @@ class Communicator:
         if envlp.protocol is Protocol.RENDEZVOUS:
             yield from self.fabric.control(dest, envlp.source)  # CTS
             envlp.cts.succeed()
-            yield envlp.data_ready
+            if not envlp.meta.get("stream"):
+                yield envlp.data_ready
+            # Streamed rendezvous returns at CTS time: the payload is a
+            # Store of container frames that the receiver drains chunk
+            # by chunk (repro.mpi.streaming), overlapping decompression
+            # with the remaining transfers instead of waiting for the
+            # whole message to land.
         return envlp

@@ -27,9 +27,11 @@ from repro.core.codecs import CodecConfig
 from repro.core.designs import CompressionDesign, design as lookup_design
 from repro.core.header import HEADER_SIZE, PedalHeader
 from repro.dpu.device import BlueFieldDPU
+from repro.errors import MpiConfigError
 from repro.mpi.protocol import EAGER_THRESHOLD_BYTES, should_compress
 from repro.obs import get_metrics
 from repro.sim import TimeBreakdown
+from repro.stream import DEFAULT_CHUNK_BYTES as STREAM_CHUNK_BYTES
 
 __all__ = ["CommMode", "CommConfig", "CompressionLayer"]
 
@@ -51,6 +53,11 @@ class CommConfig:
     rndv_threshold: int = EAGER_THRESHOLD_BYTES
     eager_threshold: int = EAGER_THRESHOLD_BYTES
     pool_buffers: int = 4
+    # ZipLine-style streaming rendezvous: chunk the payload through
+    # repro.stream and overlap C-Engine work with fabric transfer.
+    streaming: bool = False
+    stream_chunk_bytes: int = STREAM_CHUNK_BYTES
+    stream_depth: int = 2  # pipeline queue slots per streamed message
 
     def resolved_design(self) -> CompressionDesign | None:
         if self.design is None:
@@ -60,6 +67,31 @@ class CommConfig:
     def __post_init__(self) -> None:
         if self.mode is not CommMode.RAW and self.design is None:
             raise ValueError(f"mode {self.mode.value} requires a design")
+        # The compress decision (rndv_threshold) and the protocol
+        # decision (eager_threshold) share one byte domain — the
+        # pre-compression size.  Letting them diverge silently produces
+        # compressed-eager messages (rndv < eager) or uncompressed-
+        # rendezvous messages (rndv > eager), both of which break the
+        # paper's "compress only rendezvous traffic" invariant.
+        if self.rndv_threshold != self.eager_threshold:
+            raise MpiConfigError(
+                f"rndv_threshold ({self.rndv_threshold}) must equal "
+                f"eager_threshold ({self.eager_threshold}): diverging them "
+                "silently yields compressed-eager or uncompressed-rendezvous "
+                "messages"
+            )
+        if self.eager_threshold < 0:
+            raise MpiConfigError(
+                f"eager_threshold must be >= 0, got {self.eager_threshold}"
+            )
+        if self.stream_chunk_bytes < 1:
+            raise MpiConfigError(
+                f"stream_chunk_bytes must be >= 1, got {self.stream_chunk_bytes}"
+            )
+        if self.stream_depth < 1:
+            raise MpiConfigError(
+                f"stream_depth must be >= 1, got {self.stream_depth}"
+            )
 
 
 class CompressionLayer:
@@ -108,7 +140,10 @@ class CompressionLayer:
             sim_bytes, cfg.rndv_threshold
         ):
             if cfg.mode is CommMode.RAW:
-                return data, sim_bytes, {"compressed": False, "raw": True}
+                return data, sim_bytes, {
+                    "compressed": False, "raw": True,
+                    "sim_uncompressed": sim_bytes,
+                }
             # PEDAL passthrough: header marks the message uncompressed.
             metrics = get_metrics()
             if metrics.recording:
@@ -116,7 +151,8 @@ class CompressionLayer:
             return (
                 (PedalHeader.passthrough(), data),
                 sim_bytes + HEADER_SIZE,
-                {"compressed": False, "raw": False},
+                {"compressed": False, "raw": False,
+                 "sim_uncompressed": sim_bytes},
             )
 
         metrics = get_metrics()

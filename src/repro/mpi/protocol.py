@@ -52,9 +52,20 @@ class Envelope:
     data_ready: Any = None  # payload-arrived event, rendezvous only
 
 
-def protocol_for(wire_bytes: float, eager_threshold: int = EAGER_THRESHOLD_BYTES) -> Protocol:
-    """Protocol selection by (possibly compressed) wire size."""
-    proto = Protocol.EAGER if wire_bytes <= eager_threshold else Protocol.RENDEZVOUS
+def protocol_for(sim_bytes: float, eager_threshold: int = EAGER_THRESHOLD_BYTES) -> Protocol:
+    """Protocol selection by *pre-compression* (sim) message size.
+
+    Convention: both deciders — this one and :func:`should_compress` —
+    operate on the same byte domain, the uncompressed size the sender
+    holds *before* the shim runs.  Deciding from post-compression wire
+    bytes instead would let a message that compresses below the
+    threshold flip from rendezvous to eager *after* the compress
+    decision was made, producing compressed-eager traffic the receiver
+    never handshakes for.  At exactly ``eager_threshold`` the message
+    is eager (and uncompressed); one byte above it is rendezvous (and
+    compression-eligible).
+    """
+    proto = Protocol.EAGER if sim_bytes <= eager_threshold else Protocol.RENDEZVOUS
     metrics = get_metrics()
     if metrics.recording:
         metrics.inc(f"mpi.protocol.{proto.value}")
@@ -62,7 +73,12 @@ def protocol_for(wire_bytes: float, eager_threshold: int = EAGER_THRESHOLD_BYTES
 
 
 def should_compress(sim_bytes: float, rndv_threshold: int = EAGER_THRESHOLD_BYTES) -> bool:
-    """PEDAL's rule: compress only messages on the rendezvous path."""
+    """PEDAL's rule: compress only messages on the rendezvous path.
+
+    Same byte domain as :func:`protocol_for` (pre-compression size), so
+    the two decisions can never disagree when the thresholds match —
+    which :class:`~repro.mpi.pedal_integration.CommConfig` enforces.
+    """
     decision = sim_bytes > rndv_threshold
     metrics = get_metrics()
     if metrics.recording:

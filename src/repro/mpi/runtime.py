@@ -95,7 +95,12 @@ class RankContext:
         sim_bytes: float | None = None,
     ) -> Generator:
         """MPI_Send through the compression shim."""
+        from repro.mpi import streaming
+
         nominal = _default_sim_bytes(data) if sim_bytes is None else float(sim_bytes)
+        if streaming.wants_stream(self.layer, data, nominal):
+            yield from streaming.stream_send(self, dest, data, tag, nominal)
+            return
         with device_span(
             "mpi.send", self.device,
             rank=self.rank, dest=dest, tag=tag, sim_bytes=nominal,
@@ -130,26 +135,36 @@ class RankContext:
         self, source: int = ANY_SOURCE, tag: int = ANY_TAG
     ) -> Generator:
         """MPI_Recv through the compression shim; returns the data."""
+        from repro.mpi import streaming
+
         with device_span(
             "mpi.recv", self.device, rank=self.rank, source=source, tag=tag,
         ) as span:
             envlp = yield from self.comm.recv(self.rank, source, tag)
             span.set_attr("protocol", envlp.protocol.value)
             span.set_attr("wire_bytes", envlp.wire_bytes)
-            data = yield from self.layer.inbound(envlp.payload, envlp.meta)
+            if envlp.meta.get("stream"):
+                data = yield from streaming.stream_recv(self, envlp)
+            else:
+                data = yield from self.layer.inbound(envlp.payload, envlp.meta)
         return data
 
     def recv_with_source(
         self, source: int = ANY_SOURCE, tag: int = ANY_TAG
     ) -> Generator:
         """Like :meth:`recv` but returns ``(source, data)`` (MPI_Status)."""
+        from repro.mpi import streaming
+
         with device_span(
             "mpi.recv", self.device, rank=self.rank, source=source, tag=tag,
         ) as span:
             envlp = yield from self.comm.recv(self.rank, source, tag)
             span.set_attr("protocol", envlp.protocol.value)
             span.set_attr("wire_bytes", envlp.wire_bytes)
-            data = yield from self.layer.inbound(envlp.payload, envlp.meta)
+            if envlp.meta.get("stream"):
+                data = yield from streaming.stream_recv(self, envlp)
+            else:
+                data = yield from self.layer.inbound(envlp.payload, envlp.meta)
         return envlp.source, data
 
     # -- non-blocking point-to-point ------------------------------------------

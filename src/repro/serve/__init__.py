@@ -44,6 +44,7 @@ from repro.serve.router import (
     Router,
     make_router,
 )
+from repro.serve.streaming import StreamingSession
 
 __all__ = [
     "AdmissionController",
@@ -63,6 +64,7 @@ __all__ = [
     "ServeRequest",
     "ServeResponse",
     "ServeTicket",
+    "StreamingSession",
     "TelemetryConfig",
     "make_router",
 ]

@@ -1,0 +1,300 @@
+"""Streaming ``Compressor``/``Decompressor`` over the RST1 container.
+
+ZipLine-style incremental compression for the fabric path: callers
+``feed`` arbitrary byte slices and receive container bytes back as
+soon as whole chunks are available, then ``flush`` to emit the final
+partial chunk plus the mandatory end frame.  Internal state is bounded
+by one chunk on both sides — a compressor buffers at most
+``chunk_bytes`` of raw input, a decompressor at most one frame.
+
+The chunk payloads are complete, independent streams of the configured
+codec (DEFLATE / AC / LZ4), so MPI can ship them as separate wire
+chunks and decompress them as they land, overlapping C-Engine work
+with fabric transfer (see :mod:`repro.mpi.streaming`), while serve
+reuses the exact same framing for large-payload requests
+(:mod:`repro.serve.streaming`).
+
+Flush ordering under a zero-length final chunk is part of the
+contract: ``flush()`` after an empty (or absent) ``feed`` still emits
+a well-formed header + terminator, and zero-length data frames are
+never produced.  ``stream_compress``/``stream_decompress`` are the
+one-shot conveniences; feeding the same bytes at any split points
+yields the identical container.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.algorithms.ac.codec import ac_compress, ac_decompress
+from repro.algorithms.deflate.compress import deflate_compress
+from repro.algorithms.deflate.decompress import deflate_decompress
+from repro.algorithms.lz4.frame import lz4_compress, lz4_decompress
+from repro.core.codecs import CodecConfig
+from repro.dpu.specs import Algo
+from repro.errors import (
+    CodecError,
+    OutputOverflowError,
+    StreamChecksumError,
+    StreamCorruptError,
+    StreamError,
+    StreamStateError,
+    StreamTruncatedError,
+)
+from repro.stream.container import (
+    ALGO_IDS,
+    FrameParser,
+    encode_data_frame,
+    encode_end_frame,
+    encode_stream_header,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_BYTES",
+    "StreamConfig",
+    "Compressor",
+    "Decompressor",
+    "stream_compress",
+    "stream_decompress",
+    "chunk_codec",
+]
+
+# Streaming quantum: large enough to amortize per-chunk codec/frame
+# overhead, small enough that a 4 MiB message pipelines ~16 deep.
+DEFAULT_CHUNK_BYTES = 256 * 1024
+
+_U32_MAX = 0xFFFF_FFFF
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Tuning for one streaming (de)compression session."""
+
+    algo: Algo = Algo.DEFLATE
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES
+    codecs: CodecConfig = field(default_factory=CodecConfig)
+
+    def __post_init__(self) -> None:
+        if self.algo not in ALGO_IDS:
+            raise StreamError(
+                f"algo {getattr(self.algo, 'value', self.algo)!r} is not "
+                f"streamable (supported: "
+                f"{sorted(a.value for a in ALGO_IDS)})"
+            )
+        if not 0 < self.chunk_bytes <= _U32_MAX:
+            raise StreamError(
+                f"chunk_bytes must be in [1, 2**32), got {self.chunk_bytes}"
+            )
+
+
+def chunk_codec(
+    algo: Algo, codecs: CodecConfig | None = None
+) -> "tuple[Callable[[bytes], bytes], Callable[[bytes], bytes]]":
+    """The per-chunk ``(compress, decompress)`` pair for ``algo``.
+
+    Shared by the streaming API and the MPI per-chunk engine jobs so
+    both sides agree byte-for-byte on what a chunk payload is.
+    """
+    cfg = codecs or CodecConfig()
+    if algo is Algo.DEFLATE:
+        return (
+            lambda chunk: deflate_compress(chunk, cfg.deflate),
+            lambda blob: deflate_decompress(blob),
+        )
+    if algo is Algo.AC:
+        return (
+            lambda chunk: ac_compress(chunk, cfg.ac),
+            lambda blob: ac_decompress(blob),
+        )
+    if algo is Algo.LZ4:
+        return (
+            lambda chunk: lz4_compress(chunk),
+            lambda blob: lz4_decompress(blob),
+        )
+    raise StreamError(f"algo {getattr(algo, 'value', algo)!r} is not streamable")
+
+
+class Compressor:
+    """Incremental RST1 compressor (``feed``/``flush``)."""
+
+    def __init__(self, config: StreamConfig | None = None) -> None:
+        self.config = config or StreamConfig()
+        self._compress, _ = chunk_codec(self.config.algo, self.config.codecs)
+        self._buf = bytearray()
+        self._crc = 0
+        self._total = 0
+        self._header_emitted = False
+        self._finished = False
+        self.chunks_emitted = 0
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Raw bytes held back waiting for a full chunk (< chunk_bytes
+        after every ``feed`` — the bounded-state guarantee)."""
+        return len(self._buf)
+
+    def feed(self, chunk: bytes) -> bytes:
+        """Absorb ``chunk``; return any container bytes now complete."""
+        if self._finished:
+            raise StreamStateError("feed() after flush()")
+        view = bytes(chunk)
+        if not view:
+            return b""  # empty feed is a no-op, not a frame
+        if self._total + len(view) > _U32_MAX:
+            raise StreamError("streams are limited to < 4 GiB of raw input")
+        out = bytearray(self._emit_header())
+        self._crc = zlib.crc32(view, self._crc) & _U32_MAX
+        self._total += len(view)
+        self._buf += view
+        size = self.config.chunk_bytes
+        while len(self._buf) >= size:
+            out += self._emit_chunk(bytes(self._buf[:size]))
+            del self._buf[:size]
+        return bytes(out)
+
+    def flush(self) -> bytes:
+        """Emit the final partial chunk (if any) and the end frame.
+
+        Valid immediately after construction or an empty ``feed``: the
+        result is still a well-formed container (header + terminator)
+        that decodes to ``b""``.
+        """
+        if self._finished:
+            raise StreamStateError("flush() called twice")
+        out = bytearray(self._emit_header())
+        if self._buf:
+            out += self._emit_chunk(bytes(self._buf))
+            self._buf.clear()
+        out += encode_end_frame(self._total, self._crc)
+        self._finished = True
+        return bytes(out)
+
+    # -- internals ---------------------------------------------------------
+
+    def _emit_header(self) -> bytes:
+        if self._header_emitted:
+            return b""
+        self._header_emitted = True
+        return encode_stream_header(self.config.algo, self.config.chunk_bytes)
+
+    def _emit_chunk(self, raw: bytes) -> bytes:
+        payload = self._compress(raw)
+        self.chunks_emitted += 1
+        return encode_data_frame(payload, len(raw), zlib.crc32(raw) & _U32_MAX)
+
+
+class Decompressor:
+    """Incremental RST1 decompressor (``feed``/``flush``).
+
+    Every error is a typed :class:`~repro.errors.StreamError` (format
+    violations, checksum mismatches, truncation at flush) or
+    :class:`~repro.errors.OutputOverflowError`; corrupt input can never
+    hang — the parser simply stops at the damaged byte.
+    """
+
+    def __init__(self, max_output: int | None = None) -> None:
+        self.max_output = max_output
+        self._parser = FrameParser()
+        self._decompress: "Callable[[bytes], bytes] | None" = None
+        self._crc = 0
+        self._total = 0
+        self._flushed = False
+        self.chunks_decoded = 0
+
+    @property
+    def finished(self) -> bool:
+        """True once the end frame has been parsed and verified."""
+        return self._parser.finished
+
+    @property
+    def algo(self) -> Algo | None:
+        """The container's codec (None until the header arrives)."""
+        header = self._parser.header
+        return None if header is None else header.algo
+
+    def feed(self, data: bytes) -> bytes:
+        """Absorb container bytes; return the raw bytes they complete."""
+        if self._flushed:
+            raise StreamStateError("feed() after flush()")
+        out = bytearray()
+        for frame in self._parser.feed(bytes(data)):
+            if frame.is_end:
+                self._check_end(frame.raw_len, frame.crc)
+                continue
+            out += self._decode_chunk(frame.payload, frame.raw_len, frame.crc)
+        return bytes(out)
+
+    def flush(self) -> bytes:
+        """Declare end-of-input; raises if the container is incomplete."""
+        if self._flushed:
+            raise StreamStateError("flush() called twice")
+        if not self._parser.finished:
+            raise StreamTruncatedError(
+                "container truncated: no end frame after "
+                f"{self.chunks_decoded} chunk(s) "
+                f"({self._parser.pending_bytes} byte(s) buffered mid-frame)"
+            )
+        self._flushed = True
+        return b""
+
+    # -- internals ---------------------------------------------------------
+
+    def _decode_chunk(self, payload: bytes, raw_len: int, crc: int) -> bytes:
+        header = self._parser.header
+        assert header is not None
+        if self._decompress is None:
+            _, self._decompress = chunk_codec(header.algo)
+        if self.max_output is not None and self._total + raw_len > self.max_output:
+            raise OutputOverflowError(
+                f"stream exceeds max_output={self.max_output} at chunk "
+                f"{self.chunks_decoded}"
+            )
+        try:
+            raw = self._decompress(payload)
+        except StreamError:
+            raise
+        except CodecError as exc:
+            raise StreamCorruptError(
+                f"chunk {self.chunks_decoded} payload undecodable: {exc}"
+            ) from exc
+        if len(raw) != raw_len:
+            raise StreamCorruptError(
+                f"chunk {self.chunks_decoded} decoded to {len(raw)} bytes, "
+                f"frame declared {raw_len}"
+            )
+        actual = zlib.crc32(raw) & _U32_MAX
+        if actual != crc:
+            raise StreamChecksumError("chunk crc32", crc, actual)
+        self._crc = zlib.crc32(raw, self._crc) & _U32_MAX
+        self._total += raw_len
+        self.chunks_decoded += 1
+        return raw
+
+    def _check_end(self, total_raw_len: int, crc: int) -> None:
+        if total_raw_len != self._total:
+            raise StreamCorruptError(
+                f"end frame declares {total_raw_len} raw bytes, "
+                f"decoded {self._total}"
+            )
+        if crc != self._crc:
+            raise StreamChecksumError("stream crc32", crc, self._crc)
+
+
+def stream_compress(data: bytes, config: StreamConfig | None = None) -> bytes:
+    """One-shot convenience: the container for ``data``."""
+    comp = Compressor(config)
+    return comp.feed(data) + comp.flush()
+
+
+def stream_decompress(blob: bytes, max_output: int | None = None) -> bytes:
+    """One-shot convenience: decode a complete container."""
+    dec = Decompressor(max_output=max_output)
+    out = dec.feed(blob)
+    dec.flush()
+    return out

@@ -1,0 +1,213 @@
+"""The RST1 self-describing chunked streaming container.
+
+Layout (all integers little-endian):
+
+* **Stream header** (12 bytes) — ``magic "RST1" | version u8 | algo u8 |
+  flags u8 | reserved u8 | chunk_bytes u32``.  ``algo`` names the
+  per-chunk codec (1 = DEFLATE, 2 = AC, 3 = LZ4); ``chunk_bytes`` is
+  the compressor's chunking quantum and an upper bound on any frame's
+  ``raw_len``.
+* **Data frame** (13-byte header + payload) — ``kind 0x01 | comp_len
+  u32 | raw_len u32 | crc32(raw chunk) u32`` followed by ``comp_len``
+  payload bytes.  Each payload is one *complete, independent* stream of
+  the container's codec, so chunks can be decompressed out of order /
+  in parallel and a receiver never needs more than one frame of state.
+* **End frame** (13 bytes, no payload) — ``kind 0x02 | 0 u32 |
+  total_raw_len u32 | crc32(whole raw stream) u32``.  Mandatory: a
+  container without it is *truncated*, and bytes after it are
+  *trailing garbage* — both typed errors, never silent.
+
+The parser is pull-based (``feed`` returns complete frames, keeps the
+rest buffered), so corrupt length fields can only ever make the
+decoder *report truncation at flush*, never block or hang.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.dpu.specs import Algo
+from repro.errors import StreamCorruptError
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "FRAME_DATA",
+    "FRAME_END",
+    "STREAM_HEADER_BYTES",
+    "FRAME_HEADER_BYTES",
+    "ALGO_IDS",
+    "ALGO_BY_ID",
+    "StreamHeader",
+    "Frame",
+    "FrameParser",
+    "encode_stream_header",
+    "encode_data_frame",
+    "encode_end_frame",
+]
+
+MAGIC = b"RST1"
+VERSION = 1
+
+_STREAM_HEADER = struct.Struct("<4sBBBBI")
+_FRAME_HEADER = struct.Struct("<BIII")
+
+STREAM_HEADER_BYTES = _STREAM_HEADER.size  # 12
+FRAME_HEADER_BYTES = _FRAME_HEADER.size  # 13
+
+FRAME_DATA = 0x01
+FRAME_END = 0x02
+
+_U32_MAX = 0xFFFF_FFFF
+
+# Only the single-stage lossless codecs stream chunk-at-a-time.
+ALGO_IDS: dict[Algo, int] = {Algo.DEFLATE: 1, Algo.AC: 2, Algo.LZ4: 3}
+ALGO_BY_ID: dict[int, Algo] = {v: k for k, v in ALGO_IDS.items()}
+
+
+@dataclass(frozen=True)
+class StreamHeader:
+    """Parsed RST1 stream header."""
+
+    algo: Algo
+    chunk_bytes: int
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One parsed frame (data or end)."""
+
+    kind: int
+    raw_len: int  # uncompressed chunk length (data) / total length (end)
+    crc: int  # crc32 of the raw chunk (data) / whole raw stream (end)
+    payload: bytes  # compressed chunk bytes (data) / b"" (end)
+
+    @property
+    def is_end(self) -> bool:
+        return self.kind == FRAME_END
+
+
+def encode_stream_header(algo: Algo, chunk_bytes: int) -> bytes:
+    """Serialize the 12-byte stream header."""
+    algo_id = ALGO_IDS.get(algo)
+    if algo_id is None:
+        raise StreamCorruptError(f"algo {algo!r} is not streamable")
+    if not 0 < chunk_bytes <= _U32_MAX:
+        raise StreamCorruptError(f"chunk_bytes {chunk_bytes} out of u32 range")
+    return _STREAM_HEADER.pack(MAGIC, VERSION, algo_id, 0, 0, chunk_bytes)
+
+
+def encode_data_frame(payload: bytes, raw_len: int, crc: int) -> bytes:
+    """Serialize one data frame (header + compressed payload)."""
+    if raw_len <= 0:
+        raise StreamCorruptError("data frames must carry at least one raw byte")
+    if len(payload) == 0 or len(payload) > _U32_MAX:
+        raise StreamCorruptError(f"bad data-frame payload length {len(payload)}")
+    return _FRAME_HEADER.pack(FRAME_DATA, len(payload), raw_len, crc) + payload
+
+
+def encode_end_frame(total_raw_len: int, crc: int) -> bytes:
+    """Serialize the mandatory terminator frame."""
+    if not 0 <= total_raw_len <= _U32_MAX:
+        raise StreamCorruptError(f"total length {total_raw_len} out of u32 range")
+    return _FRAME_HEADER.pack(FRAME_END, 0, total_raw_len, crc)
+
+
+class FrameParser:
+    """Incremental RST1 parser with bounded look-ahead state.
+
+    ``feed`` returns every frame completed by the new bytes and keeps
+    at most one partial frame buffered.  Format violations raise
+    :class:`~repro.errors.StreamCorruptError` at the earliest byte that
+    proves them; truncation is the *caller's* end-of-input judgement
+    (check :attr:`finished` / :attr:`pending_bytes` at flush).
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self.header: StreamHeader | None = None
+        self.finished = False  # end frame parsed
+        self.frames_parsed = 0
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered inside an incomplete header or frame."""
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> list[Frame]:
+        """Consume ``data``; return the frames it completed."""
+        if self.finished:
+            if data:
+                raise StreamCorruptError(
+                    f"{len(data)} trailing byte(s) after the end frame"
+                )
+            return []
+        self._buf += data
+        frames: list[Frame] = []
+        if self.header is None:
+            if len(self._buf) < STREAM_HEADER_BYTES:
+                return frames
+            self.header = self._parse_header()
+        while not self.finished:
+            frame = self._next_frame()
+            if frame is None:
+                break
+            frames.append(frame)
+        return frames
+
+    # -- internals ---------------------------------------------------------
+
+    def _parse_header(self) -> StreamHeader:
+        magic, version, algo_id, flags, reserved, chunk_bytes = (
+            _STREAM_HEADER.unpack_from(self._buf)
+        )
+        del self._buf[:STREAM_HEADER_BYTES]
+        if magic != MAGIC:
+            raise StreamCorruptError(f"bad stream magic {bytes(magic)!r}")
+        if version != VERSION:
+            raise StreamCorruptError(f"unsupported stream version {version}")
+        algo = ALGO_BY_ID.get(algo_id)
+        if algo is None:
+            raise StreamCorruptError(f"unknown stream algo id {algo_id}")
+        if flags != 0 or reserved != 0:
+            raise StreamCorruptError(
+                f"nonzero flags/reserved bytes ({flags}, {reserved})"
+            )
+        if chunk_bytes == 0:
+            raise StreamCorruptError("zero chunk_bytes in stream header")
+        return StreamHeader(algo=algo, chunk_bytes=chunk_bytes)
+
+    def _next_frame(self) -> Frame | None:
+        if len(self._buf) < FRAME_HEADER_BYTES:
+            return None
+        kind, comp_len, raw_len, crc = _FRAME_HEADER.unpack_from(self._buf)
+        if kind == FRAME_END:
+            if comp_len != 0:
+                raise StreamCorruptError(
+                    f"end frame declares {comp_len} payload bytes"
+                )
+            del self._buf[:FRAME_HEADER_BYTES]
+            self.finished = True
+            self.frames_parsed += 1
+            if self._buf:
+                raise StreamCorruptError(
+                    f"{len(self._buf)} trailing byte(s) after the end frame"
+                )
+            return Frame(kind=kind, raw_len=raw_len, crc=crc, payload=b"")
+        if kind != FRAME_DATA:
+            raise StreamCorruptError(f"unknown frame kind 0x{kind:02x}")
+        assert self.header is not None
+        if comp_len == 0:
+            raise StreamCorruptError("zero-length data-frame payload")
+        if raw_len == 0 or raw_len > self.header.chunk_bytes:
+            raise StreamCorruptError(
+                f"data frame raw_len {raw_len} outside (0, "
+                f"{self.header.chunk_bytes}]"
+            )
+        if len(self._buf) < FRAME_HEADER_BYTES + comp_len:
+            return None
+        payload = bytes(self._buf[FRAME_HEADER_BYTES:FRAME_HEADER_BYTES + comp_len])
+        del self._buf[:FRAME_HEADER_BYTES + comp_len]
+        self.frames_parsed += 1
+        return Frame(kind=kind, raw_len=raw_len, crc=crc, payload=payload)

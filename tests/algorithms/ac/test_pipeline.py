@@ -54,6 +54,17 @@ def test_pipelined_roundtrip():
     assert ac_decompress(ac_compress_pipelined(data)) == data
 
 
+@pytest.mark.parametrize("data", [b"", b"\x07"])
+def test_pipelined_flush_after_degenerate_feed(data):
+    """Regression: a zero-length (or single-byte) payload means the
+    coder stage flushes with zero (or one) chunks queued; the emitted
+    terminator must still match the serial path byte-for-byte and
+    round-trip."""
+    blob = ac_compress_pipelined(data)
+    assert blob == ac_compress(data)
+    assert ac_decompress(blob) == data
+
+
 # -- simulated twin ----------------------------------------------------------
 
 

@@ -10,11 +10,14 @@ N = 64 * 1024
 
 
 class TestRegistry:
-    def test_eight_datasets(self):
-        # Paper Table IV: five lossless + three lossy.
-        assert len(DATASETS) == 8
+    def test_nine_datasets(self):
+        # Paper Table IV (five lossless + three lossy) plus the
+        # post-paper hypersparse telemetry stream; kind "telemetry"
+        # keeps the Table IV figure sweeps at their pinned row counts.
+        assert len(DATASETS) == 9
         assert len(lossless_datasets()) == 5
         assert len(lossy_datasets()) == 3
+        assert get_dataset("net_telemetry").kind == "telemetry"
 
     def test_nominal_sizes_match_table4(self):
         expected = {
@@ -121,3 +124,27 @@ class TestCompressibilityOrdering:
 
         with pytest.raises(ValueError):
             generate_exaalt(4, 1024)
+
+
+class TestNetTelemetry:
+    """The hypersparse telemetry stream must be *extremely* sparse."""
+
+    def test_hypersparse_profile(self):
+        data = get_dataset("net_telemetry").generate(N)
+        # Most bytes are zero (sorted-coordinate deltas + empty
+        # histogram regions), so order-0 entropy is far below text.
+        zero_fraction = data.count(0) / len(data)
+        assert zero_fraction > 0.6
+        assert byte_entropy(data) < 3.0
+
+    def test_stresses_ratio_model(self):
+        # Much more compressible than every Table IV lossless dataset:
+        # the extreme-sparsity regime the GraphBLAS-on-DPU traffic
+        # lives in, which whole-corpus-tuned ratio estimators misprice.
+        from repro.algorithms.lz4 import lz4_block_compress
+
+        telemetry = get_dataset("net_telemetry").generate(N)
+        ratio = len(telemetry) / len(lz4_block_compress(telemetry))
+        for ds in lossless_datasets():
+            blob = ds.generate(N)
+            assert ratio > len(blob) / len(lz4_block_compress(blob))

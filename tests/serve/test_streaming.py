@@ -1,0 +1,109 @@
+"""StreamingSession: gateway-backed chunked (de)compression.
+
+The session must produce containers byte-identical to the one-shot
+:func:`repro.stream.stream_compress` (same codec config) so streams
+move freely between the serving plane and the MPI fabric path, and it
+must raise the same typed errors on corrupt containers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dpu import make_device
+from repro.dpu.specs import Algo
+from repro.errors import StreamChecksumError, StreamCorruptError, StreamError
+from repro.serve import ServeConfig, ServeGateway, StreamingSession
+from repro.sim import Environment
+from repro.stream import StreamConfig, stream_compress, stream_decompress
+
+CHUNK = 1024
+
+
+def _payload(size: int = 5000, seed: int = 11) -> bytes:
+    rng = np.random.default_rng(seed)
+    return rng.choice(
+        np.frombuffer(b"serve\x00\x00\x00", dtype=np.uint8), size=size
+    ).tobytes()
+
+
+def _run(generator, env):
+    proc = env.process(generator)
+    return env.run(until=proc)
+
+
+@pytest.fixture
+def gateway():
+    env = Environment()
+    devices = [make_device(env, kind) for kind in ("bf2", "bf3")]
+    return ServeGateway(env, devices, ServeConfig(max_pending=10_000)), env
+
+
+class TestContainerIdentity:
+    @pytest.mark.parametrize("algo", [Algo.DEFLATE, Algo.AC, Algo.LZ4])
+    def test_matches_one_shot_stream_compress(self, gateway, algo):
+        gw, env = gateway
+        session = StreamingSession(gw, algo=algo, chunk_bytes=CHUNK)
+        payload = _payload()
+        blob = _run(session.compress(payload), env)
+        assert blob == stream_compress(payload, session.config)
+
+    def test_mpi_side_can_decode_gateway_container(self, gateway):
+        gw, env = gateway
+        session = StreamingSession(gw, chunk_bytes=CHUNK)
+        payload = _payload(seed=12)
+        blob = _run(session.compress(payload), env)
+        assert stream_decompress(blob) == payload
+
+    def test_gateway_can_decode_mpi_container(self, gateway):
+        gw, env = gateway
+        session = StreamingSession(gw, chunk_bytes=CHUNK)
+        payload = _payload(seed=13)
+        blob = stream_compress(
+            payload, StreamConfig(chunk_bytes=CHUNK)
+        )
+        assert _run(session.decompress(blob), env) == payload
+
+    def test_roundtrip_through_gateway_both_ways(self, gateway):
+        gw, env = gateway
+        session = StreamingSession(gw, algo=Algo.LZ4, chunk_bytes=CHUNK)
+        payload = _payload(seed=14)
+        blob = _run(session.compress(payload), env)
+        assert _run(session.decompress(blob), env) == payload
+
+    def test_empty_payload(self, gateway):
+        gw, env = gateway
+        session = StreamingSession(gw, chunk_bytes=CHUNK)
+        blob = _run(session.compress(b""), env)
+        assert blob == stream_compress(b"", session.config)
+        assert _run(session.decompress(blob), env) == b""
+
+
+class TestTypedErrors:
+    def test_truncated_container(self, gateway):
+        gw, env = gateway
+        session = StreamingSession(gw, chunk_bytes=CHUNK)
+        blob = stream_compress(_payload(), StreamConfig(chunk_bytes=CHUNK))
+        with pytest.raises(StreamCorruptError, match="truncated"):
+            _run(session.decompress(blob[:-4]), env)
+
+    def test_flipped_payload_byte(self, gateway):
+        gw, env = gateway
+        session = StreamingSession(gw, chunk_bytes=CHUNK)
+        blob = bytearray(
+            stream_compress(_payload(), StreamConfig(chunk_bytes=CHUNK))
+        )
+        blob[40] ^= 0x01  # inside the first chunk's DEFLATE payload
+        with pytest.raises(StreamError):
+            _run(session.decompress(bytes(blob)), env)
+
+    def test_flipped_chunk_crc(self, gateway):
+        gw, env = gateway
+        session = StreamingSession(gw, chunk_bytes=CHUNK)
+        blob = bytearray(
+            stream_compress(_payload(), StreamConfig(chunk_bytes=CHUNK))
+        )
+        blob[12 + 9] ^= 0xFF  # first data frame's crc32 field
+        with pytest.raises(StreamChecksumError):
+            _run(session.decompress(bytes(blob)), env)

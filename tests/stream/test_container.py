@@ -1,0 +1,228 @@
+"""RST1 container format: encoders, the pull-based parser, violations."""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import pytest
+
+from repro.dpu.specs import Algo
+from repro.errors import StreamCorruptError
+from repro.stream import (
+    ALGO_BY_ID,
+    ALGO_IDS,
+    FRAME_DATA,
+    FRAME_END,
+    FRAME_HEADER_BYTES,
+    MAGIC,
+    STREAM_HEADER_BYTES,
+    VERSION,
+    FrameParser,
+    encode_data_frame,
+    encode_end_frame,
+    encode_stream_header,
+)
+
+
+def _container(chunks: "list[bytes]", chunk_bytes: int = 64) -> bytes:
+    """Hand-rolled container whose "compressed" payloads are the raw
+    chunks themselves (the parser never decodes payloads)."""
+    out = bytearray(encode_stream_header(Algo.DEFLATE, chunk_bytes))
+    crc = 0
+    total = 0
+    for chunk in chunks:
+        out += encode_data_frame(chunk, len(chunk), zlib.crc32(chunk))
+        crc = zlib.crc32(chunk, crc)
+        total += len(chunk)
+    out += encode_end_frame(total, crc)
+    return bytes(out)
+
+
+class TestEncoders:
+    def test_stream_header_layout(self):
+        blob = encode_stream_header(Algo.LZ4, 4096)
+        assert len(blob) == STREAM_HEADER_BYTES == 12
+        magic, version, algo_id, flags, reserved, chunk = struct.unpack(
+            "<4sBBBBI", blob
+        )
+        assert magic == MAGIC and version == VERSION
+        assert ALGO_BY_ID[algo_id] is Algo.LZ4
+        assert flags == reserved == 0 and chunk == 4096
+
+    def test_all_streamable_algos_have_distinct_ids(self):
+        assert sorted(ALGO_IDS.values()) == sorted(set(ALGO_IDS.values()))
+        assert {ALGO_BY_ID[i] for i in ALGO_IDS.values()} == set(ALGO_IDS)
+
+    def test_header_rejects_non_streamable_algo(self):
+        with pytest.raises(StreamCorruptError):
+            encode_stream_header(Algo.SZ3, 4096)
+
+    @pytest.mark.parametrize("chunk_bytes", [0, -1, 2**32])
+    def test_header_rejects_bad_chunk_bytes(self, chunk_bytes):
+        with pytest.raises(StreamCorruptError):
+            encode_stream_header(Algo.DEFLATE, chunk_bytes)
+
+    def test_data_frame_layout(self):
+        blob = encode_data_frame(b"pay", 100, 0xDEAD)
+        kind, comp_len, raw_len, crc = struct.unpack_from("<BIII", blob)
+        assert kind == FRAME_DATA
+        assert (comp_len, raw_len, crc) == (3, 100, 0xDEAD)
+        assert blob[FRAME_HEADER_BYTES:] == b"pay"
+
+    def test_data_frame_rejects_zero_raw_len(self):
+        # Zero-length data frames are never produced (the flush-after-
+        # empty-feed contract); the encoder enforces it at the source.
+        with pytest.raises(StreamCorruptError):
+            encode_data_frame(b"x", 0, 0)
+
+    def test_data_frame_rejects_empty_payload(self):
+        with pytest.raises(StreamCorruptError):
+            encode_data_frame(b"", 1, 0)
+
+    def test_end_frame_layout(self):
+        blob = encode_end_frame(12345, 0xBEEF)
+        assert len(blob) == FRAME_HEADER_BYTES == 13
+        kind, comp_len, raw_len, crc = struct.unpack("<BIII", blob)
+        assert kind == FRAME_END
+        assert (comp_len, raw_len, crc) == (0, 12345, 0xBEEF)
+
+    def test_end_frame_rejects_out_of_range_total(self):
+        with pytest.raises(StreamCorruptError):
+            encode_end_frame(2**32, 0)
+
+
+class TestParser:
+    def test_whole_container_one_feed(self):
+        blob = _container([b"aaaa", b"bb"])
+        parser = FrameParser()
+        frames = parser.feed(blob)
+        assert parser.finished
+        assert [f.is_end for f in frames] == [False, False, True]
+        assert [f.payload for f in frames[:-1]] == [b"aaaa", b"bb"]
+        assert frames[-1].raw_len == 6
+        assert parser.frames_parsed == 3
+        assert parser.pending_bytes == 0
+
+    def test_byte_at_a_time_equals_one_shot(self):
+        blob = _container([b"hello", b"world!"])
+        one_shot = FrameParser().feed(blob)
+        parser = FrameParser()
+        dribbled = []
+        for i in range(len(blob)):
+            dribbled += parser.feed(blob[i:i + 1])
+        assert parser.finished
+        assert dribbled == one_shot
+
+    def test_header_parsed_lazily(self):
+        blob = _container([b"x"])
+        parser = FrameParser()
+        parser.feed(blob[:STREAM_HEADER_BYTES - 1])
+        assert parser.header is None
+        parser.feed(blob[STREAM_HEADER_BYTES - 1:STREAM_HEADER_BYTES])
+        assert parser.header is not None
+        assert parser.header.algo is Algo.DEFLATE
+        assert parser.header.chunk_bytes == 64
+
+    def test_pending_bytes_bounded_by_one_frame(self):
+        blob = _container([b"q" * 40])
+        parser = FrameParser()
+        for i in range(len(blob)):
+            parser.feed(blob[i:i + 1])
+            assert parser.pending_bytes <= FRAME_HEADER_BYTES + 40
+
+    def test_feed_after_finish_is_noop_for_empty_data(self):
+        parser = FrameParser()
+        parser.feed(_container([]))
+        assert parser.feed(b"") == []
+
+
+class TestViolations:
+    """Every format violation is a typed error at the earliest
+    proving byte — never a hang, never a silent skip."""
+
+    def _feed(self, blob: bytes):
+        return FrameParser().feed(blob)
+
+    def test_bad_magic(self):
+        blob = bytearray(_container([b"x"]))
+        blob[0] ^= 0xFF
+        with pytest.raises(StreamCorruptError, match="magic"):
+            self._feed(bytes(blob))
+
+    def test_bad_version(self):
+        blob = bytearray(_container([b"x"]))
+        blob[4] = 99
+        with pytest.raises(StreamCorruptError, match="version"):
+            self._feed(bytes(blob))
+
+    def test_unknown_algo_id(self):
+        blob = bytearray(_container([b"x"]))
+        blob[5] = 0xEE
+        with pytest.raises(StreamCorruptError, match="algo id"):
+            self._feed(bytes(blob))
+
+    @pytest.mark.parametrize("offset", [6, 7])
+    def test_nonzero_flags_or_reserved(self, offset):
+        blob = bytearray(_container([b"x"]))
+        blob[offset] = 1
+        with pytest.raises(StreamCorruptError, match="flags/reserved"):
+            self._feed(bytes(blob))
+
+    def test_zero_chunk_bytes_header(self):
+        blob = bytearray(_container([b"x"]))
+        blob[8:12] = b"\x00\x00\x00\x00"
+        with pytest.raises(StreamCorruptError, match="chunk_bytes"):
+            self._feed(bytes(blob))
+
+    def test_unknown_frame_kind(self):
+        blob = bytearray(_container([b"x"]))
+        blob[STREAM_HEADER_BYTES] = 0x7F
+        with pytest.raises(StreamCorruptError, match="frame kind"):
+            self._feed(bytes(blob))
+
+    def test_zero_length_data_payload(self):
+        blob = bytearray(encode_stream_header(Algo.DEFLATE, 64))
+        blob += struct.pack("<BIII", FRAME_DATA, 0, 1, 0)
+        with pytest.raises(StreamCorruptError, match="zero-length"):
+            self._feed(bytes(blob))
+
+    def test_zero_raw_len_data_frame(self):
+        blob = bytearray(encode_stream_header(Algo.DEFLATE, 64))
+        blob += struct.pack("<BIII", FRAME_DATA, 1, 0, 0) + b"p"
+        with pytest.raises(StreamCorruptError, match="raw_len"):
+            self._feed(bytes(blob))
+
+    def test_raw_len_above_chunk_bytes(self):
+        blob = bytearray(encode_stream_header(Algo.DEFLATE, 64))
+        blob += struct.pack("<BIII", FRAME_DATA, 1, 65, 0) + b"p"
+        with pytest.raises(StreamCorruptError, match="raw_len"):
+            self._feed(bytes(blob))
+
+    def test_end_frame_with_payload_length(self):
+        blob = bytearray(encode_stream_header(Algo.DEFLATE, 64))
+        blob += struct.pack("<BIII", FRAME_END, 4, 0, 0)
+        with pytest.raises(StreamCorruptError, match="end frame"):
+            self._feed(bytes(blob))
+
+    def test_trailing_bytes_same_feed(self):
+        with pytest.raises(StreamCorruptError, match="trailing"):
+            self._feed(_container([b"x"]) + b"garbage")
+
+    def test_trailing_bytes_later_feed(self):
+        parser = FrameParser()
+        parser.feed(_container([b"x"]))
+        with pytest.raises(StreamCorruptError, match="trailing"):
+            parser.feed(b"g")
+
+    def test_oversized_comp_len_is_truncation_not_hang(self):
+        # A corrupt comp_len pointing past the end of input cannot make
+        # the parser block: it just never completes the frame.
+        blob = bytearray(_container([b"x" * 30]))
+        blob[STREAM_HEADER_BYTES + 1:STREAM_HEADER_BYTES + 5] = struct.pack(
+            "<I", 2**30
+        )
+        parser = FrameParser()
+        assert parser.feed(bytes(blob)) == []
+        assert not parser.finished
+        assert parser.pending_bytes == len(blob) - STREAM_HEADER_BYTES

@@ -1,0 +1,147 @@
+"""Satellite fuzz suite: split-point invariance and corruption sweeps.
+
+* **Split-point invariance** — feeding the same bytes at *any* cut
+  points yields the identical container (hypothesis-driven, plus a
+  seeded sweep whose base seed rotates via ``REPRO_FUZZ_SEED`` like
+  the codec round-trip suites).
+* **Corruption sweeps** — every truncation point raises a typed
+  :class:`~repro.errors.StreamError` (at feed or at flush) and every
+  single-bit flip either raises one or decodes *byte-identical*: the
+  format has a few genuine don't-care bits (the header's
+  ``chunk_bytes`` is only an upper bound, and DEFLATE's final byte
+  carries padding bits), but silent *corruption* is impossible.
+  Nothing ever hangs: the parser is pull-based, so corrupt lengths
+  can only starve it, and starving is reported as truncation at
+  flush.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dpu.specs import Algo
+from repro.errors import StreamError
+from repro.stream import (
+    Compressor,
+    Decompressor,
+    StreamConfig,
+    stream_compress,
+    stream_decompress,
+)
+
+BASE_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20260806"))
+
+def _feed_at(data: bytes, cuts: "list[int]", config: StreamConfig) -> bytes:
+    comp = Compressor(config)
+    out = bytearray()
+    prev = 0
+    for cut in sorted(cuts) + [len(data)]:
+        out += comp.feed(data[prev:cut])
+        prev = cut
+    return bytes(out + comp.flush())
+
+
+class TestSplitPointInvariance:
+    @given(
+        data=st.binary(max_size=4096),
+        cuts=st.lists(st.integers(min_value=0, max_value=4096), max_size=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_split_equals_one_shot(self, data, cuts):
+        config = StreamConfig(chunk_bytes=512)
+        cuts = [min(c, len(data)) for c in cuts]
+        assert _feed_at(data, cuts, config) == stream_compress(data, config)
+
+    @pytest.mark.parametrize("algo", [Algo.DEFLATE, Algo.AC, Algo.LZ4])
+    @pytest.mark.parametrize("case", range(8))
+    def test_seeded_random_splits(self, algo, case):
+        rng = np.random.default_rng(BASE_SEED + case * 7919)
+        size = int(rng.integers(0, 6000))
+        data = rng.integers(0, 17, size=size, dtype=np.uint8).tobytes()
+        n_cuts = int(rng.integers(0, 10))
+        cuts = sorted(int(c) for c in rng.integers(0, size + 1, size=n_cuts))
+        config = StreamConfig(algo=algo, chunk_bytes=int(rng.integers(64, 2048)))
+        blob = _feed_at(data, cuts, config)
+        assert blob == stream_compress(data, config)
+        assert stream_decompress(blob) == data
+
+    @given(data=st.binary(max_size=2048))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_arbitrary_bytes(self, data):
+        blob = stream_compress(data, StreamConfig(chunk_bytes=256))
+        assert stream_decompress(blob) == data
+
+
+def _decode_all_at_once(blob: bytes) -> bytes:
+    dec = Decompressor()
+    out = dec.feed(blob)
+    dec.flush()
+    return out
+
+
+def _reference_blob() -> "tuple[bytes, bytes]":
+    rng = np.random.default_rng(BASE_SEED)
+    data = rng.choice(
+        np.frombuffer(b"stream\x00\x00", dtype=np.uint8), size=700
+    ).tobytes()
+    return data, stream_compress(data, StreamConfig(chunk_bytes=256))
+
+
+class TestTruncationSweep:
+    def test_every_prefix_raises_typed_error(self):
+        _, blob = _reference_blob()
+        for cut in range(len(blob)):
+            dec = Decompressor()
+            with pytest.raises(StreamError):
+                dec.feed(blob[:cut])
+                dec.flush()  # incomplete containers die here, typed
+
+    def test_truncation_mid_end_frame(self):
+        _, blob = _reference_blob()
+        dec = Decompressor()
+        dec.feed(blob[:-5])
+        assert not dec.finished
+        with pytest.raises(StreamError):
+            dec.flush()
+
+
+class TestBitFlipSweep:
+    def test_every_bit_flip_detected_or_harmless(self):
+        data, blob = _reference_blob()
+        silent_corruption = []
+        detected = 0
+        for pos in range(len(blob)):
+            for bit in range(8):
+                corrupt = bytearray(blob)
+                corrupt[pos] ^= 1 << bit
+                try:
+                    decoded = _decode_all_at_once(bytes(corrupt))
+                except StreamError:
+                    detected += 1
+                    continue
+                if decoded != data:
+                    silent_corruption.append((pos, bit))
+        assert silent_corruption == []
+        # Nearly every flip lands in a checked field or a CRC-covered
+        # payload; only genuine don't-care bits (chunk_bytes upper
+        # bound, DEFLATE padding) may pass, and they decode identical.
+        assert detected >= 0.98 * len(blob) * 8
+
+    def test_flip_never_hangs_or_leaks_untyped(self):
+        """Corrupt containers fail with StreamError (or subclass),
+        never a bare struct/zlib/Value error escaping the decoder."""
+        _, blob = _reference_blob()
+        rng = np.random.default_rng(BASE_SEED + 1)
+        for _ in range(64):
+            pos = int(rng.integers(0, len(blob)))
+            corrupt = bytearray(blob)
+            corrupt[pos] = int(rng.integers(0, 256))
+            try:
+                _decode_all_at_once(bytes(corrupt))
+            except StreamError:
+                pass  # typed, expected

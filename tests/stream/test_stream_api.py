@@ -1,0 +1,192 @@
+"""Streaming Compressor/Decompressor: round-trips, state machine,
+bounded buffering, and the flush-ordering contract for empty input.
+
+Split-point invariance ("feed the same bytes at any cut points, get
+the identical container") is the satellite-4 fuzz suite's job
+(:mod:`tests.stream.test_fuzz`); here we pin the deterministic
+contracts.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.dpu.specs import Algo
+from repro.errors import (
+    OutputOverflowError,
+    StreamError,
+    StreamStateError,
+    StreamTruncatedError,
+)
+from repro.stream import (
+    STREAM_HEADER_BYTES,
+    Compressor,
+    Decompressor,
+    StreamConfig,
+    stream_compress,
+    stream_decompress,
+)
+
+BASE_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20260806"))
+
+ALGOS = [Algo.DEFLATE, Algo.AC, Algo.LZ4]
+
+
+def _payload(size: int, seed_salt: int = 0) -> bytes:
+    rng = np.random.default_rng(BASE_SEED + seed_salt)
+    # Compressible-but-structured: low-cardinality symbols with runs.
+    return rng.choice(
+        np.frombuffer(b"abcdef\x00\x00", dtype=np.uint8), size=size
+    ).tobytes()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("algo", ALGOS)
+    @pytest.mark.parametrize(
+        "size", [0, 1, 1023, 1024, 1025, 5000]
+    )
+    def test_one_shot(self, algo, size):
+        config = StreamConfig(algo=algo, chunk_bytes=1024)
+        data = _payload(size)
+        blob = stream_compress(data, config)
+        assert stream_decompress(blob) == data
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_incremental_equals_one_shot(self, algo):
+        config = StreamConfig(algo=algo, chunk_bytes=512)
+        data = _payload(3000, seed_salt=1)
+        comp = Compressor(config)
+        blob = comp.feed(data[:100]) + comp.feed(data[100:2049]) \
+            + comp.feed(data[2049:]) + comp.flush()
+        assert blob == stream_compress(data, config)
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_incremental_decode(self, algo):
+        config = StreamConfig(algo=algo, chunk_bytes=512)
+        data = _payload(2000, seed_salt=2)
+        blob = stream_compress(data, config)
+        dec = Decompressor()
+        out = b"".join(dec.feed(blob[i:i + 7]) for i in range(0, len(blob), 7))
+        dec.flush()
+        assert out == data
+        assert dec.finished
+        assert dec.algo is algo
+
+
+class TestFlushOrdering:
+    """Satellite: flush after an empty (or absent) feed must emit a
+    well-formed header + terminator and never a zero-length frame."""
+
+    def test_flush_with_no_feed(self):
+        comp = Compressor()
+        blob = comp.flush()
+        assert len(blob) == STREAM_HEADER_BYTES + 13  # header + end only
+        assert comp.chunks_emitted == 0
+        assert stream_decompress(blob) == b""
+
+    def test_flush_after_empty_feed(self):
+        comp = Compressor()
+        assert comp.feed(b"") == b""  # pure no-op: not even the header
+        blob = comp.flush()
+        assert stream_decompress(blob) == b""
+        assert blob == stream_compress(b"")
+
+    def test_empty_feed_between_chunks_changes_nothing(self):
+        config = StreamConfig(chunk_bytes=256)
+        data = _payload(600, seed_salt=3)
+        comp = Compressor(config)
+        blob = comp.feed(data[:300])
+        assert comp.feed(b"") == b""
+        blob += comp.feed(data[300:]) + comp.flush()
+        assert blob == stream_compress(data, config)
+
+    def test_one_byte_payload(self):
+        blob = stream_compress(b"\x42")
+        assert stream_decompress(blob) == b"\x42"
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_empty_and_tiny_across_algos(self, algo):
+        config = StreamConfig(algo=algo)
+        for data in (b"", b"z"):
+            assert stream_decompress(stream_compress(data, config)) == data
+
+
+class TestStateMachine:
+    def test_feed_after_flush(self):
+        comp = Compressor()
+        comp.flush()
+        assert comp.finished
+        with pytest.raises(StreamStateError):
+            comp.feed(b"x")
+
+    def test_double_flush(self):
+        comp = Compressor()
+        comp.flush()
+        with pytest.raises(StreamStateError):
+            comp.flush()
+
+    def test_decompressor_feed_after_flush(self):
+        dec = Decompressor()
+        dec.feed(stream_compress(b"hi"))
+        dec.flush()
+        with pytest.raises(StreamStateError):
+            dec.feed(b"x")
+
+    def test_decompressor_double_flush(self):
+        dec = Decompressor()
+        dec.feed(stream_compress(b"hi"))
+        dec.flush()
+        with pytest.raises(StreamStateError):
+            dec.flush()
+
+    def test_decompressor_flush_on_incomplete(self):
+        blob = stream_compress(_payload(100))
+        dec = Decompressor()
+        dec.feed(blob[:-1])
+        with pytest.raises(StreamTruncatedError):
+            dec.flush()
+
+
+class TestBoundedState:
+    def test_compressor_buffers_less_than_one_chunk(self):
+        config = StreamConfig(chunk_bytes=128)
+        comp = Compressor(config)
+        rng = np.random.default_rng(BASE_SEED)
+        fed = 0
+        while fed < 2000:
+            piece = _payload(int(rng.integers(1, 300)), seed_salt=fed)
+            comp.feed(piece)
+            fed += len(piece)
+            assert comp.buffered_bytes < config.chunk_bytes
+        comp.flush()
+        assert comp.buffered_bytes == 0
+
+    def test_chunks_emitted_counts_data_frames(self):
+        config = StreamConfig(chunk_bytes=100)
+        comp = Compressor(config)
+        comp.feed(_payload(250))
+        assert comp.chunks_emitted == 2  # two full chunks
+        comp.flush()
+        assert comp.chunks_emitted == 3  # plus the 50-byte tail
+
+    def test_decompressor_max_output(self):
+        data = _payload(4096, seed_salt=9)
+        blob = stream_compress(data, StreamConfig(chunk_bytes=512))
+        dec = Decompressor(max_output=1000)
+        with pytest.raises(OutputOverflowError):
+            dec.feed(blob)
+        assert stream_decompress(blob, max_output=len(data)) == data
+
+
+class TestConfigValidation:
+    def test_rejects_non_streamable_algo(self):
+        with pytest.raises(StreamError):
+            StreamConfig(algo=Algo.SZ3)
+
+    @pytest.mark.parametrize("chunk_bytes", [0, -5, 2**32])
+    def test_rejects_bad_chunk_bytes(self, chunk_bytes):
+        with pytest.raises(StreamError):
+            StreamConfig(chunk_bytes=chunk_bytes)

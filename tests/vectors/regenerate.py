@@ -30,6 +30,9 @@ from repro.algorithms.lz4 import lz4_block_compress, lz4_compress
 from repro.algorithms.sz3 import SZ3Config, sz3_compress
 from repro.algorithms.zlib_format import zlib_compress
 from repro.algorithms.zstdlite import zstdlite_compress
+from repro.datasets import get_dataset
+from repro.dpu.specs import Algo
+from repro.stream import StreamConfig, stream_compress
 
 VECTOR_DIR = Path(__file__).resolve().parent
 
@@ -64,6 +67,23 @@ def byte_inputs() -> "dict[str, bytes]":
 def sz3_input() -> np.ndarray:
     t = np.linspace(0.0, 12.0, 1500)
     return (np.sin(t) + 0.25 * np.sin(6.3 * t)).astype(np.float32)
+
+
+# RST1 streaming-container vectors (PR 10): freeze the chunked wire
+# format the MPI fabric path and the serving gateway both ship.
+STREAM_CHUNK_BYTES = 1024
+STREAM_ALGOS = {"deflate": Algo.DEFLATE, "ac": Algo.AC, "lz4": Algo.LZ4}
+
+
+def stream_inputs() -> "dict[str, bytes]":
+    return {
+        # header + end frame only: the flush-after-empty-feed contract
+        "stream-empty": b"",
+        # single sub-chunk data frame
+        "stream-tiny": b"A",
+        # multi-chunk hypersparse telemetry window
+        "stream-telemetry": get_dataset("net_telemetry").generate(6000),
+    }
 
 
 def main() -> None:
@@ -113,6 +133,27 @@ def main() -> None:
             },
         },
     }
+
+    manifest["stream_chunk_bytes"] = STREAM_CHUNK_BYTES
+    manifest["stream_cases"] = {}
+    for case, payload in stream_inputs().items():
+        (VECTOR_DIR / f"{case}.in").write_bytes(payload)
+        entry = {
+            "input_sha256": hashlib.sha256(payload).hexdigest(),
+            "input_bytes": len(payload),
+            "artifacts": {},
+        }
+        for name, algo in STREAM_ALGOS.items():
+            blob = stream_compress(
+                payload,
+                StreamConfig(algo=algo, chunk_bytes=STREAM_CHUNK_BYTES),
+            )
+            (VECTOR_DIR / f"{case}.{name}.rst1").write_bytes(blob)
+            entry["artifacts"][name] = {
+                "sha256": hashlib.sha256(blob).hexdigest(),
+                "bytes": len(blob),
+            }
+        manifest["stream_cases"][case] = entry
 
     out = VECTOR_DIR / "manifest.json"
     out.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,114 @@
+"""Golden RST1 streaming-container vectors.
+
+Same two guarantees as the codec corpus, per (case, algo):
+
+* **backward compatibility** — today's streaming decoder reads the
+  frozen container back to the exact input;
+* **format stability** — today's ``stream_compress`` reproduces the
+  container byte-for-byte, so RST1 wire drift (header layout, frame
+  framing, CRC placement, chunk codec output) fails loudly.
+
+Plus the satellite corruption sweep over the frozen artifacts:
+truncations and bit flips raise typed :class:`~repro.errors.
+StreamError`\\ s (or decode byte-identical when the flip lands in a
+genuine don't-care bit) and never hang.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.dpu.specs import Algo
+from repro.errors import StreamError
+from repro.stream import (
+    Decompressor,
+    StreamConfig,
+    stream_compress,
+    stream_decompress,
+)
+
+VECTOR_DIR = Path(__file__).resolve().parent
+MANIFEST = json.loads((VECTOR_DIR / "manifest.json").read_text())
+
+STREAM_ALGOS = {"deflate": Algo.DEFLATE, "ac": Algo.AC, "lz4": Algo.LZ4}
+STREAM_CASES = sorted(MANIFEST["stream_cases"])
+
+
+def _read(case: str, suffix: str) -> bytes:
+    return (VECTOR_DIR / f"{case}{suffix}").read_bytes()
+
+
+def test_manifest_lists_every_container_on_disk():
+    on_disk = {p.name for p in VECTOR_DIR.glob("*.rst1")}
+    listed = {
+        f"{case}.{algo}.rst1"
+        for case, entry in MANIFEST["stream_cases"].items()
+        for algo in entry["artifacts"]
+    }
+    assert on_disk == listed
+
+
+@pytest.mark.parametrize("case", STREAM_CASES)
+def test_input_checksums(case):
+    entry = MANIFEST["stream_cases"][case]
+    payload = _read(case, ".in")
+    assert len(payload) == entry["input_bytes"]
+    assert hashlib.sha256(payload).hexdigest() == entry["input_sha256"]
+
+
+@pytest.mark.parametrize("algo", sorted(STREAM_ALGOS))
+@pytest.mark.parametrize("case", STREAM_CASES)
+def test_artifact_checksums(case, algo):
+    meta = MANIFEST["stream_cases"][case]["artifacts"][algo]
+    blob = _read(case, f".{algo}.rst1")
+    assert len(blob) == meta["bytes"]
+    assert hashlib.sha256(blob).hexdigest() == meta["sha256"]
+
+
+@pytest.mark.parametrize("algo", sorted(STREAM_ALGOS))
+@pytest.mark.parametrize("case", STREAM_CASES)
+def test_decoder_reads_frozen_container(case, algo):
+    assert stream_decompress(_read(case, f".{algo}.rst1")) == _read(case, ".in")
+
+
+@pytest.mark.parametrize("algo", sorted(STREAM_ALGOS))
+@pytest.mark.parametrize("case", STREAM_CASES)
+def test_encoder_is_byte_stable(case, algo):
+    config = StreamConfig(
+        algo=STREAM_ALGOS[algo],
+        chunk_bytes=MANIFEST["stream_chunk_bytes"],
+    )
+    assert stream_compress(_read(case, ".in"), config) == \
+        _read(case, f".{algo}.rst1")
+
+
+class TestFrozenContainerCorruption:
+    """The corruption contract holds against the *frozen* wire bytes,
+    not just freshly encoded ones."""
+
+    @pytest.mark.parametrize("algo", sorted(STREAM_ALGOS))
+    def test_truncations_raise_typed_errors(self, algo):
+        blob = _read("stream-telemetry", f".{algo}.rst1")
+        for cut in range(0, len(blob), 41):  # coarse but covers all zones
+            dec = Decompressor()
+            with pytest.raises(StreamError):
+                dec.feed(blob[:cut])
+                dec.flush()
+
+    @pytest.mark.parametrize("algo", sorted(STREAM_ALGOS))
+    def test_bit_flips_never_silently_corrupt(self, algo):
+        data = _read("stream-telemetry", ".in")
+        blob = _read("stream-telemetry", f".{algo}.rst1")
+        step = max(1, len(blob) // 97)
+        for pos in range(0, len(blob), step):
+            corrupt = bytearray(blob)
+            corrupt[pos] ^= 0x10
+            try:
+                decoded = stream_decompress(bytes(corrupt))
+            except StreamError:
+                continue
+            assert decoded == data  # don't-care bit: harmless by proof
